@@ -1,0 +1,58 @@
+// Command sggen generates one of the three synthetic evaluation
+// datasets as an edge-stream file (tab-separated; see internal/stream).
+//
+// Usage:
+//
+//	sggen -dataset netflow -edges 200000 -hosts 20000 -seed 1 -out netflow.tsv
+//	sggen -dataset lsbench -edges 200000 -users 10000 > lsbench.tsv
+//	sggen -dataset nytimes -articles 20000 > nyt.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"streamgraph/internal/datagen"
+	"streamgraph/internal/stream"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "netflow", "dataset to generate: netflow | lsbench | nytimes")
+		edges    = flag.Int("edges", 100000, "number of edges (netflow, lsbench)")
+		hosts    = flag.Int("hosts", 10000, "number of hosts (netflow)")
+		users    = flag.Int("users", 10000, "number of users (lsbench)")
+		articles = flag.Int("articles", 20000, "number of articles (nytimes)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var es []stream.Edge
+	switch *dataset {
+	case "netflow":
+		es = datagen.Netflow(datagen.NetflowConfig{Seed: *seed, Edges: *edges, Hosts: *hosts})
+	case "lsbench":
+		es = datagen.LSBench(datagen.LSBenchConfig{Seed: *seed, Edges: *edges, Users: *users})
+	case "nytimes":
+		es = datagen.NYTimes(datagen.NYTimesConfig{Seed: *seed, Articles: *articles})
+	default:
+		log.Fatalf("unknown dataset %q (want netflow, lsbench or nytimes)", *dataset)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := stream.Write(w, es); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d %s edges\n", len(es), *dataset)
+}

@@ -1,0 +1,46 @@
+// Command sgserve hosts the continuous pattern detection engine as a
+// TCP service: clients register pattern queries and stream edges over a
+// plain-text protocol, and the server reports every complete match as
+// it emerges (see streamgraph/internal/server for the protocol).
+//
+// Example session (with `nc localhost 7687`):
+//
+//	register lateral
+//	e attacker hop rdp
+//	e hop store ftp
+//	end
+//	edge evil ip srv1 ip rdp 10
+//	edge srv1 ip nas ip ftp 11
+//
+// The second edge completes the pattern and the server replies with
+// "match lateral a=evil b=srv1 c=nas".
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"streamgraph/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7687", "listen address")
+		window     = flag.Int64("window", 0, "time window tW shared by all queries (0 = unwindowed)")
+		evictEvery = flag.Int("evict-every", 256, "eviction cadence in edges")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("sgserve: ")
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (window=%d)", ln.Addr(), *window)
+	srv := server.New(server.Config{Window: *window, EvictEvery: *evictEvery})
+	if err := srv.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Command sgstats computes the subgraph distributional statistics of an
+// edge-stream file: the edge-type histogram over time (Figure 6) and
+// the 2-edge path distribution of Algorithm 5 (Figure 7).
+//
+// Usage:
+//
+//	sgstats -in netflow.tsv -intervals 10 -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/stream"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input stream file (default stdin)")
+		intervals = flag.Int("intervals", 10, "number of time intervals for the edge distribution")
+		top       = flag.Int("top", 20, "2-edge path shapes to print")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	edges, err := stream.ReadAll(stream.NewReader(r))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(edges) == 0 {
+		log.Fatal("empty stream")
+	}
+
+	// Figure 6: per-interval edge-type histogram.
+	fmt.Printf("== edge type distribution over time (%d intervals) ==\n", *intervals)
+	per := (len(edges) + *intervals - 1) / *intervals
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "interval\ttype\tcount")
+	for i := 0; i < *intervals; i++ {
+		lo, hi := i*per, (i+1)*per
+		if lo >= len(edges) {
+			break
+		}
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		ic := selectivity.NewCollector()
+		ic.AddAll(edges[lo:hi])
+		for _, h := range ic.EdgeHistogram() {
+			fmt.Fprintf(tw, "%d\t%s\t%d\n", i, h.Key, h.Count)
+		}
+	}
+	tw.Flush()
+
+	// Figure 7: 2-edge path distribution.
+	c := selectivity.NewCollector()
+	c.AddAll(edges)
+	fmt.Printf("\n== 2-edge path distribution: %d unique shapes over %d paths ==\n",
+		c.UniquePathShapes(), c.PathTotal())
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tshape\tcount")
+	for i, h := range c.PathHistogram() {
+		if i >= *top {
+			fmt.Fprintf(tw, "...\t(%d more)\t\n", c.UniquePathShapes()-*top)
+			break
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\n", i+1, h.Key, h.Count)
+	}
+	tw.Flush()
+}

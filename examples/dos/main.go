@@ -1,0 +1,97 @@
+// Command dos detects the denial-of-service pattern of the paper's
+// Figure 1b: several distinct bot machines all opening TCP connections
+// to the same victim within a short window. The pattern is a star query
+// — vertex injectivity guarantees the bots are distinct hosts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"streamgraph"
+)
+
+func main() {
+	// Four distinct sources hammering one victim over TCP.
+	q, err := streamgraph.ParseQuery(`
+		v victim *
+		e bot1 victim tcp
+		e bot2 victim tcp
+		e bot3 victim tcp
+		e bot4 victim tcp
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Background traffic to train the statistics: mostly web chatter.
+	rng := rand.New(rand.NewSource(7))
+	var training []streamgraph.Edge
+	for i := 0; i < 3000; i++ {
+		t := "http"
+		if i%3 == 0 {
+			t = "tcp"
+		}
+		training = append(training, streamgraph.Edge{
+			Src: fmt.Sprintf("h%d", rng.Intn(200)), SrcLabel: "ip",
+			Dst: fmt.Sprintf("h%d", rng.Intn(200)), DstLabel: "ip",
+			Type: t, TS: int64(i),
+		})
+	}
+	stats := streamgraph.NewStatistics()
+	stats.ObserveAll(training)
+
+	eng, err := streamgraph.NewEngine(q, streamgraph.Options{
+		Strategy:   streamgraph.SingleLazy,
+		Window:     50, // the fan-in must land within 50 time units
+		Statistics: stats,
+		// A hub receiving N in-window TCP edges yields C(N,4)·4! vertex
+		// assignments; cap the per-event explosion like a real deployment.
+		MaxMatchesPerSearch: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("decomposition:", eng.Decomposition())
+
+	// Live traffic: noise plus a burst of 5 bots hitting "victim-7".
+	ts := int64(10_000)
+	alerts := 0
+	emit := func(e streamgraph.Edge) {
+		for range eng.Process(e) {
+			alerts++
+		}
+	}
+	for i := 0; i < 500; i++ {
+		ts++
+		emit(streamgraph.Edge{
+			Src: fmt.Sprintf("h%d", rng.Intn(200)), SrcLabel: "ip",
+			Dst: fmt.Sprintf("h%d", rng.Intn(200)), DstLabel: "ip",
+			Type: "http", TS: ts,
+		})
+	}
+	fmt.Printf("after %d noise edges: %d alerts\n", 500, alerts)
+
+	for b := 0; b < 5; b++ {
+		ts++
+		emit(streamgraph.Edge{
+			Src: fmt.Sprintf("bot-%d", b), SrcLabel: "ip",
+			Dst: "victim-7", DstLabel: "ip",
+			Type: "tcp", TS: ts,
+		})
+	}
+	// The engine counts bijections (the paper's semantics): choosing 4
+	// of the 5 bots gives C(5,4)=5 host sets, and the 4 interchangeable
+	// bot variables admit 4! assignments each — 5 * 24 = 120 embeddings.
+	// A deployment that wants one alert per host set deduplicates on the
+	// sorted binding, as an alert pipeline would.
+	fmt.Printf("after the bot burst: %d alerts (5 bot sets x 4! automorphic assignments)\n", alerts)
+
+	st := eng.Stats()
+	fmt.Printf("processed %d edges, %d complete matches, peak %d partial matches\n",
+		st.EdgesProcessed, st.CompleteMatches, st.PeakPartial)
+	if alerts == 0 {
+		log.Fatal("expected DoS alerts, found none")
+	}
+}

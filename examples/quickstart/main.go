@@ -1,0 +1,71 @@
+// Command quickstart is the smallest end-to-end use of the streamgraph
+// engine: register a two-hop pattern, train selectivity statistics on a
+// short sample, then feed a live stream and print matches as they
+// complete.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamgraph"
+)
+
+func main() {
+	// A two-hop pattern: somebody logs into a host over RDP, and that
+	// host then opens a file transfer to a third machine within the
+	// window.
+	q, err := streamgraph.ParseQuery(`
+		# lateral movement followed by staging
+		v attacker *
+		v hop *
+		v store *
+		e attacker hop rdp
+		e hop store ftp
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Selectivity statistics from a sample of historic traffic: rdp is
+	// rare, http is everywhere.
+	training := []streamgraph.Edge{
+		{Src: "a", SrcLabel: "ip", Dst: "b", DstLabel: "ip", Type: "http", TS: 1},
+		{Src: "b", SrcLabel: "ip", Dst: "c", DstLabel: "ip", Type: "http", TS: 2},
+		{Src: "c", SrcLabel: "ip", Dst: "d", DstLabel: "ip", Type: "http", TS: 3},
+		{Src: "a", SrcLabel: "ip", Dst: "d", DstLabel: "ip", Type: "ftp", TS: 4},
+		{Src: "d", SrcLabel: "ip", Dst: "e", DstLabel: "ip", Type: "ftp", TS: 5},
+		{Src: "e", SrcLabel: "ip", Dst: "f", DstLabel: "ip", Type: "rdp", TS: 6},
+		{Src: "f", SrcLabel: "ip", Dst: "g", DstLabel: "ip", Type: "ftp", TS: 7},
+	}
+	stats := streamgraph.NewStatistics()
+	stats.ObserveAll(training)
+
+	eng, err := streamgraph.NewEngine(q, streamgraph.Options{
+		Strategy:   streamgraph.Auto,
+		Window:     100,
+		Statistics: stats,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("decomposition:", eng.Decomposition())
+
+	live := []streamgraph.Edge{
+		{Src: "ws1", SrcLabel: "ip", Dst: "ws2", DstLabel: "ip", Type: "http", TS: 100},
+		{Src: "evil", SrcLabel: "ip", Dst: "srv9", DstLabel: "ip", Type: "rdp", TS: 101},
+		{Src: "ws2", SrcLabel: "ip", Dst: "ws3", DstLabel: "ip", Type: "http", TS: 102},
+		{Src: "srv9", SrcLabel: "ip", Dst: "nas1", DstLabel: "ip", Type: "ftp", TS: 103},
+		// Outside the window relative to the rdp edge: not reported.
+		{Src: "srv9", SrcLabel: "ip", Dst: "nas2", DstLabel: "ip", Type: "ftp", TS: 999},
+	}
+	for _, e := range live {
+		for _, m := range eng.Process(e) {
+			fmt.Printf("ALERT ts=%d: %v\n", e.TS, m)
+		}
+	}
+
+	st := eng.Stats()
+	fmt.Printf("processed %d edges, %d matches, %d anchored searches, peak %d partial matches\n",
+		st.EdgesProcessed, st.CompleteMatches, st.LeafSearches, st.PeakPartial)
+}

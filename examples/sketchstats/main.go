@@ -1,0 +1,61 @@
+// Command sketchstats contrasts the exact statistics collector with the
+// bounded-memory sketch estimator on the same stream: footprint, path
+// distribution accuracy, and — the part that matters — whether the
+// sketch drives query decomposition to the same plan. This is the
+// gsketch direction the paper's Sections 2.2 and 7 point at.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamgraph/internal/datagen"
+	"streamgraph/internal/decompose"
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/sketch"
+)
+
+func main() {
+	// A large-vertex-count stream: per-vertex exact state is what the
+	// sketch eliminates.
+	edges := datagen.Netflow(datagen.NetflowConfig{Edges: 200_000, Hosts: 40_000, Seed: 5})
+
+	exact := selectivity.NewCollector()
+	est := sketch.NewEstimator(1<<16, 4, 1)
+	for _, e := range edges {
+		exact.Add(e)
+		est.Add(e)
+	}
+
+	fmt.Printf("stream: %d edges over ~%d hosts\n\n", len(edges), 40_000)
+	fmt.Printf("%-28s %15s %15s\n", "", "exact", "sketch")
+	fmt.Printf("%-28s %15d %15d\n", "2-edge paths counted", exact.PathTotal(), est.PathTotal())
+	fmt.Printf("%-28s %15d %15d\n", "distinct path shapes", exact.UniquePathShapes(), est.UniquePathShapes())
+	fmt.Printf("%-28s %15s %15s\n", "statistics memory",
+		"O(vertices)", fmt.Sprintf("%d KiB", est.MemoryBytes()/1024))
+
+	fmt.Println("\ntop 5 path shapes (exact vs sketch):")
+	eh, sh := exact.PathHistogram(), est.PathHistogram()
+	for i := 0; i < 5 && i < len(eh) && i < len(sh); i++ {
+		fmt.Printf("  %-34s %12d   |   %-34s %12d\n", eh[i].Key, eh[i].Count, sh[i].Key, sh[i].Count)
+	}
+
+	// The decomposition check: same query, two statistics sources.
+	q := query.NewPath("ip", "TCP", "ESP", "UDP", "ICMP")
+	exactLeaves, exactFB, err := decompose.PathDecompose(q, exact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sketchLeaves, sketchFB, err := decompose.PathDecompose(q, est)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery TCP-ESP-UDP-ICMP\n  exact  decomposition: %v (fallback=%v)\n  sketch decomposition: %v (fallback=%v)\n",
+		exactLeaves, exactFB, sketchLeaves, sketchFB)
+	if fmt.Sprint(exactLeaves) == fmt.Sprint(sketchLeaves) {
+		fmt.Println("  -> identical plans from 1/1000th of the memory")
+	} else {
+		fmt.Println("  -> plans differ; inspect the shape ranking above")
+	}
+}

@@ -1,0 +1,138 @@
+package attr
+
+import (
+	"strings"
+	"testing"
+)
+
+func flowRecord() Record {
+	return rec(
+		"ts", "1700000000",
+		"srcIP", "10.1.2.3",
+		"dstIP", "93.184.216.34",
+		"proto", "TCP",
+		"srcPort", "51234",
+		"dstPort", "443",
+		"bytes", "8800",
+	)
+}
+
+func TestMapperBasic(t *testing.T) {
+	m := &Mapper{
+		SrcField: "srcIP", DstField: "dstIP",
+		SrcLabel: "ip", DstLabel: "ip",
+		TypeFields: []string{"proto"},
+		TSField:    "ts",
+	}
+	e, ok, err := m.Map(flowRecord())
+	if err != nil || !ok {
+		t.Fatalf("Map: ok=%v err=%v", ok, err)
+	}
+	if e.Src != "10.1.2.3" || e.Dst != "93.184.216.34" {
+		t.Fatalf("endpoints wrong: %+v", e)
+	}
+	if e.Type != "TCP" || e.TS != 1700000000 {
+		t.Fatalf("type/ts wrong: %+v", e)
+	}
+	if e.SrcLabel != "ip" || e.DstLabel != "ip" {
+		t.Fatalf("labels wrong: %+v", e)
+	}
+}
+
+func TestMapperCompositeType(t *testing.T) {
+	m := &Mapper{
+		SrcField: "srcIP", DstField: "dstIP",
+		TypeFields: []string{"proto", "dstPort"},
+	}
+	e, ok, err := m.Map(flowRecord())
+	if err != nil || !ok {
+		t.Fatalf("Map: ok=%v err=%v", ok, err)
+	}
+	if e.Type != "TCP:443" {
+		t.Fatalf("composite type = %q, want TCP:443", e.Type)
+	}
+	m.TypeSep = "/"
+	e, _, _ = m.Map(flowRecord())
+	if e.Type != "TCP/443" {
+		t.Fatalf("custom separator type = %q, want TCP/443", e.Type)
+	}
+}
+
+func TestMapperTypeFunc(t *testing.T) {
+	m := &Mapper{
+		SrcField: "srcIP", DstField: "dstIP",
+		TypeFunc: func(r Record) (string, error) {
+			if r["dstPort"] < "1024" { // string compare fine for this test
+				return "wellknown", nil
+			}
+			return "ephemeral", nil
+		},
+	}
+	e, ok, err := m.Map(flowRecord())
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if e.Type == "" {
+		t.Fatal("TypeFunc result ignored")
+	}
+}
+
+func TestMapperWhereFilters(t *testing.T) {
+	m := &Mapper{
+		SrcField: "srcIP", DstField: "dstIP",
+		TypeFields: []string{"proto"},
+		Where:      MustPredicate("proto == TCP && dstPort == 443"),
+	}
+	if _, ok, err := m.Map(flowRecord()); err != nil || !ok {
+		t.Fatalf("matching record filtered: ok=%v err=%v", ok, err)
+	}
+	r := flowRecord()
+	r["dstPort"] = "80"
+	if _, ok, err := m.Map(r); err != nil || ok {
+		t.Fatalf("non-matching record passed: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestMapperCounterTimestamps(t *testing.T) {
+	m := &Mapper{
+		SrcField: "srcIP", DstField: "dstIP",
+		TypeFields: []string{"proto"},
+	}
+	r := flowRecord()
+	e1, _, _ := m.Map(r)
+	e2, _, _ := m.Map(r)
+	if e1.TS != 1 || e2.TS != 2 {
+		t.Fatalf("counter timestamps = %d, %d; want 1, 2", e1.TS, e2.TS)
+	}
+	// A record missing the TS field also falls back to the counter.
+	m2 := &Mapper{SrcField: "srcIP", DstField: "dstIP", TypeFields: []string{"proto"}, TSField: "nots"}
+	e3, _, _ := m2.Map(r)
+	if e3.TS != 1 {
+		t.Fatalf("missing ts field: TS = %d, want counter 1", e3.TS)
+	}
+}
+
+func TestMapperErrors(t *testing.T) {
+	base := func() *Mapper {
+		return &Mapper{SrcField: "srcIP", DstField: "dstIP", TypeFields: []string{"proto"}, TSField: "ts"}
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(Record, *Mapper)
+		errSub string
+	}{
+		{"missing src", func(r Record, m *Mapper) { delete(r, "srcIP") }, "source"},
+		{"missing dst", func(r Record, m *Mapper) { delete(r, "dstIP") }, "destination"},
+		{"missing type field", func(r Record, m *Mapper) { delete(r, "proto") }, "type field"},
+		{"bad ts", func(r Record, m *Mapper) { r["ts"] = "yesterday" }, "timestamp"},
+		{"no type config", func(r Record, m *Mapper) { m.TypeFields = nil }, "TypeFields"},
+	} {
+		m := base()
+		r := flowRecord()
+		tc.mutate(r, m)
+		_, _, err := m.Map(r)
+		if err == nil || !strings.Contains(err.Error(), tc.errSub) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.errSub)
+		}
+	}
+}

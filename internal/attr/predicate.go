@@ -1,0 +1,363 @@
+package attr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Predicate is a compiled filter expression over Records.
+//
+// Grammar (whitespace-insensitive):
+//
+//	expr   := and ('||' and)*
+//	and    := unary ('&&' unary)*
+//	unary  := '!' unary | '(' expr ')' | cmp
+//	cmp    := field op value
+//	op     := '==' | '=' | '!=' | '<' | '<=' | '>' | '>='
+//	field  := identifier ([A-Za-z0-9_.]+)
+//	value  := identifier | number | single- or double-quoted string
+//
+// Comparison is numeric when both the field's value and the literal
+// parse as floats, string (byte-wise) otherwise. A comparison on a
+// field absent from the record is false — including '!=' — so that
+// filters never match records that lack the attribute they test.
+type Predicate struct {
+	root node
+	src  string
+}
+
+// ParsePredicate compiles an expression.
+func ParsePredicate(src string) (*Predicate, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("attr: trailing input at %q", p.peek().text)
+	}
+	return &Predicate{root: root, src: src}, nil
+}
+
+// MustPredicate is ParsePredicate for static expressions; it panics on
+// error.
+func MustPredicate(src string) *Predicate {
+	p, err := ParsePredicate(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Eval evaluates the predicate against a record.
+func (p *Predicate) Eval(r Record) bool { return p.root.eval(r) }
+
+// String returns a canonical rendering of the expression.
+func (p *Predicate) String() string { return p.root.render() }
+
+// --- AST -----------------------------------------------------------------
+
+type node interface {
+	eval(Record) bool
+	render() string
+}
+
+type orNode struct{ kids []node }
+
+func (n orNode) eval(r Record) bool {
+	for _, k := range n.kids {
+		if k.eval(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n orNode) render() string {
+	parts := make([]string, len(n.kids))
+	for i, k := range n.kids {
+		parts[i] = k.render()
+	}
+	return "(" + strings.Join(parts, " || ") + ")"
+}
+
+type andNode struct{ kids []node }
+
+func (n andNode) eval(r Record) bool {
+	for _, k := range n.kids {
+		if !k.eval(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n andNode) render() string {
+	parts := make([]string, len(n.kids))
+	for i, k := range n.kids {
+		parts[i] = k.render()
+	}
+	return "(" + strings.Join(parts, " && ") + ")"
+}
+
+type notNode struct{ kid node }
+
+func (n notNode) eval(r Record) bool { return !n.kid.eval(r) }
+func (n notNode) render() string     { return "!" + n.kid.render() }
+
+type cmpNode struct {
+	field string
+	op    string
+	value string
+}
+
+func (n cmpNode) eval(r Record) bool {
+	got, ok := r[n.field]
+	if !ok {
+		return false
+	}
+	if gf, err1 := strconv.ParseFloat(got, 64); err1 == nil {
+		if wf, err2 := strconv.ParseFloat(n.value, 64); err2 == nil {
+			return cmpFloat(gf, n.op, wf)
+		}
+	}
+	return cmpString(got, n.op, n.value)
+}
+
+func (n cmpNode) render() string {
+	return fmt.Sprintf("%s %s %q", n.field, n.op, n.value)
+}
+
+func cmpFloat(a float64, op string, b float64) bool {
+	switch op {
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+func cmpString(a, op, b string) bool {
+	switch op {
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+// --- Lexer ----------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokValue         // quoted string or number
+	tokOp            // comparison operator
+	tokAnd
+	tokOr
+	tokNot
+	tokLParen
+	tokRParen
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == '&':
+			if i+1 >= len(src) || src[i+1] != '&' {
+				return nil, fmt.Errorf("attr: expected '&&' at offset %d", i)
+			}
+			toks = append(toks, token{tokAnd, "&&"})
+			i += 2
+		case c == '|':
+			if i+1 >= len(src) || src[i+1] != '|' {
+				return nil, fmt.Errorf("attr: expected '||' at offset %d", i)
+			}
+			toks = append(toks, token{tokOr, "||"})
+			i += 2
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!="})
+				i += 2
+			} else {
+				toks = append(toks, token{tokNot, "!"})
+				i++
+			}
+		case c == '=':
+			if i+1 < len(src) && src[i+1] == '=' {
+				i += 2
+			} else {
+				i++
+			}
+			toks = append(toks, token{tokOp, "=="})
+		case c == '<' || c == '>':
+			op := string(c)
+			i++
+			if i < len(src) && src[i] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op})
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("attr: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokValue, src[i+1 : j]})
+			i = j + 1
+		case isIdentChar(c):
+			j := i
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("attr: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '.' || c == '-' || c == ':'
+}
+
+// --- Parser ----------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eof() bool   { return p.peek().kind == tokEOF }
+
+func (p *parser) parseExpr() (node, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []node{first}
+	for p.peek().kind == tokOr {
+		p.next()
+		k, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return orNode{kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []node{first}
+	for p.peek().kind == tokAnd {
+		p.next()
+		k, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return andNode{kids: kids}, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{kid: kid}, nil
+	case tokLParen:
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("attr: missing ')' before %q", p.peek().text)
+		}
+		p.next()
+		return inner, nil
+	default:
+		return p.parseCmp()
+	}
+}
+
+func (p *parser) parseCmp() (node, error) {
+	f := p.next()
+	if f.kind != tokIdent {
+		return nil, fmt.Errorf("attr: expected field name, got %q", f.text)
+	}
+	op := p.next()
+	if op.kind != tokOp {
+		return nil, fmt.Errorf("attr: expected comparison operator after %q, got %q", f.text, op.text)
+	}
+	v := p.next()
+	if v.kind != tokIdent && v.kind != tokValue {
+		return nil, fmt.Errorf("attr: expected value after %q %s, got %q", f.text, op.text, v.text)
+	}
+	return cmpNode{field: f.text, op: op.text, value: v.text}, nil
+}

@@ -1,0 +1,142 @@
+package attr
+
+import (
+	"testing"
+)
+
+func rec(kv ...string) Record {
+	r := Record{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		r[kv[i]] = kv[i+1]
+	}
+	return r
+}
+
+func TestPredicateComparisons(t *testing.T) {
+	r := rec("proto", "TCP", "dstPort", "443", "bytes", "1500", "note", "abc")
+	for _, tc := range []struct {
+		expr string
+		want bool
+	}{
+		{"proto == TCP", true},
+		{"proto = TCP", true}, // single '=' is accepted as '=='
+		{"proto == UDP", false},
+		{"proto != UDP", true},
+		{"dstPort == 443", true},
+		{"dstPort < 1024", true},
+		{"dstPort <= 443", true},
+		{"dstPort > 443", false},
+		{"dstPort >= 444", false},
+		{"bytes >= 1500", true},
+		{"bytes > 1e3", true},  // numeric literal in scientific notation
+		{"note > abb", true},   // string comparison
+		{"note < 'abd'", true}, // quoted string
+		{"note == \"abc\"", true},
+		{"dstPort == '443'", true}, // quoted numbers still compare numerically
+	} {
+		p, err := ParsePredicate(tc.expr)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.expr, err)
+		}
+		if got := p.Eval(r); got != tc.want {
+			t.Errorf("%q = %v, want %v", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestPredicateBooleanStructure(t *testing.T) {
+	r := rec("proto", "TCP", "dstPort", "80")
+	for _, tc := range []struct {
+		expr string
+		want bool
+	}{
+		{"proto == TCP && dstPort == 80", true},
+		{"proto == TCP && dstPort == 443", false},
+		{"proto == UDP || dstPort == 80", true},
+		{"proto == UDP || dstPort == 443", false},
+		{"!(proto == UDP)", true},
+		{"!proto == TCP", false}, // ! binds to the comparison
+		{"(proto == UDP || proto == TCP) && dstPort < 1024", true},
+		// Precedence: && binds tighter than ||.
+		{"proto == UDP || proto == TCP && dstPort == 80", true},
+		{"proto == UDP && proto == TCP || dstPort == 80", true},
+	} {
+		p, err := ParsePredicate(tc.expr)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.expr, err)
+		}
+		if got := p.Eval(r); got != tc.want {
+			t.Errorf("%q = %v, want %v", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestPredicateMissingFieldIsFalse(t *testing.T) {
+	r := rec("proto", "TCP")
+	for _, expr := range []string{"port == 80", "port != 80", "port < 80"} {
+		p := MustPredicate(expr)
+		if p.Eval(r) {
+			t.Errorf("%q on record without 'port' must be false", expr)
+		}
+	}
+	// ...but a negated comparison on a missing field is true.
+	if !MustPredicate("!(port == 80)").Eval(r) {
+		t.Error("!(port == 80) on missing field should be true")
+	}
+}
+
+func TestPredicateParseErrors(t *testing.T) {
+	for _, expr := range []string{
+		"",
+		"proto ==",
+		"== TCP",
+		"proto TCP",
+		"proto == TCP &&",
+		"proto == TCP ) ",
+		"(proto == TCP",
+		"proto & TCP",
+		"proto | TCP",
+		"proto == 'unterminated",
+		"proto == TCP extra",
+		"proto @ TCP",
+	} {
+		if _, err := ParsePredicate(expr); err == nil {
+			t.Errorf("ParsePredicate(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestPredicateStringRoundTrip(t *testing.T) {
+	records := []Record{
+		rec("proto", "TCP", "dstPort", "443"),
+		rec("proto", "UDP", "dstPort", "53"),
+		rec("proto", "TCP"),
+		rec(),
+	}
+	for _, expr := range []string{
+		"proto == TCP",
+		"proto == TCP && dstPort < 1024",
+		"!(proto == UDP || dstPort >= 1024)",
+		"proto != UDP && (dstPort == 53 || dstPort == 443)",
+	} {
+		p1 := MustPredicate(expr)
+		p2, err := ParsePredicate(p1.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q (from %q): %v", p1.String(), expr, err)
+		}
+		for _, r := range records {
+			if p1.Eval(r) != p2.Eval(r) {
+				t.Errorf("round-trip of %q changed semantics on %v", expr, r)
+			}
+		}
+	}
+}
+
+func TestMustPredicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPredicate on invalid input did not panic")
+		}
+	}()
+	MustPredicate("not a predicate ==")
+}

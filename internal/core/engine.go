@@ -1,0 +1,503 @@
+// Package core implements the continuous pattern detection engine of
+// Choudhury et al. (EDBT 2015): the dynamic graph search loop
+// (Algorithm 1), the Lazy Search extension (Algorithm 3) with its
+// per-vertex leaf bitmap and retrospective neighborhood repair, the four
+// selectivity-driven strategies of Section 6.4 (Single, SingleLazy,
+// Path, PathLazy), the non-incremental VF2 baseline, and an anchored
+// incremental baseline (IncIso, after Fan et al. as used in the
+// authors' prior work).
+//
+// The engine owns the windowed data graph: feed it stream edges with
+// ProcessEdge and it returns the incremental set of complete matches
+// f(Gd, Gq, E_{k+1}) = M(G^{k+1}_d) − M(G^k_d).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"streamgraph/internal/decompose"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/sjtree"
+	"streamgraph/internal/stream"
+)
+
+// Strategy selects how the engine decomposes and executes the query.
+type Strategy int
+
+const (
+	// StrategySingle is the 1-edge decomposition tracking all matching
+	// subgraphs ("Single" in the paper's plots).
+	StrategySingle Strategy = iota
+	// StrategySingleLazy is the 1-edge decomposition with Lazy Search.
+	StrategySingleLazy
+	// StrategyPath is the 2-edge path decomposition tracking everything.
+	StrategyPath
+	// StrategyPathLazy is the 2-edge path decomposition with Lazy Search.
+	StrategyPathLazy
+	// StrategyVF2 is the non-incremental baseline: a full VF2-style
+	// subgraph isomorphism search over the current graph on every edge.
+	StrategyVF2
+	// StrategyIncIso is the incremental baseline without an SJ-Tree:
+	// a full-query search anchored at every new edge.
+	StrategyIncIso
+	// StrategyAuto picks SingleLazy or PathLazy by the Relative
+	// Selectivity rule of Section 6.5.
+	StrategyAuto
+)
+
+var strategyNames = map[Strategy]string{
+	StrategySingle:     "Single",
+	StrategySingleLazy: "SingleLazy",
+	StrategyPath:       "Path",
+	StrategyPathLazy:   "PathLazy",
+	StrategyVF2:        "VF2",
+	StrategyIncIso:     "IncIso",
+	StrategyAuto:       "Auto",
+}
+
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Lazy reports whether the strategy uses the Lazy Search bitmap.
+func (s Strategy) Lazy() bool {
+	return s == StrategySingleLazy || s == StrategyPathLazy || s == StrategyAuto
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Strategy to execute. StrategyAuto requires Stats.
+	Strategy Strategy
+
+	// Window is tW: only matches with τ(g) < Window are reported, and
+	// edges/partial matches older than the window are evicted. Zero
+	// disables windowing.
+	Window int64
+
+	// Stats supplies the subgraph distributional statistics used to
+	// order the decomposition. Required for all decomposition-based
+	// strategies; ignored by VF2 and IncIso.
+	Stats *selectivity.Collector
+
+	// Leaves overrides the computed decomposition (each entry lists
+	// query edge indices). Used by ablation experiments and by engines
+	// restored from an ASCII SJ-Tree file.
+	Leaves [][]int
+
+	// MaxMatchesPerSearch caps the matches produced by one leaf/anchor
+	// search (a safety valve for pathological queries; 0 = unlimited).
+	MaxMatchesPerSearch int
+
+	// MaxWorkPerEdge bounds the SJ-Tree work (join attempts + stored
+	// inserts) a single edge arrival may trigger; excess cascades are
+	// load-shed and counted in Stats.Tree.Shed. Unlabeled queries over
+	// hub vertices can produce combinatorial intermediate products that
+	// no strategy tracks at stream rate; real deployments shed. 0
+	// disables the bound (exact semantics).
+	MaxWorkPerEdge int64
+
+	// MaxStepsPerSearch bounds the backtracking steps of one anchored
+	// subgraph-isomorphism attempt (0 = unlimited; load shedding when
+	// exceeded).
+	MaxStepsPerSearch int64
+
+	// EvictEvery controls how often (in processed edges) window
+	// eviction sweeps the graph and the match tables. Default 256.
+	EvictEvery int
+
+	// Adaptive, when non-nil, enables adaptive query processing: the
+	// engine keeps collecting statistics from the live stream and
+	// periodically re-decomposes the query, migrating partial matches
+	// into the new SJ-Tree (the paper's Section 7 follow-up problem).
+	// Ignored by the VF2 and IncIso baselines.
+	Adaptive *AdaptiveConfig
+}
+
+// Stats aggregates the engine's work counters.
+type Stats struct {
+	EdgesProcessed  int64
+	LeafSearches    int64 // anchored subgraph-iso invocations
+	LeafMatches     int64 // matches produced by anchored searches
+	RetroSearches   int64 // retrospective (enable-time) searches
+	RetroMatches    int64
+	CompleteMatches int64
+	IsoSteps        int64 // recursive extension steps inside the matcher
+	GraphEvicted    int64
+	Tree            sjtree.Stats
+}
+
+// Engine runs one continuous query over one data stream.
+type Engine struct {
+	q   *query.Graph
+	cfg Config
+
+	g       *graph.Graph
+	matcher *iso.Matcher
+	tree    *sjtree.Tree // nil for VF2 / IncIso
+
+	lazy     bool
+	bits     map[graph.VertexID]uint64
+	allEdges []int
+
+	pending    [][]retroItem // per-leaf retrospective work for the current edge
+	curEdge    graph.EdgeID
+	curResults []iso.Match
+
+	chosenKind decompose.Kind
+	relSel     float64
+
+	adaptive *adaptiveState
+	budget   sjtree.WorkBudget
+
+	// external marks an engine whose graph ingestion and eviction are
+	// managed by a MultiEngine.
+	external bool
+
+	sinceEvict int
+	stats      Stats
+}
+
+type retroItem struct {
+	v graph.VertexID
+}
+
+// New builds an engine for query q.
+func New(q *query.Graph, cfg Config) (*Engine, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EvictEvery <= 0 {
+		cfg.EvictEvery = 256
+	}
+	e := &Engine{
+		q:   q,
+		cfg: cfg,
+		g:   graph.New(),
+	}
+	e.matcher = iso.NewMatcher(e.g, q)
+	e.matcher.Window = cfg.Window
+	e.matcher.MaxMatches = cfg.MaxMatchesPerSearch
+	e.matcher.MaxStepsPerSearch = cfg.MaxStepsPerSearch
+	for i := range q.Edges {
+		e.allEdges = append(e.allEdges, i)
+	}
+
+	switch cfg.Strategy {
+	case StrategyVF2, StrategyIncIso:
+		return e, nil
+	}
+
+	leaves := cfg.Leaves
+	var err error
+	if leaves == nil {
+		if cfg.Stats == nil {
+			return nil, fmt.Errorf("core: strategy %v requires Config.Stats for decomposition", cfg.Strategy)
+		}
+		switch cfg.Strategy {
+		case StrategySingle, StrategySingleLazy:
+			leaves, err = decompose.SingleDecompose(q, cfg.Stats)
+			e.chosenKind = decompose.Single
+		case StrategyPath, StrategyPathLazy:
+			leaves, _, err = decompose.PathDecompose(q, cfg.Stats)
+			e.chosenKind = decompose.Path
+		case StrategyAuto:
+			leaves, e.chosenKind, e.relSel, err = decompose.Auto(q, cfg.Stats)
+		default:
+			return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(leaves) > 64 {
+		return nil, fmt.Errorf("core: decomposition has %d leaves; the lazy bitmap supports at most 64", len(leaves))
+	}
+	e.tree, err = sjtree.Build(q, leaves, cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	e.lazy = cfg.Strategy.Lazy()
+	e.tree.Dedup = e.lazy
+	if e.lazy {
+		e.bits = make(map[graph.VertexID]uint64)
+		e.pending = make([][]retroItem, len(leaves))
+	}
+	if cfg.Adaptive != nil {
+		ac := *cfg.Adaptive
+		if ac.RecomputeEvery <= 0 {
+			ac.RecomputeEvery = 10000
+		}
+		e.adaptive = &adaptiveState{cfg: ac, collector: selectivity.NewCollector()}
+	}
+	return e, nil
+}
+
+// Graph exposes the engine's windowed data graph (read-only use).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Query returns the engine's query graph.
+func (e *Engine) Query() *query.Graph { return e.q }
+
+// Tree exposes the SJ-Tree (nil for the VF2/IncIso baselines).
+func (e *Engine) Tree() *sjtree.Tree { return e.tree }
+
+// ChosenKind reports the decomposition kind in effect (meaningful for
+// decomposition-based strategies).
+func (e *Engine) ChosenKind() decompose.Kind { return e.chosenKind }
+
+// RelativeSelectivity reports ξ computed by StrategyAuto (zero
+// otherwise).
+func (e *Engine) RelativeSelectivity() float64 { return e.relSel }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.IsoSteps = e.matcher.Calls()
+	if e.tree != nil {
+		s.Tree = e.tree.Stats()
+	}
+	return s
+}
+
+// ProcessEdge folds one stream edge into the graph and returns the new
+// complete matches it produces. The returned matches reference the
+// engine's query via binding arrays; see Explain for a readable form.
+func (e *Engine) ProcessEdge(se stream.Edge) []iso.Match {
+	src := e.g.EnsureVertex(se.Src, se.SrcLabel)
+	dst := e.g.EnsureVertex(se.Dst, se.DstLabel)
+	eid := e.g.AddEdge(src, dst, graph.TypeID(e.g.Types().Intern(se.Type)), se.TS)
+	de, _ := e.g.Edge(eid)
+
+	e.maybeEvict()
+	if e.adaptive != nil {
+		e.observeAdaptive(se)
+	}
+	return e.processShared(de)
+}
+
+// processShared runs the per-edge incremental search assuming the edge
+// is already present in the graph (the MultiEngine ingestion path).
+func (e *Engine) processShared(de graph.Edge) []iso.Match {
+	e.stats.EdgesProcessed++
+	e.curResults = e.curResults[:0]
+	e.curEdge = de.ID
+	if e.tree != nil && e.cfg.MaxWorkPerEdge > 0 {
+		e.budget.Remaining = e.cfg.MaxWorkPerEdge
+		e.tree.Budget = &e.budget
+	}
+
+	switch e.cfg.Strategy {
+	case StrategyVF2:
+		e.processVF2(de)
+	case StrategyIncIso:
+		e.processIncIso(de)
+	default:
+		e.processTree(de)
+	}
+	out := make([]iso.Match, len(e.curResults))
+	copy(out, e.curResults)
+	e.stats.CompleteMatches += int64(len(out))
+	return out
+}
+
+// Run drains a stream source through the engine, invoking onMatch for
+// every complete match (may be nil). It returns the total number of
+// matches.
+func (e *Engine) Run(src stream.Source, onMatch func(stream.Edge, iso.Match)) (int64, error) {
+	var total int64
+	for {
+		se, err := src.Next()
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+		for _, m := range e.ProcessEdge(se) {
+			total++
+			if onMatch != nil {
+				onMatch(se, m)
+			}
+		}
+	}
+}
+
+// processVF2 is the non-incremental baseline: re-run full subgraph
+// isomorphism over the current windowed graph and report the matches
+// that include the newest edge (exactly the incremental delta).
+func (e *Engine) processVF2(de graph.Edge) {
+	for _, m := range e.matcher.FindAll(e.allEdges) {
+		if m.HasEdge(de.ID) {
+			e.curResults = append(e.curResults, m)
+		}
+	}
+}
+
+// processIncIso anchors a full-query search at the new edge.
+func (e *Engine) processIncIso(de graph.Edge) {
+	e.curResults = append(e.curResults, e.matcher.FindAroundEdge(e.allEdges, de)...)
+}
+
+// processTree is Algorithms 1 and 3: search the SJ-Tree leaves around
+// the new edge, lazily when enabled, and cascade joins.
+//
+// One refinement over the paper's Algorithm 3: for a multi-edge leaf,
+// a match containing the new edge can touch an enabled vertex that is
+// not an endpoint of the new edge itself (the 2-edge leaf's third
+// vertex). Algorithm 3's DISABLED(u) AND DISABLED(v) skip would miss
+// such matches forever — the retrospective repair cannot find them
+// because the edge had not arrived when the vertex was enabled. When
+// both endpoints are disabled we therefore still run the (cheap,
+// type-gated) anchored search but keep only matches that touch an
+// enabled vertex; everything else remains lazy.
+func (e *Engine) processTree(de graph.Edge) {
+	for l := 0; l < e.tree.NumLeaves(); l++ {
+		requireTouch := false
+		if e.lazy {
+			e.drainRetro(l, de.ID)
+			if l > 0 && !e.enabled(de.Src, l) && !e.enabled(de.Dst, l) {
+				if len(e.tree.LeafEdges(l)) == 1 {
+					// A 1-edge leaf match has no vertices beyond u, v.
+					continue
+				}
+				requireTouch = true
+			}
+		}
+		e.stats.LeafSearches++
+		matches := e.matcher.FindAroundEdge(e.tree.LeafEdges(l), de)
+		e.stats.LeafMatches += int64(len(matches))
+		for _, m := range matches {
+			if requireTouch && !e.touchesEnabled(m, l) {
+				continue
+			}
+			e.insert(l, m)
+		}
+	}
+}
+
+// touchesEnabled reports whether any bound vertex of m has leaf l's
+// search enabled.
+func (e *Engine) touchesEnabled(m iso.Match, l int) bool {
+	for _, dv := range m.VertexOf {
+		if dv != graph.NoVertex && e.enabled(dv, l) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) insert(leaf int, m iso.Match) {
+	e.tree.Insert(leaf, m,
+		func(cm iso.Match) { e.curResults = append(e.curResults, cm) },
+		e.onStored)
+}
+
+// onStored implements ENABLE-SEARCH-SIBLING: a match stored at a node
+// with a NextLeaf enables that leaf's search for all of the match's
+// vertices, queueing a retrospective search per newly enabled vertex.
+func (e *Engine) onStored(n *sjtree.Node, m iso.Match) {
+	if !e.lazy || n.NextLeaf < 0 {
+		return
+	}
+	bit := uint64(1) << uint(n.NextLeaf)
+	for _, dv := range m.VertexOf {
+		if dv == graph.NoVertex {
+			continue
+		}
+		if e.bits[dv]&bit != 0 {
+			continue
+		}
+		e.bits[dv] |= bit
+		e.pending[n.NextLeaf] = append(e.pending[n.NextLeaf], retroItem{v: dv})
+	}
+}
+
+// drainRetro performs the queued retrospective searches for leaf l:
+// matches formed purely from edges that arrived before the current one
+// (the current edge's matches are found by the anchored pass). Batch
+// deduplication suppresses the same embedding reached from two anchor
+// vertices; the tree's Dedup flag suppresses cross-event repeats.
+func (e *Engine) drainRetro(l int, exclude graph.EdgeID) {
+	items := e.pending[l]
+	if len(items) == 0 {
+		return
+	}
+	e.pending[l] = nil
+	sub := e.tree.LeafEdges(l)
+	seen := make(map[string]bool)
+	for _, it := range items {
+		e.stats.RetroSearches++
+		for _, m := range e.matcher.FindAroundVertex(sub, it.v) {
+			if m.HasEdge(exclude) {
+				continue
+			}
+			sig := matchSignature(m, sub)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			e.stats.RetroMatches++
+			e.insert(l, m)
+		}
+	}
+}
+
+func matchSignature(m iso.Match, sub []int) string {
+	buf := make([]byte, 0, 4*len(sub))
+	for _, qe := range sub {
+		id := uint32(m.EdgeOf[qe])
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(buf)
+}
+
+func (e *Engine) enabled(v graph.VertexID, leaf int) bool {
+	return e.bits[v]&(uint64(1)<<uint(leaf)) != 0
+}
+
+// maybeEvict performs periodic window maintenance: graph edges, stored
+// partial matches and bitmap entries for isolated vertices.
+func (e *Engine) maybeEvict() {
+	if e.cfg.Window <= 0 {
+		return
+	}
+	e.sinceEvict++
+	if e.sinceEvict < e.cfg.EvictEvery {
+		return
+	}
+	e.sinceEvict = 0
+	cutoff := e.g.LastTS() - e.cfg.Window + 1
+	e.stats.GraphEvicted += int64(e.g.ExpireBefore(cutoff))
+	if e.tree != nil {
+		e.tree.ExpireBefore(cutoff)
+	}
+	if e.lazy {
+		for v := range e.bits {
+			if e.g.Degree(v) == 0 {
+				delete(e.bits, v)
+			}
+		}
+	}
+}
+
+// Explain renders a match as human-readable bindings.
+func (e *Engine) Explain(m iso.Match) string {
+	s := ""
+	for qv, dv := range m.VertexOf {
+		if dv == graph.NoVertex {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%s", e.q.Vertices[qv].Name, e.g.VertexName(dv))
+	}
+	return s
+}

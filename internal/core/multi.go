@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/stream"
+)
+
+// MultiEngine runs many registered continuous queries over one shared
+// windowed data graph: the stream is ingested once, every query's
+// SJ-Tree searches around each new edge, and eviction maintains the
+// shared graph plus each query's partial-match tables. This is the
+// deployment mode the paper's introduction describes — "register a
+// pattern as a graph query and continuously perform the query on the
+// data graph as it evolves".
+type MultiEngine struct {
+	g      *graph.Graph
+	window int64
+
+	queries map[string]*Engine
+	order   []string // registration order for deterministic dispatch
+
+	stats      *selectivity.Collector // shared rolling statistics
+	evictEvery int
+	sinceEvict int
+	edgesSeen  int64
+}
+
+// MultiConfig parameterizes a MultiEngine.
+type MultiConfig struct {
+	// Window is tW, shared by every registered query.
+	Window int64
+	// EvictEvery controls eviction frequency (default 256 edges).
+	EvictEvery int
+}
+
+// NamedMatch pairs a complete match with the query that produced it.
+type NamedMatch struct {
+	Query string
+	Match iso.Match
+}
+
+// NewMulti returns an empty multi-query engine.
+func NewMulti(cfg MultiConfig) *MultiEngine {
+	if cfg.EvictEvery <= 0 {
+		cfg.EvictEvery = 256
+	}
+	return &MultiEngine{
+		g:          graph.New(),
+		window:     cfg.Window,
+		queries:    make(map[string]*Engine),
+		stats:      selectivity.NewCollector(),
+		evictEvery: cfg.EvictEvery,
+	}
+}
+
+// Graph exposes the shared data graph (read-only use).
+func (m *MultiEngine) Graph() *graph.Graph { return m.g }
+
+// Statistics exposes the shared rolling statistics collector, fed by
+// every processed edge; it drives the decomposition of queries
+// registered later in the stream.
+func (m *MultiEngine) Statistics() *selectivity.Collector { return m.stats }
+
+// Register adds a continuous query under a unique name. The query is
+// decomposed using the statistics observed so far (or Config.Stats /
+// Config.Leaves when provided in cfg). The engine's graph and window
+// are overridden to the shared ones.
+func (m *MultiEngine) Register(name string, q *query.Graph, cfg Config) error {
+	if _, dup := m.queries[name]; dup {
+		return fmt.Errorf("core: query %q already registered", name)
+	}
+	cfg.Window = m.window
+	if cfg.Stats == nil {
+		cfg.Stats = m.stats
+	}
+	eng, err := New(q, cfg)
+	if err != nil {
+		return err
+	}
+	// Rebind the engine to the shared graph. Existing edges are not
+	// retroactively searched: a freshly registered query sees matches
+	// whose last edge arrives after registration, plus anything its
+	// lazy repair reaches in the existing neighborhood.
+	eng.g = m.g
+	eng.matcher = iso.NewMatcher(m.g, q)
+	eng.matcher.Window = cfg.Window
+	eng.matcher.MaxMatches = cfg.MaxMatchesPerSearch
+	eng.matcher.MaxStepsPerSearch = cfg.MaxStepsPerSearch
+	eng.external = true
+	m.queries[name] = eng
+	m.order = append(m.order, name)
+	return nil
+}
+
+// RegisterWithBackfill registers a query and then replays every live
+// edge of the shared graph through it, so patterns that already
+// partially (or fully) exist are tracked immediately. It returns the
+// complete matches found among the existing edges. The SJ-Tree's
+// insert path is arrival-order-robust, so arena replay order is
+// sufficient. Cost is O(live edges).
+func (m *MultiEngine) RegisterWithBackfill(name string, q *query.Graph, cfg Config) ([]iso.Match, error) {
+	if err := m.Register(name, q, cfg); err != nil {
+		return nil, err
+	}
+	eng := m.queries[name]
+	var initial []iso.Match
+	m.g.EachEdge(func(de graph.Edge) bool {
+		initial = append(initial, eng.processShared(de)...)
+		return true
+	})
+	return initial, nil
+}
+
+// Unregister removes a query and its partial-match state.
+func (m *MultiEngine) Unregister(name string) {
+	if _, ok := m.queries[name]; !ok {
+		return
+	}
+	delete(m.queries, name)
+	for i, n := range m.order {
+		if n == name {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Registered returns the registered query names in registration order.
+func (m *MultiEngine) Registered() []string {
+	return append([]string(nil), m.order...)
+}
+
+// QueryEngine returns the per-query engine (for stats inspection).
+func (m *MultiEngine) QueryEngine(name string) *Engine { return m.queries[name] }
+
+// ingest adds one stream edge to the shared graph, updates the rolling
+// statistics and runs eviction, returning the materialized edge.
+func (m *MultiEngine) ingest(se stream.Edge) graph.Edge {
+	m.edgesSeen++
+	m.stats.Add(se)
+	src := m.g.EnsureVertex(se.Src, se.SrcLabel)
+	dst := m.g.EnsureVertex(se.Dst, se.DstLabel)
+	eid := m.g.AddEdge(src, dst, graph.TypeID(m.g.Types().Intern(se.Type)), se.TS)
+	de, _ := m.g.Edge(eid)
+	m.maybeEvict()
+	return de
+}
+
+// ProcessEdge ingests one stream edge into the shared graph and runs
+// every registered query's incremental search around it.
+func (m *MultiEngine) ProcessEdge(se stream.Edge) []NamedMatch {
+	de := m.ingest(se)
+	var out []NamedMatch
+	for _, name := range m.order {
+		eng := m.queries[name]
+		for _, mt := range eng.processShared(de) {
+			out = append(out, NamedMatch{Query: name, Match: mt})
+		}
+	}
+	return out
+}
+
+func (m *MultiEngine) maybeEvict() {
+	if m.window <= 0 {
+		return
+	}
+	m.sinceEvict++
+	if m.sinceEvict < m.evictEvery {
+		return
+	}
+	m.sinceEvict = 0
+	cutoff := m.g.LastTS() - m.window + 1
+	m.g.ExpireBefore(cutoff)
+	for _, eng := range m.queries {
+		if eng.tree != nil {
+			eng.tree.ExpireBefore(cutoff)
+		}
+		if eng.lazy {
+			for v := range eng.bits {
+				if m.g.Degree(v) == 0 {
+					delete(eng.bits, v)
+				}
+			}
+		}
+	}
+}
+
+// MultiStats summarizes the shared engine state.
+type MultiStats struct {
+	EdgesProcessed int64
+	Queries        int
+	PartialMatches int64 // across all queries
+}
+
+// Stats returns a snapshot of shared counters.
+func (m *MultiEngine) Stats() MultiStats {
+	st := MultiStats{EdgesProcessed: m.edgesSeen, Queries: len(m.queries)}
+	for _, eng := range m.queries {
+		if eng.tree != nil {
+			st.PartialMatches += eng.tree.Stats().Stored
+		}
+	}
+	return st
+}
+
+// TopQueriesByStored returns query names ordered by live partial-match
+// count, heaviest first — an operator view of memory pressure.
+func (m *MultiEngine) TopQueriesByStored() []string {
+	names := append([]string(nil), m.order...)
+	sort.Slice(names, func(i, j int) bool {
+		si, sj := int64(0), int64(0)
+		if t := m.queries[names[i]].tree; t != nil {
+			si = t.Stats().Stored
+		}
+		if t := m.queries[names[j]].tree; t != nil {
+			sj = t.Stats().Stored
+		}
+		if si != sj {
+			return si > sj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

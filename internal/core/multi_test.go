@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"streamgraph/internal/query"
+	"streamgraph/internal/stream"
+)
+
+func TestMultiEngineTwoQueries(t *testing.T) {
+	m := NewMulti(MultiConfig{Window: 1000})
+	qa := query.NewPath(query.Wildcard, "rdp", "ftp")
+	qb := query.NewPath(query.Wildcard, "syn")
+
+	// Warm the shared statistics so decomposition has data.
+	for i, tp := range []string{"rdp", "ftp", "syn", "http", "http"} {
+		m.Statistics().Add(edge(fmt.Sprintf("w%d", i), fmt.Sprintf("w%d", i+100), tp, int64(i+1)))
+	}
+	if err := m.Register("lateral", qa, Config{Strategy: StrategySingleLazy}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("flood", qb, Config{Strategy: StrategySingle}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("lateral", qa, Config{Strategy: StrategySingle}); err == nil {
+		t.Fatalf("duplicate registration accepted")
+	}
+	if got := m.Registered(); len(got) != 2 || got[0] != "lateral" {
+		t.Fatalf("Registered = %v", got)
+	}
+
+	edges := []stream.Edge{
+		edge("a", "b", "rdp", 10),
+		edge("b", "c", "ftp", 11),
+		edge("x", "y", "syn", 12),
+	}
+	byQuery := map[string]int{}
+	for _, se := range edges {
+		for _, nm := range m.ProcessEdge(se) {
+			byQuery[nm.Query]++
+		}
+	}
+	if byQuery["lateral"] != 1 {
+		t.Errorf("lateral matches = %d, want 1", byQuery["lateral"])
+	}
+	if byQuery["flood"] != 1 {
+		t.Errorf("flood matches = %d, want 1", byQuery["flood"])
+	}
+	st := m.Stats()
+	if st.EdgesProcessed != 3 || st.Queries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if m.Graph().NumEdges() != 3 {
+		t.Errorf("shared graph edges = %d", m.Graph().NumEdges())
+	}
+}
+
+func TestMultiEngineMatchesSingleEngines(t *testing.T) {
+	// Each query through the MultiEngine reports exactly the matches a
+	// standalone engine reports on the same stream.
+	edges := []stream.Edge{
+		edge("a", "b", "x", 1),
+		edge("b", "c", "y", 2),
+		edge("c", "d", "x", 3),
+		edge("d", "e", "y", 4),
+		edge("a", "e", "z", 5),
+	}
+	stats := collect(edges)
+	q1 := query.NewPath(query.Wildcard, "x", "y")
+	q2 := query.NewPath(query.Wildcard, "z")
+
+	solo1 := runStrategy(t, q1, edges, StrategyPathLazy, 0, stats)
+	solo2 := runStrategy(t, q2, edges, StrategySingle, 0, stats)
+
+	m := NewMulti(MultiConfig{})
+	if err := m.Register("p", q1, Config{Strategy: StrategyPathLazy, Stats: stats}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("z", q2, Config{Strategy: StrategySingle, Stats: stats}); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, se := range edges {
+		for _, nm := range m.ProcessEdge(se) {
+			counts[nm.Query]++
+		}
+	}
+	if counts["p"] != len(solo1) {
+		t.Errorf("multi p = %d, solo = %d", counts["p"], len(solo1))
+	}
+	if counts["z"] != len(solo2) {
+		t.Errorf("multi z = %d, solo = %d", counts["z"], len(solo2))
+	}
+}
+
+func TestMultiEngineUnregister(t *testing.T) {
+	m := NewMulti(MultiConfig{})
+	q := query.NewPath(query.Wildcard, "t")
+	stats := collect([]stream.Edge{edge("a", "b", "t", 1)})
+	if err := m.Register("q", q, Config{Strategy: StrategySingle, Stats: stats}); err != nil {
+		t.Fatal(err)
+	}
+	m.Unregister("q")
+	m.Unregister("missing") // no-op
+	if got := m.ProcessEdge(edge("a", "b", "t", 2)); len(got) != 0 {
+		t.Fatalf("unregistered query still matching: %v", got)
+	}
+	if len(m.Registered()) != 0 {
+		t.Fatalf("Registered = %v", m.Registered())
+	}
+}
+
+func TestMultiEngineLateRegistration(t *testing.T) {
+	// Plain registration starts from the registration point: a pattern
+	// whose prefix predates it is missed by tree strategies.
+	m := NewMulti(MultiConfig{Window: 1000})
+	m.ProcessEdge(edge("a", "b", "x", 1)) // before registration
+	q := query.NewPath(query.Wildcard, "x", "y")
+	if err := m.Register("late", q, Config{Strategy: StrategySingle}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ProcessEdge(edge("b", "c", "y", 2)); len(got) != 0 {
+		t.Fatalf("plain Register should not see pre-registration prefixes, got %d", len(got))
+	}
+
+	// Backfill replays the live graph: the same scenario now matches.
+	m2 := NewMulti(MultiConfig{Window: 1000})
+	m2.ProcessEdge(edge("a", "b", "x", 1))
+	initial, err := m2.RegisterWithBackfill("late", q, Config{Strategy: StrategySingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(initial) != 0 {
+		t.Fatalf("no complete match exists yet, initial = %d", len(initial))
+	}
+	if got := m2.ProcessEdge(edge("b", "c", "y", 2)); len(got) != 1 {
+		t.Fatalf("backfilled query found %d matches, want 1", len(got))
+	}
+
+	// Backfill also reports matches already complete in the graph.
+	m3 := NewMulti(MultiConfig{Window: 1000})
+	m3.ProcessEdge(edge("a", "b", "x", 1))
+	m3.ProcessEdge(edge("b", "c", "y", 2))
+	initial, err = m3.RegisterWithBackfill("late", q, Config{Strategy: StrategySingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(initial) != 1 {
+		t.Fatalf("backfill found %d complete matches, want 1", len(initial))
+	}
+}
+
+func TestMultiEngineEviction(t *testing.T) {
+	m := NewMulti(MultiConfig{Window: 10, EvictEvery: 1})
+	q := query.NewPath(query.Wildcard, "t", "t")
+	stats := collect([]stream.Edge{edge("a", "b", "t", 1), edge("b", "c", "t", 2)})
+	if err := m.Register("q", q, Config{Strategy: StrategySingleLazy, Stats: stats}); err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(1); ts <= 200; ts++ {
+		m.ProcessEdge(edge(fmt.Sprintf("v%d", ts), fmt.Sprintf("v%d", ts+1), "t", ts))
+	}
+	if n := m.Graph().NumEdges(); n > 15 {
+		t.Errorf("shared graph holds %d edges with window 10", n)
+	}
+	if st := m.Stats(); st.PartialMatches > 30 {
+		t.Errorf("partials = %d with window 10", st.PartialMatches)
+	}
+	if tops := m.TopQueriesByStored(); len(tops) != 1 || tops[0] != "q" {
+		t.Errorf("TopQueriesByStored = %v", tops)
+	}
+}

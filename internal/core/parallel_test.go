@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"streamgraph/internal/datagen"
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/stream"
+)
+
+func parallelTestQueries(t *testing.T) map[string]*query.Graph {
+	t.Helper()
+	out := map[string]*query.Graph{}
+	for name, text := range map[string]string{
+		"exfil":  "e a b TCP\ne b c UDP",
+		"tunnel": "e a b GRE\ne b c TCP",
+		"probe":  "e a b ICMP\ne b c ICMP\ne c d TCP",
+		"chain":  "e a b ESP\ne b c TCP",
+	} {
+		q, err := query.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = q
+	}
+	return out
+}
+
+func nmSig(m *MultiEngine, nm NamedMatch) string {
+	g := m.Graph()
+	s := nm.Query + "|"
+	for qe, de := range nm.Match.EdgeOf {
+		e, ok := g.Edge(de)
+		if !ok {
+			continue
+		}
+		s += fmt.Sprintf("%d:%s>%s@%d;", qe, g.VertexName(e.Src), g.VertexName(e.Dst), e.TS)
+	}
+	return s
+}
+
+func pmSig(p *ParallelMulti, nm NamedMatch) string {
+	g := p.Graph()
+	s := nm.Query + "|"
+	for qe, de := range nm.Match.EdgeOf {
+		e, ok := g.Edge(de)
+		if !ok {
+			continue
+		}
+		s += fmt.Sprintf("%d:%s>%s@%d;", qe, g.VertexName(e.Src), g.VertexName(e.Dst), e.TS)
+	}
+	return s
+}
+
+func TestParallelMatchesSerialMulti(t *testing.T) {
+	edges := datagen.Netflow(datagen.NetflowConfig{Edges: 3000, Hosts: 80, Seed: 13})
+	c := selectivity.NewCollector()
+	c.AddAll(edges)
+	queries := parallelTestQueries(t)
+
+	for _, strat := range []Strategy{StrategySingleLazy, StrategyPathLazy} {
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%v/w%d", strat, workers), func(t *testing.T) {
+				serial := NewMulti(MultiConfig{Window: 600, EvictEvery: 16})
+				par := NewParallelMulti(MultiConfig{Window: 600, EvictEvery: 16}, workers)
+				defer par.Close()
+				for name, q := range queries {
+					if err := serial.Register(name, q, Config{Strategy: strat, Stats: c}); err != nil {
+						t.Fatal(err)
+					}
+					if err := par.Register(name, q, Config{Strategy: strat, Stats: c}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want := map[string]bool{}
+				got := map[string]bool{}
+				for _, e := range edges {
+					for _, nm := range serial.ProcessEdge(e) {
+						want[nmSig(serial, nm)] = true
+					}
+					for _, nm := range par.ProcessEdge(e) {
+						got[pmSig(par, nm)] = true
+					}
+				}
+				if len(want) == 0 {
+					t.Fatal("test stream produced no matches; weak test")
+				}
+				if len(got) != len(want) {
+					t.Fatalf("parallel found %d matches, serial %d", len(got), len(want))
+				}
+				for s := range want {
+					if !got[s] {
+						t.Fatalf("parallel missing match %q", s)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestParallelDeterministicOrder(t *testing.T) {
+	edges := datagen.Netflow(datagen.NetflowConfig{Edges: 500, Hosts: 30, Seed: 7})
+	c := selectivity.NewCollector()
+	c.AddAll(edges)
+	q, _ := query.Parse("e a b TCP\ne b c UDP")
+	run := func() []string {
+		par := NewParallelMulti(MultiConfig{}, 4)
+		defer par.Close()
+		for _, name := range []string{"q1", "q2", "q3"} {
+			if err := par.Register(name, q, Config{Strategy: StrategySingleLazy, Stats: c}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var order []string
+		for _, e := range edges {
+			for _, nm := range par.ProcessEdge(e) {
+				order = append(order, pmSig(par, nm))
+			}
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output order differs at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParallelRegisterUnregister(t *testing.T) {
+	par := NewParallelMulti(MultiConfig{}, 2)
+	defer par.Close()
+	c := selectivity.NewCollector()
+	c.AddAll(datagen.Netflow(datagen.NetflowConfig{Edges: 200, Hosts: 20, Seed: 2}))
+	q, _ := query.Parse("e a b TCP")
+	if err := par.Register("one", q, Config{Strategy: StrategySingle, Stats: c}); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Register("one", q, Config{Strategy: StrategySingle, Stats: c}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := par.Register("two", q, Config{Strategy: StrategySingle, Stats: c}); err != nil {
+		t.Fatal(err)
+	}
+	par.Unregister("one")
+	if got := par.Registered(); len(got) != 1 || got[0] != "two" {
+		t.Fatalf("Registered = %v", got)
+	}
+	// Processing after unregister only reports the remaining query.
+	out := par.ProcessEdge(stream.Edge{Src: "x", Dst: "y", Type: "TCP", TS: 1})
+	for _, nm := range out {
+		if nm.Query != "two" {
+			t.Fatalf("match from unregistered query %q", nm.Query)
+		}
+	}
+	if st := par.Stats(); st.Queries != 1 {
+		t.Fatalf("Stats.Queries = %d, want 1", st.Queries)
+	}
+}
+
+func TestParallelNoQueries(t *testing.T) {
+	par := NewParallelMulti(MultiConfig{}, 3)
+	defer par.Close()
+	if out := par.ProcessEdge(stream.Edge{Src: "a", Dst: "b", Type: "TCP", TS: 1}); out != nil {
+		t.Fatalf("no queries registered but got %d matches", len(out))
+	}
+}
+
+func TestParallelRunAndFlush(t *testing.T) {
+	edges := datagen.Netflow(datagen.NetflowConfig{Edges: 800, Hosts: 40, Seed: 3})
+	c := selectivity.NewCollector()
+	c.AddAll(edges)
+	q, _ := query.Parse("e a b TCP\ne b c UDP")
+
+	serial := NewMulti(MultiConfig{})
+	if err := serial.Register("q", q, Config{Strategy: StrategyPathLazy, Stats: c}); err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := int64(0)
+	for _, e := range edges {
+		wantTotal += int64(len(serial.ProcessEdge(e)))
+	}
+
+	par := NewParallelMulti(MultiConfig{}, 2)
+	defer par.Close()
+	if err := par.Register("q", q, Config{Strategy: StrategyPathLazy, Stats: c}); err != nil {
+		t.Fatal(err)
+	}
+	total, err := par.Run(stream.NewSliceSource(edges), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total += int64(len(par.FlushAll()))
+	if total != wantTotal {
+		t.Fatalf("parallel Run found %d matches, serial %d", total, wantTotal)
+	}
+	par.Close() // double Close must be safe
+}
+
+func TestParallelCloseIdempotent(t *testing.T) {
+	par := NewParallelMulti(MultiConfig{}, 1)
+	par.Close()
+	par.Close()
+}

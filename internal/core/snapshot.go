@@ -1,0 +1,99 @@
+package core
+
+import (
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+)
+
+// This file exposes the engine-state surface the persist package needs
+// to checkpoint a continuous query and resume it in a new process:
+// configuration, the lazy bitmap, deferred retrospective work, and
+// counter restoration. The windowed graph itself is reachable through
+// Graph(), and the SJ-Tree's stored matches through Tree().EachStored.
+
+// ConfigSnapshot returns the engine's effective configuration with the
+// decomposition pinned (Leaves filled in), so that an engine rebuilt
+// from it decomposes identically without needing the original
+// statistics.
+func (e *Engine) ConfigSnapshot() Config {
+	cfg := e.cfg
+	cfg.Stats = nil
+	cfg.Adaptive = nil
+	if e.tree != nil {
+		cfg.Leaves = e.tree.LeafSets()
+	}
+	return cfg
+}
+
+// FlushPending runs every queued retrospective search now instead of on
+// the next edge arrival, returning any complete matches the deferred
+// work produces. Snapshots call it so that pending work does not need
+// to be serialized; running it early is semantically equivalent because
+// the searches only see edges that have already arrived.
+func (e *Engine) FlushPending() []iso.Match {
+	if !e.lazy || e.tree == nil {
+		return nil
+	}
+	e.curResults = e.curResults[:0]
+	for l := 0; l < e.tree.NumLeaves(); l++ {
+		e.drainRetro(l, iso.NoEdge)
+	}
+	out := make([]iso.Match, len(e.curResults))
+	copy(out, e.curResults)
+	e.stats.CompleteMatches += int64(len(out))
+	return out
+}
+
+// ForceEvict runs window eviction immediately (graph edges, stored
+// matches, dead bitmap entries), regardless of the EvictEvery cadence.
+// It returns the eviction cutoff applied (0 when windowing is off).
+func (e *Engine) ForceEvict() int64 {
+	if e.cfg.Window <= 0 {
+		return 0
+	}
+	cutoff := e.g.LastTS() - e.cfg.Window + 1
+	e.stats.GraphEvicted += int64(e.g.ExpireBefore(cutoff))
+	if e.tree != nil {
+		e.tree.ExpireBefore(cutoff)
+	}
+	if e.lazy {
+		for v := range e.bits {
+			if e.g.Degree(v) == 0 {
+				delete(e.bits, v)
+			}
+		}
+	}
+	e.sinceEvict = 0
+	return cutoff
+}
+
+// LazyBits returns a copy of the per-vertex leaf-enablement bitmap
+// (empty for non-lazy strategies).
+func (e *Engine) LazyBits() map[graph.VertexID]uint64 {
+	out := make(map[graph.VertexID]uint64, len(e.bits))
+	for v, b := range e.bits {
+		out[v] = b
+	}
+	return out
+}
+
+// RestoreLazyBits replaces the lazy bitmap (no-op for non-lazy
+// strategies). Restored bits do not queue retrospective searches: the
+// snapshot was taken after FlushPending, so that work is already done.
+func (e *Engine) RestoreLazyBits(bits map[graph.VertexID]uint64) {
+	if !e.lazy {
+		return
+	}
+	e.bits = make(map[graph.VertexID]uint64, len(bits))
+	for v, b := range bits {
+		e.bits[v] = b
+	}
+}
+
+// RestoreStats overwrites the engine's counters (tree counters restore
+// through the tree itself and are ignored here).
+func (e *Engine) RestoreStats(s Stats) {
+	tree := e.stats.Tree
+	e.stats = s
+	e.stats.Tree = tree
+}

@@ -1,0 +1,231 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+)
+
+func TestNetflowDeterministicAndShaped(t *testing.T) {
+	cfg := NetflowConfig{Seed: 1, Edges: 20000, Hosts: 500}
+	a := Netflow(cfg)
+	b := Netflow(cfg)
+	if len(a) != 20000 || len(b) != 20000 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	counts := map[string]int{}
+	lastTS := int64(0)
+	for _, e := range a {
+		counts[e.Type]++
+		if e.Src == e.Dst {
+			t.Fatalf("self loop generated")
+		}
+		if e.TS < lastTS {
+			t.Fatalf("timestamps not monotone")
+		}
+		lastTS = e.TS
+		if e.SrcLabel != "ip" || e.DstLabel != "ip" {
+			t.Fatalf("bad labels %v", e)
+		}
+	}
+	// Shape: TCP dominates, UDP second, the tunneling protocols rare.
+	if counts["TCP"] <= counts["UDP"] || counts["UDP"] <= counts["ICMP"] {
+		t.Errorf("protocol ordering violated: %v", counts)
+	}
+	if counts["AH"] >= counts["ICMP"] {
+		t.Errorf("rare protocol AH too common: %v", counts)
+	}
+	for _, p := range NetflowProtocols {
+		if counts[p] == 0 {
+			t.Errorf("protocol %s never generated", p)
+		}
+	}
+}
+
+func TestNetflowZipfHubs(t *testing.T) {
+	edges := Netflow(NetflowConfig{Seed: 2, Edges: 30000, Hosts: 2000})
+	deg := map[string]int{}
+	for _, e := range edges {
+		deg[e.Src]++
+		deg[e.Dst]++
+	}
+	max, total := 0, 0
+	for _, d := range deg {
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	// Zipf endpoints: the hottest host should carry far more than the
+	// mean degree.
+	mean := total / len(deg)
+	if max < 10*mean {
+		t.Errorf("no hub structure: max degree %d vs mean %d", max, mean)
+	}
+}
+
+func TestLSBenchPhasesAndSchema(t *testing.T) {
+	schema := LSBenchSchema()
+	if len(schema) != 45 {
+		t.Fatalf("schema has %d triples, want 45", len(schema))
+	}
+	valid := map[Triple]bool{}
+	staticTypes := map[string]bool{}
+	for i, tr := range schema {
+		valid[tr] = true
+		if i < lsbenchStatic {
+			staticTypes[tr.Type] = true
+		}
+	}
+	edges := LSBench(LSBenchConfig{Seed: 3, Users: 500, Edges: 30000})
+	if len(edges) != 30000 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	half := len(edges) / 2
+	for i, e := range edges {
+		tr := Triple{SrcLabel: e.SrcLabel, Type: e.Type, DstLabel: e.DstLabel}
+		if !valid[tr] {
+			t.Fatalf("edge %d violates schema: %+v", i, tr)
+		}
+		if i < half && !staticTypes[e.Type] {
+			t.Fatalf("activity edge %s in static phase at %d", e.Type, i)
+		}
+		if i >= half && staticTypes[e.Type] {
+			t.Fatalf("static edge %s in activity phase at %d", e.Type, i)
+		}
+	}
+	// Distribution shift: the type sets of the halves must differ.
+	c1, c2 := map[string]bool{}, map[string]bool{}
+	for i, e := range edges {
+		if i < half {
+			c1[e.Type] = true
+		} else {
+			c2[e.Type] = true
+		}
+	}
+	for tp := range c1 {
+		if c2[tp] {
+			t.Fatalf("type %s spans both phases", tp)
+		}
+	}
+}
+
+func TestNYTimesShape(t *testing.T) {
+	edges := NYTimes(NYTimesConfig{Seed: 4, Articles: 2000})
+	counts := map[string]int{}
+	for _, e := range edges {
+		counts[e.Type]++
+		if e.SrcLabel != "article" {
+			t.Fatalf("source must be an article: %v", e)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("want 4 edge types, got %v", counts)
+	}
+	if counts["article_mentions_person"] <= counts["article_mentions_geoloc"] {
+		t.Errorf("person mentions should dominate geoloc: %v", counts)
+	}
+}
+
+func TestRandomPathQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := RandomPathQuery(rng, NetflowProtocols, 4, query.Wildcard)
+	if len(q.Edges) != 4 || !q.IsPath() {
+		t.Fatalf("not a 4-path: %v", q)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBinaryTreeQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(13)
+		q := RandomBinaryTreeQuery(rng, NetflowProtocols, n, query.Wildcard)
+		if len(q.Vertices) != n || len(q.Edges) != n-1 {
+			t.Fatalf("tree size wrong: %d vertices %d edges, want %d/%d", len(q.Vertices), len(q.Edges), n, n-1)
+		}
+		if !q.IsTree() {
+			t.Fatalf("not a tree: %v", q)
+		}
+		// Out-degree (children) at most 2.
+		kids := map[int]int{}
+		for _, e := range q.Edges {
+			kids[e.Src]++
+			if kids[e.Src] > 2 {
+				t.Fatalf("vertex %d has %d children", e.Src, kids[e.Src])
+			}
+		}
+	}
+}
+
+func TestRandomSchemaTreeQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	schema := LSBenchSchema()
+	valid := map[Triple]bool{}
+	for _, tr := range schema {
+		valid[tr] = true
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		q := RandomSchemaTreeQuery(rng, schema, n)
+		if len(q.Edges) != n {
+			t.Fatalf("want %d edges, got %d", n, len(q.Edges))
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !q.IsTree() {
+			t.Fatalf("not a tree: %v", q)
+		}
+		for _, e := range q.Edges {
+			tr := Triple{SrcLabel: q.Vertices[e.Src].Label, Type: e.Type, DstLabel: q.Vertices[e.Dst].Label}
+			if !valid[tr] {
+				t.Fatalf("edge violates schema: %+v", tr)
+			}
+		}
+	}
+}
+
+func TestGenerateFilteredQueries(t *testing.T) {
+	edges := Netflow(NetflowConfig{Seed: 8, Edges: 20000, Hosts: 300})
+	c := selectivity.NewCollector()
+	c.AddAll(edges)
+	rng := rand.New(rand.NewSource(9))
+	qs := GeneratePathQueries(rng, NetflowProtocols, 3, 10, c)
+	if len(qs) == 0 {
+		t.Fatalf("no queries survived the seen-path filter")
+	}
+	for _, q := range qs {
+		if !AllQueryPathsSeen(q, c) {
+			t.Fatalf("unfiltered query slipped through")
+		}
+	}
+}
+
+func TestSampleByExpectedSelectivity(t *testing.T) {
+	edges := Netflow(NetflowConfig{Seed: 10, Edges: 20000, Hosts: 300})
+	c := selectivity.NewCollector()
+	c.AddAll(edges)
+	rng := rand.New(rand.NewSource(11))
+	qs := GeneratePathQueries(rng, NetflowProtocols, 3, 30, c)
+	if len(qs) < 10 {
+		t.Skipf("only %d queries generated", len(qs))
+	}
+	sampled := SampleByExpectedSelectivity(qs, c, 5)
+	if len(sampled) != 5 {
+		t.Fatalf("sampled %d, want 5", len(sampled))
+	}
+	// Small inputs pass through unchanged.
+	if got := SampleByExpectedSelectivity(qs[:3], c, 5); len(got) != 3 {
+		t.Fatalf("small set should pass through, got %d", len(got))
+	}
+}

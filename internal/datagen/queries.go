@@ -1,0 +1,344 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+)
+
+// RandomPathQuery builds a directed path query of the given length with
+// all vertex labels set to label (use query.Wildcard for the unlabeled
+// queries of Section 6.2) and edge types drawn uniformly from types.
+func RandomPathQuery(rng *rand.Rand, types []string, length int, label string) *query.Graph {
+	qt := make([]string, length)
+	for i := range qt {
+		qt[i] = types[rng.Intn(len(types))]
+	}
+	return query.NewPath(label, qt...)
+}
+
+// RandomBinaryTreeQuery builds a rooted tree query with nVertices
+// vertices where every vertex has at most two children (the binary-tree
+// test generation of Sun et al. used for the netflow experiments).
+// Edges point from parent to child; types are uniform over types.
+func RandomBinaryTreeQuery(rng *rand.Rand, types []string, nVertices int, label string) *query.Graph {
+	q := &query.Graph{}
+	q.AddVertex("v0", label)
+	children := make([]int, 1) // children count per vertex
+	for i := 1; i < nVertices; i++ {
+		// Candidate parents: vertices with < 2 children.
+		var cands []int
+		for v, c := range children {
+			if c < 2 {
+				cands = append(cands, v)
+			}
+		}
+		parent := cands[rng.Intn(len(cands))]
+		nv := q.AddVertex(fmt.Sprintf("v%d", i), label)
+		children = append(children, 0)
+		children[parent]++
+		q.AddEdge(parent, nv, types[rng.Intn(len(types))])
+	}
+	return q
+}
+
+// RandomSchemaPathQuery builds a path query whose every edge conforms
+// to the schema: starting from a random triple, the path is extended at
+// its tip with a compatible triple (either direction), so consecutive
+// edges always share a legally-labeled vertex. Vertices carry their
+// schema labels, as in the paper's LSBench query generation.
+func RandomSchemaPathQuery(rng *rand.Rand, schema []Triple, length int) *query.Graph {
+	q := &query.Graph{}
+	t0 := schema[rng.Intn(len(schema))]
+	s := q.AddVertex("v0", t0.SrcLabel)
+	d := q.AddVertex("v1", t0.DstLabel)
+	q.AddEdge(s, d, t0.Type)
+	tip := d
+	for len(q.Edges) < length {
+		label := q.Vertices[tip].Label
+		var out, in []Triple
+		for _, tr := range schema {
+			if tr.SrcLabel == label {
+				out = append(out, tr)
+			}
+			if tr.DstLabel == label {
+				in = append(in, tr)
+			}
+		}
+		if len(out)+len(in) == 0 {
+			// Dead-end label: restart from the other end once, else
+			// accept the shorter path (caller filters by validity).
+			break
+		}
+		k := rng.Intn(len(out) + len(in))
+		nv := q.AddVertex(fmt.Sprintf("v%d", len(q.Vertices)), "")
+		if k < len(out) {
+			tr := out[k]
+			q.Vertices[nv].Label = tr.DstLabel
+			q.AddEdge(tip, nv, tr.Type)
+		} else {
+			tr := in[k-len(out)]
+			q.Vertices[nv].Label = tr.SrcLabel
+			q.AddEdge(nv, tip, tr.Type)
+		}
+		tip = nv
+	}
+	return q
+}
+
+// GenerateSchemaPathQueries produces count schema-conforming path
+// queries of exactly the given length whose 2-edge paths are all
+// observed.
+func GenerateSchemaPathQueries(rng *rand.Rand, schema []Triple, length, count int, c *selectivity.Collector) []*query.Graph {
+	var out []*query.Graph
+	for attempts := 0; len(out) < count && attempts < count*200; attempts++ {
+		q := RandomSchemaPathQuery(rng, schema, length)
+		if len(q.Edges) != length {
+			continue // dead-ended before reaching the requested length
+		}
+		if c != nil && !AllQueryPathsSeen(q, c) {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// RandomSchemaTreeQuery grows an n-ary tree query from schema triples,
+// mirroring the paper's LSBench query generation: start from a random
+// valid triple, then iteratively attach valid new edges at any existing
+// vertex whose label admits a compatible triple. Vertices carry their
+// schema labels.
+func RandomSchemaTreeQuery(rng *rand.Rand, schema []Triple, nEdges int) *query.Graph {
+	q := &query.Graph{}
+	t0 := schema[rng.Intn(len(schema))]
+	s := q.AddVertex("v0", t0.SrcLabel)
+	d := q.AddVertex("v1", t0.DstLabel)
+	q.AddEdge(s, d, t0.Type)
+
+	for len(q.Edges) < nEdges {
+		// Pick a random existing vertex and a random compatible triple.
+		v := rng.Intn(len(q.Vertices))
+		label := q.Vertices[v].Label
+		var out, in []Triple
+		for _, tr := range schema {
+			if tr.SrcLabel == label {
+				out = append(out, tr)
+			}
+			if tr.DstLabel == label {
+				in = append(in, tr)
+			}
+		}
+		if len(out)+len(in) == 0 {
+			continue
+		}
+		k := rng.Intn(len(out) + len(in))
+		nv := q.AddVertex(fmt.Sprintf("v%d", len(q.Vertices)), "")
+		if k < len(out) {
+			tr := out[k]
+			q.Vertices[nv].Label = tr.DstLabel
+			q.AddEdge(v, nv, tr.Type)
+		} else {
+			tr := in[k-len(out)]
+			q.Vertices[nv].Label = tr.SrcLabel
+			q.AddEdge(nv, v, tr.Type)
+		}
+	}
+	return q
+}
+
+// AllQueryPathsSeen reports whether every 2-edge path of the query was
+// observed in the collected statistics — the Section 6.4 filter that
+// drops queries made artificially discriminative by an unseen path
+// combination.
+func AllQueryPathsSeen(q *query.Graph, c *selectivity.Collector) bool {
+	for i := range q.Edges {
+		for j := i + 1; j < len(q.Edges); j++ {
+			if !sharesOneVertex(q.Edges[i], q.Edges[j]) {
+				continue
+			}
+			if !c.LeafSeen(q, []int{i, j}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sharesOneVertex(a, b query.Edge) bool {
+	n := 0
+	for _, v := range []int{a.Src, a.Dst} {
+		if v == b.Src || v == b.Dst {
+			n++
+		}
+	}
+	return n == 1
+}
+
+// GeneratePathQueries produces count random path queries of the given
+// length whose 2-edge paths are all observed, giving up after a bounded
+// number of attempts per query.
+func GeneratePathQueries(rng *rand.Rand, types []string, length, count int, c *selectivity.Collector) []*query.Graph {
+	return generateFiltered(rng, count, c, func() *query.Graph {
+		return RandomPathQuery(rng, types, length, query.Wildcard)
+	})
+}
+
+// GenerateBinaryTreeQueries produces count random binary tree queries
+// with nVertices vertices whose 2-edge paths are all observed.
+func GenerateBinaryTreeQueries(rng *rand.Rand, types []string, nVertices, count int, c *selectivity.Collector) []*query.Graph {
+	return generateFiltered(rng, count, c, func() *query.Graph {
+		return RandomBinaryTreeQuery(rng, types, nVertices, query.Wildcard)
+	})
+}
+
+// GenerateSchemaTreeQueries produces count schema-conforming tree
+// queries with nEdges edges whose 2-edge paths are all observed.
+func GenerateSchemaTreeQueries(rng *rand.Rand, schema []Triple, nEdges, count int, c *selectivity.Collector) []*query.Graph {
+	return generateFiltered(rng, count, c, func() *query.Graph {
+		return RandomSchemaTreeQuery(rng, schema, nEdges)
+	})
+}
+
+func generateFiltered(rng *rand.Rand, count int, c *selectivity.Collector, gen func() *query.Graph) []*query.Graph {
+	var out []*query.Graph
+	for attempts := 0; len(out) < count && attempts < count*200; attempts++ {
+		q := gen()
+		if c != nil && !AllQueryPathsSeen(q, c) {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// MedianExpectedSelectivity returns the median Ŝ (under the greedy
+// pair decomposition) of a query pool, or 1 for an empty/unscorable
+// pool.
+func MedianExpectedSelectivity(queries []*query.Graph, c *selectivity.Collector) float64 {
+	var vals []float64
+	for _, q := range queries {
+		s, err := c.ExpectedSelectivity(q, pairLeaves(q))
+		if err != nil || s <= 0 {
+			continue
+		}
+		vals = append(vals, s)
+	}
+	if len(vals) == 0 {
+		return 1
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}
+
+// FilterByMaxExpectedSelectivity drops queries whose Expected
+// Selectivity under the greedy pair decomposition exceeds maxS. The
+// paper's evaluated query samples are overwhelmingly selective (its
+// Figure 10 netflow/LSBench samples span ξ ∈ [1e-10, 1e-4]); queries
+// composed only of top-frequency primitives have combinatorially
+// exploding match sets that no strategy — including the paper's — can
+// track at interactive timescales.
+func FilterByMaxExpectedSelectivity(queries []*query.Graph, c *selectivity.Collector, maxS float64) []*query.Graph {
+	var out []*query.Graph
+	for _, q := range queries {
+		s, err := c.ExpectedSelectivity(q, pairLeaves(q))
+		if err != nil || s > maxS {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// SampleByExpectedSelectivity reduces a query set to k queries that
+// cover the observed Expected Selectivity range near-uniformly in log
+// space (Section 6.4's final sampling step). Sampling log-uniformly
+// over Ŝ matches the paper's effective query mix: their Figure 10
+// netflow sample spans ξ ∈ [1e-10, 1e-4], i.e. overwhelmingly
+// selective queries, which rank-uniform sampling over a random pool
+// would not reproduce (the pool is dominated by frequent-type
+// combinations).
+func SampleByExpectedSelectivity(queries []*query.Graph, c *selectivity.Collector, k int) []*query.Graph {
+	if len(queries) <= k {
+		return queries
+	}
+	type scored struct {
+		q *query.Graph
+		s float64 // log10 Ŝ
+	}
+	var sc []scored
+	for _, q := range queries {
+		leaves := pairLeaves(q)
+		s, err := c.ExpectedSelectivity(q, leaves)
+		if err != nil || s <= 0 {
+			continue
+		}
+		sc = append(sc, scored{q, math.Log10(s)})
+	}
+	if len(sc) == 0 {
+		return nil
+	}
+	sort.Slice(sc, func(i, j int) bool { return sc[i].s < sc[j].s })
+	if len(sc) <= k {
+		out := make([]*query.Graph, len(sc))
+		for i, s := range sc {
+			out[i] = s.q
+		}
+		return out
+	}
+	lo, hi := sc[0].s, sc[len(sc)-1].s
+	out := make([]*query.Graph, 0, k)
+	used := make(map[int]bool)
+	for i := 0; i < k; i++ {
+		target := lo
+		if k > 1 {
+			target = lo + (hi-lo)*float64(i)/float64(k-1)
+		}
+		// Closest unused query to the target log-selectivity.
+		best, bestDist := -1, math.Inf(1)
+		for j, s := range sc {
+			if used[j] {
+				continue
+			}
+			if d := math.Abs(s.s - target); d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			out = append(out, sc[best].q)
+		}
+	}
+	return out
+}
+
+// pairLeaves greedily covers the query with adjacent edge pairs plus
+// leftover singles; used only for scoring.
+func pairLeaves(q *query.Graph) [][]int {
+	used := make([]bool, len(q.Edges))
+	var leaves [][]int
+	for i := range q.Edges {
+		if used[i] {
+			continue
+		}
+		paired := false
+		for j := i + 1; j < len(q.Edges); j++ {
+			if used[j] || !sharesOneVertex(q.Edges[i], q.Edges[j]) {
+				continue
+			}
+			leaves = append(leaves, []int{i, j})
+			used[i], used[j] = true, true
+			paired = true
+			break
+		}
+		if !paired {
+			leaves = append(leaves, []int{i})
+			used[i] = true
+		}
+	}
+	return leaves
+}

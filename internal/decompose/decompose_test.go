@@ -1,0 +1,237 @@
+package decompose
+
+import (
+	"reflect"
+	"testing"
+
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/stream"
+)
+
+// trainedCollector returns statistics where rare < mid < common in
+// 1-edge frequency, and the (rare,mid) 2-edge path is the rarest pair.
+func trainedCollector() *selectivity.Collector {
+	c := selectivity.NewCollector()
+	add := func(src, dst, t string, ts int64) {
+		c.Add(stream.Edge{Src: src, SrcLabel: "ip", Dst: dst, DstLabel: "ip", Type: t, TS: ts})
+	}
+	// common: 8 edges, mid: 3, rare: 1, chained so 2-paths exist.
+	for i := 0; i < 8; i++ {
+		add("h", vn(i), "common", int64(i))
+	}
+	add("a", "h", "mid", 20)
+	add("h", "b", "mid", 21)
+	add("b", "c", "mid", 22)
+	add("c", "d", "rare", 30)
+	return c
+}
+
+func vn(i int) string { return string(rune('p' + i)) }
+
+func TestSingleDecomposeOrdersBySelectivity(t *testing.T) {
+	c := trainedCollector()
+	// Path: v0 -common-> v1 -mid-> v2 -rare-> v3
+	q := query.NewPath(query.Wildcard, "common", "mid", "rare")
+	leaves, err := SingleDecompose(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rare (edge 2) first; then frontier forces mid (edge 1), then common.
+	want := [][]int{{2}, {1}, {0}}
+	if !reflect.DeepEqual(leaves, want) {
+		t.Fatalf("leaves = %v, want %v", leaves, want)
+	}
+}
+
+func TestSingleDecomposeFrontierConstraint(t *testing.T) {
+	c := trainedCollector()
+	// Star: center v0 with three outgoing edges; after picking rare, the
+	// frontier includes v0 so any edge qualifies; next by selectivity.
+	q := &query.Graph{
+		Vertices: []query.Vertex{
+			{Name: "c", Label: "*"}, {Name: "x", Label: "*"},
+			{Name: "y", Label: "*"}, {Name: "z", Label: "*"},
+		},
+		Edges: []query.Edge{
+			{Src: 0, Dst: 1, Type: "common"},
+			{Src: 0, Dst: 2, Type: "rare"},
+			{Src: 0, Dst: 3, Type: "mid"},
+		},
+	}
+	leaves, err := SingleDecompose(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{1}, {2}, {0}}
+	if !reflect.DeepEqual(leaves, want) {
+		t.Fatalf("leaves = %v, want %v", leaves, want)
+	}
+}
+
+func TestPathDecomposePairsAndLeftover(t *testing.T) {
+	c := trainedCollector()
+	// 3-edge path: one 2-edge pair + one single leftover.
+	q := query.NewPath(query.Wildcard, "common", "mid", "rare")
+	leaves, fellBack, err := PathDecompose(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fellBack {
+		t.Fatalf("unexpected fallback")
+	}
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %v, want 2 leaves", leaves)
+	}
+	// The most selective pair is (mid,rare) = edges {1,2}.
+	if !reflect.DeepEqual(leaves[0], []int{1, 2}) {
+		t.Fatalf("first leaf = %v, want [1 2]", leaves[0])
+	}
+	if !reflect.DeepEqual(leaves[1], []int{0}) {
+		t.Fatalf("second leaf = %v, want [0]", leaves[1])
+	}
+}
+
+func TestPathDecomposeEvenEdges(t *testing.T) {
+	c := trainedCollector()
+	// v0 -common-> v1 -mid-> v2 -mid-> v3 -common-> v4. The (mid,mid)
+	// pair is the rarest observed pair; picking it strands edges 0 and 3
+	// (no shared vertex), which become 1-edge leaves — the paper's
+	// "2 isolated edges" case of Section 5.2.
+	q := query.NewPath(query.Wildcard, "common", "mid", "mid", "common")
+	leaves, fellBack, err := PathDecompose(q, c)
+	if err != nil || fellBack {
+		t.Fatalf("err=%v fellBack=%v", err, fellBack)
+	}
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %v, want [[1 2] [0] [3]]", leaves)
+	}
+	if !reflect.DeepEqual(leaves[0], []int{1, 2}) {
+		t.Fatalf("first leaf = %v, want [1 2]", leaves[0])
+	}
+	// All edges covered exactly once.
+	seen := map[int]bool{}
+	for _, leaf := range leaves {
+		for _, e := range leaf {
+			if seen[e] {
+				t.Fatalf("edge %d in two leaves: %v", e, leaves)
+			}
+			seen[e] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("not all edges covered: %v", leaves)
+	}
+}
+
+func TestPathDecomposeFallbackOnUnseenPair(t *testing.T) {
+	c := selectivity.NewCollector()
+	// Only isolated 'a' edges: the (a,a) 2-path is never observed.
+	c.Add(stream.Edge{Src: "x", SrcLabel: "ip", Dst: "y", DstLabel: "ip", Type: "a", TS: 1})
+	c.Add(stream.Edge{Src: "p", SrcLabel: "ip", Dst: "q", DstLabel: "ip", Type: "a", TS: 2})
+	q := query.NewPath(query.Wildcard, "a", "a")
+	leaves, fellBack, err := PathDecompose(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fellBack {
+		t.Fatalf("expected fallback to single-edge decomposition")
+	}
+	if len(leaves) != 2 || len(leaves[0]) != 1 {
+		t.Fatalf("fallback leaves = %v", leaves)
+	}
+}
+
+func TestDecomposeSingleEdgeQuery(t *testing.T) {
+	c := trainedCollector()
+	q := query.NewPath(query.Wildcard, "mid")
+	single, err := SingleDecompose(q, c)
+	if err != nil || len(single) != 1 {
+		t.Fatalf("single: %v err=%v", single, err)
+	}
+	path, fellBack, err := PathDecompose(q, c)
+	if err != nil || fellBack || len(path) != 1 {
+		t.Fatalf("path: %v fellBack=%v err=%v", path, fellBack, err)
+	}
+}
+
+func TestAutoRule(t *testing.T) {
+	c := trainedCollector()
+	q := query.NewPath(query.Wildcard, "common", "mid", "rare")
+	leaves, kind, xi, err := Auto(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xi <= 0 {
+		t.Fatalf("xi = %v", xi)
+	}
+	wantPath := selectivity.PreferPathDecomposition(xi)
+	if wantPath && kind != Path {
+		t.Fatalf("rule says path, got %v", kind)
+	}
+	if !wantPath && kind != Single {
+		t.Fatalf("rule says single, got %v", kind)
+	}
+	if len(leaves) == 0 {
+		t.Fatalf("no leaves")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	q := query.NewPath("ip", "ESP", "TCP", "ICMP", "GRE")
+	leaves := [][]int{{1, 0}, {2, 3}}
+	text := Format(q, leaves, 5000)
+	q2, leaves2, window, err := ParseFile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if window != 5000 {
+		t.Fatalf("window = %d", window)
+	}
+	if !reflect.DeepEqual(leaves, leaves2) {
+		t.Fatalf("leaves = %v, want %v", leaves2, leaves)
+	}
+	if len(q2.Edges) != len(q.Edges) || len(q2.Vertices) != len(q.Vertices) {
+		t.Fatalf("query round-trip mismatch: %v", q2)
+	}
+	for i := range q.Edges {
+		if q.Edges[i].Type != q2.Edges[i].Type {
+			t.Fatalf("edge %d type %q vs %q", i, q.Edges[i].Type, q2.Edges[i].Type)
+		}
+	}
+}
+
+func TestParseFileErrors(t *testing.T) {
+	bad := []string{
+		"",                                      // no query
+		"leaf 0",                                // no query block
+		"query {\ne a b t\n}\nwindow x\nleaf 0", // bad window
+		"query {\ne a b t\n}\nleaf zero",        // bad leaf index
+		"query {\ne a b t\n}\nleaf",             // empty leaf
+		"query {\ne a b t\n}\nbogus line",       // unknown record
+	}
+	for i, text := range bad {
+		if _, _, _, err := ParseFile(text); err == nil {
+			t.Errorf("case %d: ParseFile accepted %q", i, text)
+		}
+	}
+}
+
+func TestDecomposeDispatch(t *testing.T) {
+	c := trainedCollector()
+	q := query.NewPath(query.Wildcard, "mid", "rare")
+	s, err := Decompose(q, c, Single)
+	if err != nil || len(s) != 2 {
+		t.Fatalf("single dispatch: %v %v", s, err)
+	}
+	p, err := Decompose(q, c, Path)
+	if err != nil || len(p) != 1 {
+		t.Fatalf("path dispatch: %v %v", p, err)
+	}
+	if _, err := Decompose(q, c, Kind(99)); err == nil {
+		t.Fatalf("unknown kind accepted")
+	}
+	if Single.String() != "single" || Path.String() != "path" {
+		t.Errorf("Kind strings: %v %v", Single, Path)
+	}
+}

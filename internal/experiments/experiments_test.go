@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/query"
+)
+
+// tinyScale keeps the experiment tests fast.
+var tinyScale = Scale{
+	NetflowEdges: 4000, NetflowHosts: 800,
+	LSBenchEdges: 4000, LSBenchUsers: 400,
+	NYTArticles: 400,
+}
+
+func TestTable1(t *testing.T) {
+	datasets := []Dataset{
+		NetflowDataset(tinyScale, 1),
+		LSBenchDataset(tinyScale, 2),
+		NYTimesDataset(tinyScale, 3),
+	}
+	rows := Table1(datasets)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Vertices == 0 || r.Edges == 0 || r.Types == 0 {
+			t.Errorf("empty row %+v", r)
+		}
+	}
+	// Type counts mirror the paper's 7 / 45 / 4.
+	if rows[0].Types != 7 {
+		t.Errorf("netflow types = %d, want 7", rows[0].Types)
+	}
+	if rows[1].Types != 45 {
+		t.Errorf("lsbench types = %d, want 45", rows[1].Types)
+	}
+	if rows[2].Types != 4 {
+		t.Errorf("nytimes types = %d, want 4", rows[2].Types)
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Netflow") {
+		t.Errorf("print missing dataset name")
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	ds := NetflowDataset(tinyScale, 4)
+	cells := Figure6(ds, 8)
+	if len(cells) == 0 {
+		t.Fatal("no cells")
+	}
+	// All 8 intervals present, total count equals stream length.
+	var total int64
+	seen := map[int]bool{}
+	for _, c := range cells {
+		total += c.Count
+		seen[c.Interval] = true
+	}
+	if int(total) != len(ds.Edges) {
+		t.Fatalf("interval counts sum to %d, want %d", total, len(ds.Edges))
+	}
+	if len(seen) != 8 {
+		t.Fatalf("intervals = %d, want 8", len(seen))
+	}
+	// The paper's key observation: rank order stays stable over time for
+	// the non-noise types.
+	stable, totalPairs := Figure6RankStability(cells, 20)
+	if totalPairs == 0 || stable < totalPairs*3/4 {
+		t.Errorf("rank stability %d/%d; expected mostly stable", stable, totalPairs)
+	}
+	var buf bytes.Buffer
+	PrintFigure6(&buf, ds.Name, cells)
+	if !strings.Contains(buf.String(), "TCP") {
+		t.Errorf("print missing TCP")
+	}
+}
+
+func TestFigure6LSBenchShift(t *testing.T) {
+	ds := LSBenchDataset(tinyScale, 5)
+	cells := Figure6(ds, 10)
+	// First and last interval must have disjoint type sets (the
+	// Figure 6c mid-stream shift).
+	first, last := map[string]bool{}, map[string]bool{}
+	maxI := 0
+	for _, c := range cells {
+		if c.Interval > maxI {
+			maxI = c.Interval
+		}
+	}
+	for _, c := range cells {
+		if c.Interval == 0 {
+			first[c.Type] = true
+		}
+		if c.Interval == maxI {
+			last[c.Type] = true
+		}
+	}
+	for tp := range first {
+		if last[tp] {
+			t.Fatalf("type %s present in both first and last interval", tp)
+		}
+	}
+}
+
+func TestFigure7Skew(t *testing.T) {
+	nf := Figure7(NetflowDataset(tinyScale, 6))
+	ls := Figure7(LSBenchDataset(tinyScale, 7))
+	nyt := Figure7(NYTimesDataset(tinyScale, 8))
+	// Unique shape counts ordered as in the paper: NYT < netflow < LSBench.
+	if !(nyt.UniqueShapes < nf.UniqueShapes && nf.UniqueShapes < ls.UniqueShapes) {
+		t.Errorf("unique shapes: nyt=%d nf=%d ls=%d; want nyt < nf < ls",
+			nyt.UniqueShapes, nf.UniqueShapes, ls.UniqueShapes)
+	}
+	// Heavy skew: top shape dominates the median.
+	if nf.SkewRatio < 10 {
+		t.Errorf("netflow skew = %.1f, want >= 10", nf.SkewRatio)
+	}
+	var buf bytes.Buffer
+	PrintFigure7(&buf, nf, 5)
+	if !strings.Contains(buf.String(), "rank") {
+		t.Errorf("print missing header")
+	}
+}
+
+func TestRunSweepStrategiesAgreeOnMatches(t *testing.T) {
+	ds := NetflowDataset(tinyScale, 9)
+	cfg := SweepConfig{
+		Dataset:                ds,
+		Class:                  ClassPath,
+		Sizes:                  []int{2},
+		QueriesPerGroup:        2,
+		Seed:                   10,
+		MaxMatchesPerSearch:    1 << 30, // no caps: strategies must agree exactly
+		MaxExpectedSelectivity: 1,       // admit frequent queries; size-2 Ŝ is large
+	}
+	rows := RunSweep(cfg)
+	if len(rows) == 0 {
+		t.Fatal("no results")
+	}
+	// All strategies on the same size must report identical match totals.
+	bySize := map[int]map[int64]bool{}
+	for _, r := range rows {
+		if bySize[r.Size] == nil {
+			bySize[r.Size] = map[int64]bool{}
+		}
+		bySize[r.Size][r.Matches] = true
+		if r.AvgSeconds <= 0 {
+			t.Errorf("%v: zero runtime", r.Strategy)
+		}
+	}
+	for size, set := range bySize {
+		if len(set) != 1 {
+			t.Errorf("size %d: strategies disagree on match totals: %v", size, set)
+		}
+	}
+	var buf bytes.Buffer
+	PrintSweep(&buf, "test", rows)
+	if !strings.Contains(buf.String(), "strategy") {
+		t.Errorf("print missing header")
+	}
+	if sp := Speedups(rows); len(sp) == 0 {
+		t.Errorf("no speedups computed")
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	datasets := []Dataset{
+		NYTimesDataset(tinyScale, 11),
+		NetflowDataset(tinyScale, 12),
+		LSBenchDataset(tinyScale, 13),
+	}
+	samples := Figure10(datasets, 6, 14)
+	if len(samples) == 0 {
+		t.Fatal("no xi samples")
+	}
+	seen := map[string]bool{}
+	for _, s := range samples {
+		if s.Xi <= 0 {
+			t.Errorf("nonpositive xi %v", s.Xi)
+		}
+		seen[s.Dataset] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("xi samples cover only %v", seen)
+	}
+	hists := HistogramXi(samples)
+	if len(hists) != len(seen) {
+		t.Errorf("histograms = %d, datasets = %d", len(hists), len(seen))
+	}
+	var buf bytes.Buffer
+	PrintFigure10(&buf, hists)
+	if !strings.Contains(buf.String(), "Figure 10") {
+		t.Errorf("print missing title")
+	}
+}
+
+func TestRuleExperiment(t *testing.T) {
+	ds := NetflowDataset(tinyScale, 15)
+	rows := RuleExperiment(ds, 3, 2, 16)
+	if len(rows) == 0 {
+		t.Skip("no rule samples generated at tiny scale")
+	}
+	for _, r := range rows {
+		if r.Chosen != core.StrategySingleLazy && r.Chosen != core.StrategyPathLazy {
+			t.Errorf("bad chosen strategy %v", r.Chosen)
+		}
+	}
+	var buf bytes.Buffer
+	PrintRule(&buf, rows)
+	if !strings.Contains(buf.String(), "agreement") {
+		t.Errorf("print missing agreement line")
+	}
+}
+
+func TestLeafOrderAblation(t *testing.T) {
+	ds := NetflowDataset(tinyScale, 17)
+	q := query.NewPath(query.Wildcard, "GRE", "TCP", "TCP")
+	rows, err := LeafOrderAblation(ds, q, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byName := map[string]AblationResult{}
+	for _, r := range rows {
+		byName[r.Order] = r
+	}
+	asc := byName["ascending-selectivity"]
+	desc := byName["descending-selectivity"]
+	// Theorem 2: ascending selectivity order needs no more storage than
+	// descending.
+	if asc.PeakStored > desc.PeakStored {
+		t.Errorf("ascending order stored %d > descending %d", asc.PeakStored, desc.PeakStored)
+	}
+	// All orders must find the same matches.
+	if asc.Matches != desc.Matches || asc.Matches != byName["query-order"].Matches {
+		t.Errorf("orders disagree on matches: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "leaf_order") {
+		t.Errorf("print missing header")
+	}
+}
+
+func TestTimeAlgorithm5(t *testing.T) {
+	ds := NetflowDataset(tinyScale, 19)
+	r := TimeAlgorithm5(ds)
+	if r.Edges != len(ds.Edges) || r.EdgesPerSec <= 0 || r.UniqueShapes == 0 {
+		t.Errorf("bad timing result %+v", r)
+	}
+}
+
+func TestCollectPrefix(t *testing.T) {
+	ds := NetflowDataset(tinyScale, 20)
+	c := CollectPrefix(ds, 0.25)
+	if c.EdgeTotal() != int64(len(ds.Edges)/4) {
+		t.Errorf("prefix total = %d, want %d", c.EdgeTotal(), len(ds.Edges)/4)
+	}
+	full := CollectPrefix(ds, 0)
+	if full.EdgeTotal() != int64(len(ds.Edges)) {
+		t.Errorf("zero fraction should use full stream")
+	}
+}

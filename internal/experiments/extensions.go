@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/decompose"
+	"streamgraph/internal/plan"
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/sketch"
+)
+
+// This file implements the extension experiments that go beyond the
+// paper's evaluation: the cost-based planner ablation (greedy Algorithm
+// 4 vs the exact dynamic program vs the genetic search) and the
+// sketch-vs-exact statistics accuracy study (the gsketch direction of
+// Sections 2.2 and 7).
+
+// PlannerRow reports one decomposition plan: its predicted cost under
+// the wedge-based model and the behavior measured by executing it.
+type PlannerRow struct {
+	Plan       string
+	Leaves     [][]int
+	PredWork   float64
+	PredSpace  float64
+	Runtime    time.Duration
+	PeakStored int64
+	Matches    int64
+}
+
+// PlannerAblation trains statistics on a prefix of the dataset, plans q
+// with the greedy, exact-DP and genetic optimizers, executes each plan
+// (lazy execution, identical engine configuration) over the remainder
+// of the stream, and reports predicted vs measured behavior.
+func PlannerAblation(ds Dataset, q *query.Graph, trainFrac float64) ([]PlannerRow, error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		trainFrac = 0.4
+	}
+	cut := int(float64(len(ds.Edges)) * trainFrac)
+	c := selectivity.NewCollector()
+	c.AddAll(ds.Edges[:cut])
+	p := &plan.Planner{Stats: c, AvgDegree: c.AvgDegreeEstimate()}
+
+	greedyEng, err := core.New(q, core.Config{Strategy: core.StrategyPathLazy, Stats: c})
+	if err != nil {
+		return nil, err
+	}
+	type cand struct {
+		name   string
+		leaves [][]int
+	}
+	cands := []cand{{"greedy(Alg4)", greedyEng.Tree().LeafSets()}}
+	if dpLeaves, _, err := p.Optimal(q); err == nil {
+		cands = append(cands, cand{"exact-dp", dpLeaves})
+	}
+	if gaLeaves, _, err := p.Genetic(q, plan.GeneticConfig{Seed: 1}); err == nil {
+		cands = append(cands, cand{"genetic", gaLeaves})
+	}
+
+	var rows []PlannerRow
+	for _, cd := range cands {
+		sc, err := p.ScoreLeaves(q, cd.leaves)
+		if err != nil {
+			return nil, fmt.Errorf("scoring %s: %v", cd.name, err)
+		}
+		eng, err := core.New(q, core.Config{
+			Strategy: core.StrategySingleLazy, Leaves: cd.leaves, Stats: c,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		var matches int64
+		for _, e := range ds.Edges[cut:] {
+			matches += int64(len(eng.ProcessEdge(e)))
+		}
+		rows = append(rows, PlannerRow{
+			Plan: cd.name, Leaves: cd.leaves,
+			PredWork: sc.Work, PredSpace: sc.Space,
+			Runtime: time.Since(t0), PeakStored: eng.Stats().Tree.PeakStored,
+			Matches: matches,
+		})
+	}
+	return rows, nil
+}
+
+// PrintPlannerAblation renders planner rows as a table.
+func PrintPlannerAblation(w io.Writer, q *query.Graph, rows []PlannerRow) {
+	fmt.Fprintln(w, "== Planner ablation: greedy vs cost-based decomposition ==")
+	fmt.Fprintf(w, "%-14s %-30s %12s %12s %12s %12s %10s\n",
+		"plan", "leaves", "pred.work", "pred.space", "runtime", "peak-stored", "matches")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-30s %12.3f %12.0f %12v %12d %10d\n",
+			r.Plan, leavesString(q, r.Leaves), r.PredWork, r.PredSpace,
+			r.Runtime.Round(time.Millisecond), r.PeakStored, r.Matches)
+	}
+}
+
+func leavesString(q *query.Graph, leaves [][]int) string {
+	s := ""
+	for i, leaf := range leaves {
+		if i > 0 {
+			s += "|"
+		}
+		for j, ei := range leaf {
+			if j > 0 {
+				s += ","
+			}
+			s += q.Edges[ei].Type
+		}
+	}
+	return s
+}
+
+// SketchReport summarizes the accuracy of the bounded-memory statistics
+// estimator against the exact collector on one dataset.
+type SketchReport struct {
+	Dataset        string
+	Edges          int
+	ExactPaths     int64
+	SketchPaths    int64
+	OvercountRatio float64 // SketchPaths / ExactPaths
+	TopK           int
+	TopKOverlap    int  // how many of the exact top-K shapes the sketch also ranks top-K
+	PlansAgree     bool // PathDecompose agreement on the probe query
+	SketchBytes    int
+}
+
+// SketchAccuracy feeds the dataset through both statistics backends and
+// compares the resulting distributions and decompositions. The probe
+// query is a 4-edge path over the dataset's four most frequent types
+// (distribution heads are where estimation errors would change plans).
+func SketchAccuracy(ds Dataset, width, depth, topK int) SketchReport {
+	exact := selectivity.NewCollector()
+	est := sketch.NewEstimator(width, depth, 1)
+	for _, e := range ds.Edges {
+		exact.Add(e)
+		est.Add(e)
+	}
+	r := SketchReport{
+		Dataset: ds.Name, Edges: len(ds.Edges),
+		ExactPaths: exact.PathTotal(), SketchPaths: est.PathTotal(),
+		TopK: topK, SketchBytes: est.MemoryBytes(),
+	}
+	if r.ExactPaths > 0 {
+		r.OvercountRatio = float64(r.SketchPaths) / float64(r.ExactPaths)
+	}
+	exTop := map[string]bool{}
+	for i, h := range exact.PathHistogram() {
+		if i >= topK {
+			break
+		}
+		exTop[h.Key] = true
+	}
+	for i, h := range est.PathHistogram() {
+		if i >= topK {
+			break
+		}
+		if exTop[h.Key] {
+			r.TopKOverlap++
+		}
+	}
+	// Probe decomposition: a path over the four most frequent types.
+	hist := exact.EdgeHistogram()
+	if len(hist) >= 4 {
+		q := query.NewPath(query.Wildcard, hist[0].Key, hist[1].Key, hist[2].Key, hist[3].Key)
+		le, _, err1 := decompose.PathDecompose(q, exact)
+		ls, _, err2 := decompose.PathDecompose(q, est)
+		r.PlansAgree = err1 == nil && err2 == nil && fmt.Sprint(le) == fmt.Sprint(ls)
+	}
+	return r
+}
+
+// PrintSketchReport renders a sketch accuracy report.
+func PrintSketchReport(w io.Writer, r SketchReport) {
+	fmt.Fprintf(w, "== Sketch statistics vs exact (dataset %s, %d edges) ==\n", r.Dataset, r.Edges)
+	fmt.Fprintf(w, "2-edge paths: exact %d, sketch %d (ratio %.4f)\n",
+		r.ExactPaths, r.SketchPaths, r.OvercountRatio)
+	fmt.Fprintf(w, "top-%d shape overlap: %d/%d; decomposition agreement: %v; sketch memory: %d KiB\n",
+		r.TopK, r.TopKOverlap, r.TopK, r.PlansAgree, r.SketchBytes/1024)
+}

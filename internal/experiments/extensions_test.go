@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamgraph/internal/query"
+)
+
+func extTestScale() Scale {
+	return Scale{NetflowEdges: 6000, NetflowHosts: 800, LSBenchEdges: 6000, LSBenchUsers: 600, NYTArticles: 400}
+}
+
+func TestPlannerAblation(t *testing.T) {
+	ds := NetflowDataset(extTestScale(), 3)
+	q := query.NewPath("ip", "TCP", "ESP", "UDP")
+	rows, err := PlannerAblation(ds, q, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("got %d rows, want at least greedy + exact-dp", len(rows))
+	}
+	byName := map[string]PlannerRow{}
+	for _, r := range rows {
+		byName[r.Plan] = r
+		if r.PredWork <= 0 {
+			t.Errorf("%s: non-positive predicted work", r.Plan)
+		}
+		if r.Runtime <= 0 {
+			t.Errorf("%s: no runtime measured", r.Plan)
+		}
+	}
+	g, okG := byName["greedy(Alg4)"]
+	d, okD := byName["exact-dp"]
+	if !okG || !okD {
+		t.Fatalf("missing expected plans: %v", rows)
+	}
+	// All plans are exact: they must find the same matches.
+	if g.Matches != d.Matches {
+		t.Fatalf("greedy found %d matches, exact-dp %d — plans are not equivalent",
+			g.Matches, d.Matches)
+	}
+	var buf bytes.Buffer
+	PrintPlannerAblation(&buf, q, rows)
+	if !strings.Contains(buf.String(), "exact-dp") {
+		t.Fatalf("table missing exact-dp row:\n%s", buf.String())
+	}
+}
+
+func TestPlannerAblationClampsTrainFrac(t *testing.T) {
+	ds := NetflowDataset(extTestScale(), 3)
+	q := query.NewPath("ip", "TCP", "UDP")
+	if _, err := PlannerAblation(ds, q, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlannerAblation(ds, q, 1.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSketchAccuracy(t *testing.T) {
+	ds := NetflowDataset(extTestScale(), 3)
+	r := SketchAccuracy(ds, 1<<15, 4, 10)
+	if r.SketchPaths < r.ExactPaths {
+		t.Fatalf("sketch undercounts: %d < %d", r.SketchPaths, r.ExactPaths)
+	}
+	if r.OvercountRatio > 1.2 {
+		t.Fatalf("overcount ratio %.3f too large for this sketch size", r.OvercountRatio)
+	}
+	if r.TopKOverlap < r.TopK-2 {
+		t.Fatalf("top-%d overlap only %d", r.TopK, r.TopKOverlap)
+	}
+	if !r.PlansAgree {
+		t.Fatal("sketch-driven decomposition disagrees with exact on the head-types probe query")
+	}
+	var buf bytes.Buffer
+	PrintSketchReport(&buf, r)
+	if !strings.Contains(buf.String(), "decomposition agreement: true") {
+		t.Fatalf("report rendering:\n%s", buf.String())
+	}
+}

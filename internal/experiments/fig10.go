@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/datagen"
+	"streamgraph/internal/decompose"
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+)
+
+// XiSample is the relative selectivity of one query on one dataset.
+type XiSample struct {
+	Dataset string
+	Query   *query.Graph
+	Xi      float64
+	Log10Xi float64
+}
+
+// Figure10 computes the relative-selectivity distribution for 4-edge
+// queries across the datasets: star (k-partite) queries for New York
+// Times, path queries for netflow and LSBench, as in the paper.
+func Figure10(datasets []Dataset, queriesPerDataset int, seed int64) []XiSample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []XiSample
+	for _, ds := range datasets {
+		stats := Collect(ds)
+		var queries []*query.Graph
+		switch {
+		case ds.Name == "NYTimes":
+			queries = starQueries(rng, ds.Types, 4, queriesPerDataset, stats)
+		case ds.Schema != nil:
+			queries = datagen.GenerateSchemaPathQueries(rng, ds.Schema, 4, queriesPerDataset*4, stats)
+			queries = datagen.SampleByExpectedSelectivity(queries, stats, queriesPerDataset)
+		default:
+			queries = datagen.GeneratePathQueries(rng, ds.Types, 4, queriesPerDataset*4, stats)
+			queries = datagen.SampleByExpectedSelectivity(queries, stats, queriesPerDataset)
+		}
+		for _, q := range queries {
+			xi, ok := queryXi(q, stats)
+			if !ok {
+				continue
+			}
+			out = append(out, XiSample{Dataset: ds.Name, Query: q, Xi: xi, Log10Xi: math.Log10(xi)})
+		}
+	}
+	return out
+}
+
+// queryXi computes ξ(T_path, T_single) for a query.
+func queryXi(q *query.Graph, stats *selectivity.Collector) (float64, bool) {
+	single, err := decompose.SingleDecompose(q, stats)
+	if err != nil {
+		return 0, false
+	}
+	path, fellBack, err := decompose.PathDecompose(q, stats)
+	if err != nil || fellBack {
+		return 0, false
+	}
+	xi, ok, err := stats.RelativeSelectivity(q, path, single)
+	if err != nil || !ok || xi <= 0 {
+		return 0, false
+	}
+	return xi, true
+}
+
+// starQueries generates k-partite (star) queries: one hub with nEdges
+// outgoing typed edges — the natural 4-edge query class for the news
+// dataset (an article mentioning four entities).
+func starQueries(rng *rand.Rand, types []string, nEdges, count int, stats *selectivity.Collector) []*query.Graph {
+	var out []*query.Graph
+	for attempts := 0; len(out) < count && attempts < count*100; attempts++ {
+		q := &query.Graph{}
+		hub := q.AddVertex("hub", query.Wildcard)
+		for i := 0; i < nEdges; i++ {
+			leaf := q.AddVertex(fmt.Sprintf("e%d", i), query.Wildcard)
+			q.AddEdge(hub, leaf, types[rng.Intn(len(types))])
+		}
+		if !datagen.AllQueryPathsSeen(q, stats) {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// Histogram buckets the log10(ξ) samples for one dataset.
+type XiHistogram struct {
+	Dataset string
+	// Buckets maps floor(log10 ξ) to sample count.
+	Buckets map[int]int
+	Min     float64
+	Max     float64
+}
+
+// HistogramXi buckets the Figure 10 samples per dataset.
+func HistogramXi(samples []XiSample) []XiHistogram {
+	byDS := map[string]*XiHistogram{}
+	var order []string
+	for _, s := range samples {
+		h := byDS[s.Dataset]
+		if h == nil {
+			h = &XiHistogram{Dataset: s.Dataset, Buckets: map[int]int{}, Min: math.Inf(1), Max: math.Inf(-1)}
+			byDS[s.Dataset] = h
+			order = append(order, s.Dataset)
+		}
+		h.Buckets[int(math.Floor(s.Log10Xi))]++
+		if s.Log10Xi < h.Min {
+			h.Min = s.Log10Xi
+		}
+		if s.Log10Xi > h.Max {
+			h.Max = s.Log10Xi
+		}
+	}
+	var out []XiHistogram
+	for _, name := range order {
+		out = append(out, *byDS[name])
+	}
+	return out
+}
+
+// PrintFigure10 renders the per-dataset log10(ξ) histograms.
+func PrintFigure10(w io.Writer, hists []XiHistogram) {
+	fmt.Fprintln(w, "== Figure 10: relative selectivity distribution (4-edge queries) ==")
+	for _, h := range hists {
+		fmt.Fprintf(w, "-- %s (log10 ξ in [%.2f, %.2f]) --\n", h.Dataset, h.Min, h.Max)
+		var keys []int
+		for k := range h.Buckets {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, k := range keys {
+			bar := ""
+			for i := 0; i < h.Buckets[k]; i++ {
+				bar += "#"
+			}
+			fmt.Fprintf(tw, "10^%d..10^%d\t%d\t%s\n", k, k+1, h.Buckets[k], bar)
+		}
+		tw.Flush()
+	}
+}
+
+// --- Section 6.5 strategy rule accuracy ----------------------------------
+
+// RuleResult records, for one query, what the ξ rule chose and what
+// actually measured fastest between SingleLazy and PathLazy.
+type RuleResult struct {
+	Dataset       string
+	Xi            float64
+	Chosen        core.Strategy
+	SingleLazySec float64
+	PathLazySec   float64
+	Best          core.Strategy
+	Agrees        bool
+}
+
+// RuleExperiment measures the rule's agreement with the measured
+// winner on a sample of queries from the dataset.
+func RuleExperiment(ds Dataset, queryLen, count int, seed int64) []RuleResult {
+	rng := rand.New(rand.NewSource(seed))
+	stats := CollectPrefix(ds, 0.2)
+	queries := datagen.GeneratePathQueries(rng, ds.Types, queryLen, count*4, stats)
+	queries = datagen.SampleByExpectedSelectivity(queries, stats, count)
+	span := ds.Edges[len(ds.Edges)-1].TS - ds.Edges[0].TS
+	window := span/10 + 1
+
+	var out []RuleResult
+	for _, q := range queries {
+		xi, ok := queryXi(q, stats)
+		if !ok {
+			continue
+		}
+		chosen := core.StrategySingleLazy
+		if selectivity.PreferPathDecomposition(xi) {
+			chosen = core.StrategyPathLazy
+		}
+		sl := timeStrategy(q, ds, core.StrategySingleLazy, window, stats)
+		pl := timeStrategy(q, ds, core.StrategyPathLazy, window, stats)
+		best := core.StrategySingleLazy
+		if pl < sl {
+			best = core.StrategyPathLazy
+		}
+		out = append(out, RuleResult{
+			Dataset: ds.Name, Xi: xi, Chosen: chosen,
+			SingleLazySec: sl, PathLazySec: pl,
+			Best: best, Agrees: chosen == best,
+		})
+	}
+	return out
+}
+
+func timeStrategy(q *query.Graph, ds Dataset, s core.Strategy, window int64, stats *selectivity.Collector) float64 {
+	eng, err := core.New(q, core.Config{Strategy: s, Window: window, Stats: stats, MaxMatchesPerSearch: 20000})
+	if err != nil {
+		return math.Inf(1)
+	}
+	start := time.Now()
+	for _, se := range ds.Edges {
+		eng.ProcessEdge(se)
+	}
+	return time.Since(start).Seconds()
+}
+
+// PrintRule renders the rule-accuracy experiment.
+func PrintRule(w io.Writer, rows []RuleResult) {
+	fmt.Fprintln(w, "== Section 6.5: strategy selection rule (ξ < 1e-3 ⇒ PathLazy) ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\txi\tchosen\tsingleLazy_s\tpathLazy_s\tbest\tagrees")
+	agree := 0
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3g\t%v\t%.4f\t%.4f\t%v\t%v\n",
+			r.Dataset, r.Xi, r.Chosen, r.SingleLazySec, r.PathLazySec, r.Best, r.Agrees)
+		if r.Agrees {
+			agree++
+		}
+	}
+	tw.Flush()
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "agreement: %d/%d\n", agree, len(rows))
+	}
+}
+
+// --- Theorem 2 leaf-order ablation ---------------------------------------
+
+// AblationResult compares peak partial-match storage across leaf
+// orderings of the same decomposition.
+type AblationResult struct {
+	Order      string
+	PeakStored int64
+	Seconds    float64
+	Matches    int64
+}
+
+// LeafOrderAblation runs the Single strategy on the same query with
+// three leaf orders: ascending selectivity (the paper's choice,
+// Theorem 2), descending, and the unsorted query order. Ascending
+// order should minimize peak stored matches.
+func LeafOrderAblation(ds Dataset, q *query.Graph, seed int64) ([]AblationResult, error) {
+	stats := CollectPrefix(ds, 0.2)
+	asc, err := decompose.SingleDecompose(q, stats)
+	if err != nil {
+		return nil, err
+	}
+	desc := make([][]int, len(asc))
+	for i := range asc {
+		desc[i] = asc[len(asc)-1-i]
+	}
+	natural := make([][]int, len(q.Edges))
+	for i := range q.Edges {
+		natural[i] = []int{i}
+	}
+	span := ds.Edges[len(ds.Edges)-1].TS - ds.Edges[0].TS
+	window := span/10 + 1
+
+	var out []AblationResult
+	for _, c := range []struct {
+		name   string
+		leaves [][]int
+	}{
+		{"ascending-selectivity", asc},
+		{"descending-selectivity", desc},
+		{"query-order", natural},
+	} {
+		eng, err := core.New(q, core.Config{
+			Strategy: core.StrategySingle, Window: window,
+			Stats: stats, Leaves: c.leaves, MaxMatchesPerSearch: 20000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var matches int64
+		start := time.Now()
+		for _, se := range ds.Edges {
+			matches += int64(len(eng.ProcessEdge(se)))
+		}
+		st := eng.Stats()
+		out = append(out, AblationResult{
+			Order: c.name, PeakStored: st.Tree.PeakStored,
+			Seconds: time.Since(start).Seconds(), Matches: matches,
+		})
+	}
+	return out, nil
+}
+
+// PrintAblation renders the leaf-order ablation.
+func PrintAblation(w io.Writer, rows []AblationResult) {
+	fmt.Fprintln(w, "== Theorem 2 ablation: leaf order vs. peak stored partial matches ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "leaf_order\tpeak_stored\tseconds\tmatches")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.4f\t%d\n", r.Order, r.PeakStored, r.Seconds, r.Matches)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,72 @@
+package graph
+
+import "testing"
+
+func TestEachEdgeArrivalOrder(t *testing.T) {
+	g := New()
+	a := g.EnsureVertex("a", "x")
+	b := g.EnsureVertex("b", "x")
+	c := g.EnsureVertex("c", "x")
+	tp := TypeID(g.Types().Intern("t"))
+
+	// Arrival order deliberately differs from timestamp order.
+	e1 := g.AddEdge(a, b, tp, 30)
+	e2 := g.AddEdge(b, c, tp, 10)
+	e3 := g.AddEdge(c, a, tp, 20)
+
+	var got []EdgeID
+	g.EachEdgeArrival(func(e Edge) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	want := []EdgeID{e1, e2, e3}
+	if len(got) != len(want) {
+		t.Fatalf("visited %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arrival order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEachEdgeArrivalSkipsDeadAndStopsEarly(t *testing.T) {
+	g := New()
+	a := g.EnsureVertex("a", "x")
+	b := g.EnsureVertex("b", "x")
+	tp := TypeID(g.Types().Intern("t"))
+	e1 := g.AddEdge(a, b, tp, 1)
+	e2 := g.AddEdge(b, a, tp, 2)
+	e3 := g.AddEdge(a, b, tp, 3)
+	g.RemoveEdge(e2)
+
+	var got []EdgeID
+	g.EachEdgeArrival(func(e Edge) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	if len(got) != 2 || got[0] != e1 || got[1] != e3 {
+		t.Fatalf("got %v, want [%d %d]", got, e1, e3)
+	}
+
+	// Early termination.
+	count := 0
+	g.EachEdgeArrival(func(e Edge) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d edges", count)
+	}
+
+	// After eviction the FIFO prefix is skipped entirely.
+	g.ExpireBefore(3)
+	got = got[:0]
+	g.EachEdgeArrival(func(e Edge) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	if len(got) != 1 || got[0] != e3 {
+		t.Fatalf("after eviction got %v, want [%d]", got, e3)
+	}
+}

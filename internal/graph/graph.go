@@ -1,0 +1,348 @@
+// Package graph implements the dynamic multi-relational graph substrate
+// used by the continuous pattern detection engine. Graphs are directed,
+// vertex- and edge-labeled, permit parallel edges, and carry a timestamp
+// on every edge so that the graph can be maintained as a sliding window
+// in time (Section 2 of Choudhury et al., EDBT 2015).
+//
+// The implementation interns all labels and edge types to dense integer
+// identifiers, stores edges in an arena with a free-list, and keeps
+// per-vertex in/out adjacency with back-indices so that removing an edge
+// (window eviction) is O(1).
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// VertexID identifies a vertex within a Graph. IDs are dense and assigned
+// in insertion order; they remain valid for the lifetime of the graph
+// (vertices are never recycled, only edges are).
+type VertexID uint32
+
+// EdgeID identifies an edge within a Graph. EdgeIDs are arena indices and
+// are recycled after the edge is removed; holders of an EdgeID across
+// mutations must revalidate with Edge.
+type EdgeID uint32
+
+// TypeID is an interned edge type.
+type TypeID uint32
+
+// LabelID is an interned vertex label.
+type LabelID uint32
+
+// NoVertex is returned by lookups that find no vertex.
+const NoVertex = VertexID(math.MaxUint32)
+
+// Edge is the exported view of a single directed edge.
+type Edge struct {
+	ID   EdgeID
+	Src  VertexID
+	Dst  VertexID
+	Type TypeID
+	TS   int64
+}
+
+// Half is one adjacency entry: the edge as seen from one endpoint.
+type Half struct {
+	Peer VertexID // the other endpoint
+	Type TypeID
+	ID   EdgeID
+	TS   int64
+}
+
+type vertexRec struct {
+	name  string
+	label LabelID
+	out   []adjRec
+	in    []adjRec
+}
+
+type adjRec struct {
+	peer  VertexID
+	etype TypeID
+	eid   EdgeID
+	ts    int64
+}
+
+type edgeRec struct {
+	src, dst VertexID
+	etype    TypeID
+	ts       int64
+	outIdx   int32 // position within verts[src].out
+	inIdx    int32 // position within verts[dst].in
+	alive    bool
+}
+
+// Graph is a dynamic directed labeled multigraph. The zero value is not
+// usable; call New.
+type Graph struct {
+	types  *Interner
+	labels *Interner
+
+	verts      []vertexRec
+	vertByName map[string]VertexID
+
+	edges     []edgeRec
+	freeEdges []EdgeID
+	liveEdges int
+
+	// fifo holds live edge IDs in arrival order for window eviction.
+	fifo   []EdgeID
+	fifoLo int
+
+	lastTS int64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		types:      NewInterner(),
+		labels:     NewInterner(),
+		vertByName: make(map[string]VertexID),
+	}
+}
+
+// Types returns the edge-type interner. Callers may intern new types but
+// must not otherwise mutate it.
+func (g *Graph) Types() *Interner { return g.types }
+
+// Labels returns the vertex-label interner.
+func (g *Graph) Labels() *Interner { return g.labels }
+
+// NumVertices reports the number of vertices ever added (isolated
+// vertices left behind by eviction are included).
+func (g *Graph) NumVertices() int { return len(g.verts) }
+
+// NumEdges reports the number of live edges.
+func (g *Graph) NumEdges() int { return g.liveEdges }
+
+// LastTS reports the largest timestamp seen by AddEdge.
+func (g *Graph) LastTS() int64 { return g.lastTS }
+
+// EnsureVertex returns the vertex named name, creating it with the given
+// label if it does not exist. If the vertex exists with a different
+// label the existing label wins (labels are immutable once assigned).
+func (g *Graph) EnsureVertex(name, label string) VertexID {
+	if v, ok := g.vertByName[name]; ok {
+		return v
+	}
+	v := VertexID(len(g.verts))
+	g.verts = append(g.verts, vertexRec{name: name, label: LabelID(g.labels.Intern(label))})
+	g.vertByName[name] = v
+	return v
+}
+
+// VertexByName returns the vertex with the given name, or NoVertex.
+func (g *Graph) VertexByName(name string) VertexID {
+	if v, ok := g.vertByName[name]; ok {
+		return v
+	}
+	return NoVertex
+}
+
+// VertexName returns the external name of v.
+func (g *Graph) VertexName(v VertexID) string { return g.verts[v].name }
+
+// VertexLabel returns the interned label of v.
+func (g *Graph) VertexLabel(v VertexID) LabelID { return g.verts[v].label }
+
+// OutDegree reports the number of outgoing edges at v.
+func (g *Graph) OutDegree(v VertexID) int { return len(g.verts[v].out) }
+
+// InDegree reports the number of incoming edges at v.
+func (g *Graph) InDegree(v VertexID) int { return len(g.verts[v].in) }
+
+// Degree reports the total number of incident edges at v.
+func (g *Graph) Degree(v VertexID) int { return len(g.verts[v].out) + len(g.verts[v].in) }
+
+// AddEdge inserts a directed edge src -> dst with the given interned type
+// and timestamp, returning its EdgeID. Timestamps are expected to be
+// non-decreasing; out-of-order edges are accepted but may be evicted late
+// (see ExpireBefore).
+func (g *Graph) AddEdge(src, dst VertexID, etype TypeID, ts int64) EdgeID {
+	var eid EdgeID
+	if n := len(g.freeEdges); n > 0 {
+		eid = g.freeEdges[n-1]
+		g.freeEdges = g.freeEdges[:n-1]
+	} else {
+		eid = EdgeID(len(g.edges))
+		g.edges = append(g.edges, edgeRec{})
+	}
+	sv := &g.verts[src]
+	dv := &g.verts[dst]
+	g.edges[eid] = edgeRec{
+		src: src, dst: dst, etype: etype, ts: ts,
+		outIdx: int32(len(sv.out)), inIdx: int32(len(dv.in)), alive: true,
+	}
+	sv.out = append(sv.out, adjRec{peer: dst, etype: etype, eid: eid, ts: ts})
+	dv.in = append(dv.in, adjRec{peer: src, etype: etype, eid: eid, ts: ts})
+	g.fifo = append(g.fifo, eid)
+	g.liveEdges++
+	if ts > g.lastTS {
+		g.lastTS = ts
+	}
+	return eid
+}
+
+// AddEdgeNamed is a convenience wrapper that interns names, labels and
+// the edge type before inserting.
+func (g *Graph) AddEdgeNamed(src, srcLabel, dst, dstLabel, etype string, ts int64) EdgeID {
+	s := g.EnsureVertex(src, srcLabel)
+	d := g.EnsureVertex(dst, dstLabel)
+	return g.AddEdge(s, d, TypeID(g.types.Intern(etype)), ts)
+}
+
+// Edge returns the edge with the given ID and whether it is live.
+func (g *Graph) Edge(id EdgeID) (Edge, bool) {
+	if int(id) >= len(g.edges) {
+		return Edge{}, false
+	}
+	r := &g.edges[id]
+	if !r.alive {
+		return Edge{}, false
+	}
+	return Edge{ID: id, Src: r.src, Dst: r.dst, Type: r.etype, TS: r.ts}, true
+}
+
+// RemoveEdge deletes the edge with the given ID. It is a no-op if the
+// edge is already gone. Removal is O(1): the adjacency entries are
+// swap-deleted and the displaced entries' back-indices patched.
+func (g *Graph) RemoveEdge(id EdgeID) {
+	if int(id) >= len(g.edges) || !g.edges[id].alive {
+		return
+	}
+	r := &g.edges[id]
+	g.removeAdj(&g.verts[r.src].out, r.outIdx, true)
+	g.removeAdj(&g.verts[r.dst].in, r.inIdx, false)
+	r.alive = false
+	g.freeEdges = append(g.freeEdges, id)
+	g.liveEdges--
+}
+
+func (g *Graph) removeAdj(list *[]adjRec, idx int32, isOut bool) {
+	l := *list
+	last := int32(len(l) - 1)
+	if idx != last {
+		moved := l[last]
+		l[idx] = moved
+		if isOut {
+			g.edges[moved.eid].outIdx = idx
+		} else {
+			g.edges[moved.eid].inIdx = idx
+		}
+	}
+	*list = l[:last]
+}
+
+// ExpireBefore removes edges with timestamp < cutoff and returns how many
+// were removed. Eviction walks the arrival-order FIFO from the front and
+// stops at the first live edge with ts >= cutoff, so an out-of-order old
+// edge that arrived after a newer one is evicted on a later call — the
+// usual slack of stream-window maintenance.
+func (g *Graph) ExpireBefore(cutoff int64) int {
+	removed := 0
+	for g.fifoLo < len(g.fifo) {
+		eid := g.fifo[g.fifoLo]
+		r := &g.edges[eid]
+		if !r.alive {
+			g.fifoLo++
+			continue
+		}
+		if r.ts >= cutoff {
+			break
+		}
+		g.RemoveEdge(eid)
+		g.fifoLo++
+		removed++
+	}
+	// Compact the FIFO once the dead prefix dominates.
+	if g.fifoLo > len(g.fifo)/2 && g.fifoLo > 1024 {
+		g.fifo = append(g.fifo[:0], g.fifo[g.fifoLo:]...)
+		g.fifoLo = 0
+	}
+	return removed
+}
+
+// EachOut invokes fn for every outgoing edge at v. Returning false stops
+// the iteration early.
+func (g *Graph) EachOut(v VertexID, fn func(Half) bool) {
+	for _, a := range g.verts[v].out {
+		if !fn(Half{Peer: a.peer, Type: a.etype, ID: a.eid, TS: a.ts}) {
+			return
+		}
+	}
+}
+
+// EachIn invokes fn for every incoming edge at v. Returning false stops
+// the iteration early.
+func (g *Graph) EachIn(v VertexID, fn func(Half) bool) {
+	for _, a := range g.verts[v].in {
+		if !fn(Half{Peer: a.peer, Type: a.etype, ID: a.eid, TS: a.ts}) {
+			return
+		}
+	}
+}
+
+// EachEdge invokes fn for every live edge in the graph (arena order).
+// Returning false stops the iteration early.
+func (g *Graph) EachEdge(fn func(Edge) bool) {
+	for i := range g.edges {
+		r := &g.edges[i]
+		if !r.alive {
+			continue
+		}
+		if !fn(Edge{ID: EdgeID(i), Src: r.src, Dst: r.dst, Type: r.etype, TS: r.ts}) {
+			return
+		}
+	}
+}
+
+// EachEdgeArrival invokes fn for every live edge in arrival order (the
+// order AddEdge was called). Returning false stops the iteration early.
+// Snapshot/restore uses this so that a rebuilt graph evicts edges in
+// the same order as the original.
+func (g *Graph) EachEdgeArrival(fn func(Edge) bool) {
+	for i := g.fifoLo; i < len(g.fifo); i++ {
+		eid := g.fifo[i]
+		r := &g.edges[eid]
+		if !r.alive {
+			continue
+		}
+		if !fn(Edge{ID: eid, Src: r.src, Dst: r.dst, Type: r.etype, TS: r.ts}) {
+			return
+		}
+	}
+}
+
+// EachVertex invokes fn for every vertex. Returning false stops early.
+func (g *Graph) EachVertex(fn func(VertexID) bool) {
+	for i := range g.verts {
+		if !fn(VertexID(i)) {
+			return
+		}
+	}
+}
+
+// AvgDegree reports the mean total degree over vertices with at least one
+// incident edge; it is the d̄ used by the paper's cost analysis.
+func (g *Graph) AvgDegree() float64 {
+	active, deg := 0, 0
+	for i := range g.verts {
+		d := len(g.verts[i].out) + len(g.verts[i].in)
+		if d > 0 {
+			active++
+			deg += d
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	return float64(deg) / float64(active)
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{V=%d E=%d types=%d labels=%d}",
+		len(g.verts), g.liveEdges, g.types.Len(), g.labels.Len())
+}

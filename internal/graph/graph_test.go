@@ -1,0 +1,316 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("alpha")
+	b := in.Intern("beta")
+	if a == b {
+		t.Fatalf("distinct strings interned to same id %d", a)
+	}
+	if got := in.Intern("alpha"); got != a {
+		t.Errorf("re-intern alpha = %d, want %d", got, a)
+	}
+	if in.Name(a) != "alpha" || in.Name(b) != "beta" {
+		t.Errorf("Name round-trip failed: %q %q", in.Name(a), in.Name(b))
+	}
+	if _, ok := in.Lookup("gamma"); ok {
+		t.Errorf("Lookup(gamma) = ok, want miss")
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d, want 2", in.Len())
+	}
+	if got := in.Names(); len(got) != 2 || got[0] != "alpha" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestEnsureVertexIdempotent(t *testing.T) {
+	g := New()
+	v1 := g.EnsureVertex("a", "host")
+	v2 := g.EnsureVertex("a", "host")
+	if v1 != v2 {
+		t.Fatalf("EnsureVertex not idempotent: %d vs %d", v1, v2)
+	}
+	if g.NumVertices() != 1 {
+		t.Fatalf("NumVertices = %d, want 1", g.NumVertices())
+	}
+	// Label is immutable once assigned.
+	v3 := g.EnsureVertex("a", "server")
+	if v3 != v1 {
+		t.Fatalf("same name produced new vertex")
+	}
+	if g.Labels().Name(uint32(g.VertexLabel(v1))) != "host" {
+		t.Errorf("label changed on re-ensure")
+	}
+}
+
+func TestVertexByName(t *testing.T) {
+	g := New()
+	if g.VertexByName("missing") != NoVertex {
+		t.Errorf("missing vertex lookup should return NoVertex")
+	}
+	v := g.EnsureVertex("x", "ip")
+	if g.VertexByName("x") != v {
+		t.Errorf("VertexByName mismatch")
+	}
+	if g.VertexName(v) != "x" {
+		t.Errorf("VertexName mismatch")
+	}
+}
+
+func TestAddEdgeAdjacency(t *testing.T) {
+	g := New()
+	a := g.EnsureVertex("a", "ip")
+	b := g.EnsureVertex("b", "ip")
+	c := g.EnsureVertex("c", "ip")
+	tcp := TypeID(g.Types().Intern("tcp"))
+	udp := TypeID(g.Types().Intern("udp"))
+
+	e1 := g.AddEdge(a, b, tcp, 1)
+	e2 := g.AddEdge(a, c, udp, 2)
+	e3 := g.AddEdge(b, a, tcp, 3)
+
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.OutDegree(a) != 2 || g.InDegree(a) != 1 || g.Degree(a) != 3 {
+		t.Errorf("degrees at a: out=%d in=%d total=%d", g.OutDegree(a), g.InDegree(a), g.Degree(a))
+	}
+	var outIDs []EdgeID
+	g.EachOut(a, func(h Half) bool { outIDs = append(outIDs, h.ID); return true })
+	if len(outIDs) != 2 || outIDs[0] != e1 || outIDs[1] != e2 {
+		t.Errorf("EachOut(a) = %v, want [%d %d]", outIDs, e1, e2)
+	}
+	ed, ok := g.Edge(e3)
+	if !ok || ed.Src != b || ed.Dst != a || ed.Type != tcp || ed.TS != 3 {
+		t.Errorf("Edge(e3) = %+v ok=%v", ed, ok)
+	}
+	if g.LastTS() != 3 {
+		t.Errorf("LastTS = %d, want 3", g.LastTS())
+	}
+}
+
+func TestMultiEdges(t *testing.T) {
+	g := New()
+	a := g.EnsureVertex("a", "ip")
+	b := g.EnsureVertex("b", "ip")
+	tcp := TypeID(g.Types().Intern("tcp"))
+	e1 := g.AddEdge(a, b, tcp, 1)
+	e2 := g.AddEdge(a, b, tcp, 2)
+	if e1 == e2 {
+		t.Fatalf("parallel edges share an id")
+	}
+	if g.NumEdges() != 2 || g.OutDegree(a) != 2 {
+		t.Errorf("parallel edges not both present")
+	}
+}
+
+func TestRemoveEdgeSwapFix(t *testing.T) {
+	g := New()
+	a := g.EnsureVertex("a", "ip")
+	b := g.EnsureVertex("b", "ip")
+	c := g.EnsureVertex("c", "ip")
+	tcp := TypeID(g.Types().Intern("tcp"))
+	e1 := g.AddEdge(a, b, tcp, 1)
+	e2 := g.AddEdge(a, c, tcp, 2)
+	e3 := g.AddEdge(a, b, tcp, 3)
+
+	g.RemoveEdge(e1) // forces swap of e3 into e1's slot in a.out
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if _, ok := g.Edge(e1); ok {
+		t.Errorf("removed edge still live")
+	}
+	// Removing the swapped edge must still work (back-index was patched).
+	g.RemoveEdge(e3)
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges after second removal = %d, want 1", g.NumEdges())
+	}
+	if _, ok := g.Edge(e2); !ok {
+		t.Errorf("surviving edge e2 lost")
+	}
+	// Double removal is a no-op.
+	g.RemoveEdge(e3)
+	if g.NumEdges() != 1 {
+		t.Errorf("double removal changed edge count")
+	}
+}
+
+func TestEdgeIDRecycling(t *testing.T) {
+	g := New()
+	a := g.EnsureVertex("a", "ip")
+	b := g.EnsureVertex("b", "ip")
+	tcp := TypeID(g.Types().Intern("tcp"))
+	e1 := g.AddEdge(a, b, tcp, 1)
+	g.RemoveEdge(e1)
+	e2 := g.AddEdge(b, a, tcp, 2)
+	if e2 != e1 {
+		t.Fatalf("freed edge id not recycled: got %d, want %d", e2, e1)
+	}
+	ed, ok := g.Edge(e2)
+	if !ok || ed.Src != b {
+		t.Fatalf("recycled edge has stale fields: %+v", ed)
+	}
+}
+
+func TestExpireBefore(t *testing.T) {
+	g := New()
+	a := g.EnsureVertex("a", "ip")
+	b := g.EnsureVertex("b", "ip")
+	tcp := TypeID(g.Types().Intern("tcp"))
+	for ts := int64(1); ts <= 10; ts++ {
+		g.AddEdge(a, b, tcp, ts)
+	}
+	removed := g.ExpireBefore(6)
+	if removed != 5 {
+		t.Fatalf("ExpireBefore removed %d, want 5", removed)
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	g.EachEdge(func(e Edge) bool {
+		if e.TS < 6 {
+			t.Errorf("edge with ts %d survived eviction", e.TS)
+		}
+		return true
+	})
+	// Nothing more to evict at the same cutoff.
+	if again := g.ExpireBefore(6); again != 0 {
+		t.Errorf("second ExpireBefore removed %d, want 0", again)
+	}
+}
+
+func TestExpireBeforeOutOfOrderSlack(t *testing.T) {
+	g := New()
+	a := g.EnsureVertex("a", "ip")
+	b := g.EnsureVertex("b", "ip")
+	tcp := TypeID(g.Types().Intern("tcp"))
+	g.AddEdge(a, b, tcp, 100) // newer edge arrives first
+	old := g.AddEdge(a, b, tcp, 1)
+	// The old edge is behind the newer one in arrival order, so a single
+	// sweep stops at the newer edge and keeps the old one (documented
+	// slack).
+	g.ExpireBefore(50)
+	if _, ok := g.Edge(old); !ok {
+		t.Fatalf("out-of-order old edge unexpectedly evicted by first sweep")
+	}
+	// Once the newer edge also expires, the old one goes with it.
+	g.ExpireBefore(101)
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", g.NumEdges())
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	g := New()
+	a := g.EnsureVertex("a", "ip")
+	b := g.EnsureVertex("b", "ip")
+	g.EnsureVertex("isolated", "ip")
+	tcp := TypeID(g.Types().Intern("tcp"))
+	g.AddEdge(a, b, tcp, 1)
+	if got := g.AvgDegree(); got != 1.0 {
+		t.Errorf("AvgDegree = %v, want 1.0 (isolated vertices excluded)", got)
+	}
+	empty := New()
+	if empty.AvgDegree() != 0 {
+		t.Errorf("empty graph AvgDegree should be 0")
+	}
+}
+
+// checkConsistency validates the structural invariants: every live edge
+// appears exactly once in its source's out list and its destination's
+// in list, back-indices agree, and counts match.
+func checkConsistency(t *testing.T, g *Graph) {
+	t.Helper()
+	live := 0
+	g.EachEdge(func(e Edge) bool {
+		live++
+		found := 0
+		g.EachOut(e.Src, func(h Half) bool {
+			if h.ID == e.ID {
+				found++
+				if h.Peer != e.Dst || h.Type != e.Type || h.TS != e.TS {
+					t.Errorf("out adjacency mismatch for edge %d", e.ID)
+				}
+			}
+			return true
+		})
+		if found != 1 {
+			t.Errorf("edge %d appears %d times in out list, want 1", e.ID, found)
+		}
+		found = 0
+		g.EachIn(e.Dst, func(h Half) bool {
+			if h.ID == e.ID {
+				found++
+				if h.Peer != e.Src {
+					t.Errorf("in adjacency peer mismatch for edge %d", e.ID)
+				}
+			}
+			return true
+		})
+		if found != 1 {
+			t.Errorf("edge %d appears %d times in in list, want 1", e.ID, found)
+		}
+		return true
+	})
+	if live != g.NumEdges() {
+		t.Errorf("EachEdge saw %d live edges, NumEdges reports %d", live, g.NumEdges())
+	}
+	totalOut, totalIn := 0, 0
+	g.EachVertex(func(v VertexID) bool {
+		totalOut += g.OutDegree(v)
+		totalIn += g.InDegree(v)
+		return true
+	})
+	if totalOut != live || totalIn != live {
+		t.Errorf("degree sums out=%d in=%d, want %d", totalOut, totalIn, live)
+	}
+}
+
+func TestRandomMutationConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := New()
+	const nv = 20
+	for i := 0; i < nv; i++ {
+		g.EnsureVertex(string(rune('a'+i)), "ip")
+	}
+	types := []TypeID{
+		TypeID(g.Types().Intern("tcp")),
+		TypeID(g.Types().Intern("udp")),
+		TypeID(g.Types().Intern("icmp")),
+	}
+	var liveIDs []EdgeID
+	ts := int64(0)
+	for step := 0; step < 3000; step++ {
+		if rng.Intn(3) != 0 || len(liveIDs) == 0 {
+			s := VertexID(rng.Intn(nv))
+			d := VertexID(rng.Intn(nv))
+			if s == d {
+				continue
+			}
+			ts++
+			liveIDs = append(liveIDs, g.AddEdge(s, d, types[rng.Intn(len(types))], ts))
+		} else {
+			i := rng.Intn(len(liveIDs))
+			g.RemoveEdge(liveIDs[i])
+			liveIDs[i] = liveIDs[len(liveIDs)-1]
+			liveIDs = liveIDs[:len(liveIDs)-1]
+		}
+		if step%500 == 0 {
+			checkConsistency(t, g)
+		}
+	}
+	checkConsistency(t, g)
+	// Drain everything through eviction and re-check.
+	g.ExpireBefore(ts + 1)
+	if g.NumEdges() != 0 {
+		t.Fatalf("full eviction left %d edges", g.NumEdges())
+	}
+	checkConsistency(t, g)
+}

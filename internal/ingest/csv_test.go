@@ -1,0 +1,115 @@
+package ingest
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"streamgraph/internal/attr"
+	"streamgraph/internal/stream"
+)
+
+const flowCSV = `ts,srcIP,dstIP,proto,srcPort,dstPort
+100,10.0.0.1,10.0.0.2,TCP,5555,443
+101,10.0.0.2,10.0.0.3,UDP,53,53
+102,10.0.0.3,10.0.0.1,ICMP,0,0
+`
+
+func drain(t *testing.T, src stream.Source) []stream.Edge {
+	t.Helper()
+	edges, err := stream.ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return edges
+}
+
+func TestCSVSourceBasic(t *testing.T) {
+	src, err := NewCSVSource(strings.NewReader(flowCSV), CSVConfig{Mapper: NetflowMapper(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := drain(t, src)
+	if len(edges) != 3 {
+		t.Fatalf("got %d edges, want 3", len(edges))
+	}
+	e := edges[0]
+	if e.Src != "10.0.0.1" || e.Dst != "10.0.0.2" || e.Type != "TCP" || e.TS != 100 {
+		t.Fatalf("edge 0 = %+v", e)
+	}
+	if e.SrcLabel != "ip" || e.DstLabel != "ip" {
+		t.Fatalf("labels = %q/%q, want ip/ip", e.SrcLabel, e.DstLabel)
+	}
+	if got := src.Header(); len(got) != 6 || got[0] != "ts" {
+		t.Fatalf("Header = %v", got)
+	}
+}
+
+func TestCSVSourceWherePredicate(t *testing.T) {
+	src, err := NewCSVSource(strings.NewReader(flowCSV), CSVConfig{
+		Mapper: NetflowMapper(attr.MustPredicate("proto == TCP")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := drain(t, src)
+	if len(edges) != 1 || edges[0].Type != "TCP" {
+		t.Fatalf("predicate filter failed: %+v", edges)
+	}
+	if src.Skipped() != 0 {
+		t.Fatalf("Where-filtered rows must not count as skipped, got %d", src.Skipped())
+	}
+}
+
+func TestCSVSourceMissingHeader(t *testing.T) {
+	if _, err := NewCSVSource(strings.NewReader(""), CSVConfig{Mapper: NetflowMapper(nil)}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCSVSourceRequiresMapper(t *testing.T) {
+	if _, err := NewCSVSource(strings.NewReader(flowCSV), CSVConfig{}); err == nil {
+		t.Fatal("nil mapper accepted")
+	}
+}
+
+func TestCSVSourceMalformedRowFail(t *testing.T) {
+	bad := "ts,srcIP,dstIP,proto\n100,10.0.0.1,10.0.0.2,TCP\n101,only-two-fields\n"
+	src, err := NewCSVSource(strings.NewReader(bad), CSVConfig{Mapper: NetflowMapper(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err != nil {
+		t.Fatalf("first row: %v", err)
+	}
+	if _, err := src.Next(); err == nil || err == io.EOF {
+		t.Fatalf("malformed row: err = %v, want parse error", err)
+	}
+}
+
+func TestCSVSourceMalformedRowSkip(t *testing.T) {
+	bad := "ts,srcIP,dstIP,proto\n100,10.0.0.1,10.0.0.2,TCP\n101,only-two\nnot-a-ts,10.0.0.4,10.0.0.5,UDP\n103,10.0.0.6,10.0.0.7,GRE\n"
+	src, err := NewCSVSource(strings.NewReader(bad), CSVConfig{Mapper: NetflowMapper(nil), OnError: Skip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := drain(t, src)
+	if len(edges) != 2 {
+		t.Fatalf("got %d edges, want 2 (TCP and GRE rows)", len(edges))
+	}
+	if src.Skipped() != 2 {
+		t.Fatalf("Skipped = %d, want 2", src.Skipped())
+	}
+}
+
+func TestCSVSourceCustomDelimiter(t *testing.T) {
+	tsv := "ts\tsrcIP\tdstIP\tproto\n100\ta\tb\tTCP\n"
+	src, err := NewCSVSource(strings.NewReader(tsv), CSVConfig{Mapper: NetflowMapper(nil), Comma: '\t'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := drain(t, src)
+	if len(edges) != 1 || edges[0].Src != "a" {
+		t.Fatalf("TSV parsing failed: %+v", edges)
+	}
+}

@@ -1,0 +1,221 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"streamgraph/internal/stream"
+)
+
+// NTriplesConfig parameterizes an N-Triples source.
+type NTriplesConfig struct {
+	// VertexLabel is assigned to every vertex; empty means wildcard
+	// semantics downstream (the engine treats "" and "*" alike).
+	VertexLabel string
+	// KeepFullIRI preserves complete IRIs as vertex names and edge
+	// types; by default they are shortened to the local name (the part
+	// after the last '#' or '/'), which is what the LSBench schema
+	// tables use.
+	KeepFullIRI bool
+	// OnError selects Fail (default) or Skip for malformed lines.
+	OnError ErrorPolicy
+}
+
+// NTriplesSource streams edges from RDF N-Triples:
+//
+//	<subject> <predicate> <object> .
+//
+// Subjects and objects become vertices (IRIs, blank nodes "_:x" and
+// literals are all accepted as vertex names); predicates become edge
+// types. Timestamps are assigned by arrival order (1, 2, ...), the
+// usual convention when replaying an RDF stream archive.
+type NTriplesSource struct {
+	sc      *bufio.Scanner
+	cfg     NTriplesConfig
+	line    int
+	ts      int64
+	skipped int64
+}
+
+// NewNTriplesSource returns a source over r.
+func NewNTriplesSource(r io.Reader, cfg NTriplesConfig) *NTriplesSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &NTriplesSource{sc: sc, cfg: cfg}
+}
+
+// Skipped reports how many lines were dropped under the Skip policy.
+func (s *NTriplesSource) Skipped() int64 { return s.skipped }
+
+// Next implements stream.Source.
+func (s *NTriplesSource) Next() (stream.Edge, error) {
+	for s.sc.Scan() {
+		s.line++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		subj, pred, obj, err := parseTriple(line)
+		if err != nil {
+			if s.cfg.OnError == Skip {
+				s.skipped++
+				continue
+			}
+			return stream.Edge{}, fmt.Errorf("ingest: line %d: %v", s.line, err)
+		}
+		s.ts++
+		return stream.Edge{
+			Src: s.term(subj), SrcLabel: s.cfg.VertexLabel,
+			Dst: s.term(obj), DstLabel: s.cfg.VertexLabel,
+			Type: s.term(pred),
+			TS:   s.ts,
+		}, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return stream.Edge{}, err
+	}
+	return stream.Edge{}, io.EOF
+}
+
+func (s *NTriplesSource) term(t string) string {
+	if s.cfg.KeepFullIRI {
+		return t
+	}
+	return localName(t)
+}
+
+// localName shortens an IRI to its fragment or last path segment;
+// literals and blank nodes pass through unchanged.
+func localName(t string) string {
+	if !strings.HasPrefix(t, "<") {
+		return t
+	}
+	inner := strings.Trim(t, "<>")
+	if i := strings.LastIndexAny(inner, "#/"); i >= 0 && i+1 < len(inner) {
+		return inner[i+1:]
+	}
+	return inner
+}
+
+// parseTriple splits one N-Triples statement into its three terms. It
+// handles IRIs (<...>), blank nodes (_:name) and literals ("..." with
+// optional @lang or ^^<datatype>), and requires the terminating '.'.
+func parseTriple(line string) (subj, pred, obj string, err error) {
+	rest := line
+	subj, rest, err = readTerm(rest)
+	if err != nil {
+		return "", "", "", fmt.Errorf("subject: %v", err)
+	}
+	pred, rest, err = readTerm(rest)
+	if err != nil {
+		return "", "", "", fmt.Errorf("predicate: %v", err)
+	}
+	if !strings.HasPrefix(pred, "<") {
+		return "", "", "", fmt.Errorf("predicate %q is not an IRI", pred)
+	}
+	obj, rest, err = readTerm(rest)
+	if err != nil {
+		return "", "", "", fmt.Errorf("object: %v", err)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "." {
+		return "", "", "", fmt.Errorf("missing terminating '.' (got %q)", rest)
+	}
+	return subj, pred, obj, nil
+}
+
+// readTerm consumes one RDF term from the front of s.
+func readTerm(s string) (term, rest string, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", "", fmt.Errorf("unexpected end of statement")
+	}
+	switch s[0] {
+	case '<':
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated IRI")
+		}
+		return s[:end+1], s[end+1:], nil
+	case '"':
+		// Scan to the closing quote, honoring backslash escapes.
+		i := 1
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return "", "", fmt.Errorf("unterminated literal")
+		}
+		lit := s[1:i]
+		rest = s[i+1:]
+		// Swallow a language tag or datatype suffix.
+		switch {
+		case strings.HasPrefix(rest, "@"):
+			j := 1
+			for j < len(rest) && rest[j] != ' ' && rest[j] != '\t' {
+				j++
+			}
+			rest = rest[j:]
+		case strings.HasPrefix(rest, "^^<"):
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return "", "", fmt.Errorf("unterminated datatype IRI")
+			}
+			rest = rest[end+1:]
+		}
+		return unescapeLiteral(lit), rest, nil
+	case '_':
+		if !strings.HasPrefix(s, "_:") {
+			return "", "", fmt.Errorf("malformed blank node")
+		}
+		j := 2
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		if j == 2 {
+			return "", "", fmt.Errorf("empty blank node label")
+		}
+		return s[:j], s[j:], nil
+	default:
+		return "", "", fmt.Errorf("unrecognized term starting at %q", s[:1])
+	}
+}
+
+func unescapeLiteral(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 >= len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

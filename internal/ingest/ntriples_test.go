@@ -1,0 +1,107 @@
+package ingest
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const sampleNT = `# a comment line
+<http://ex.org/u/alice> <http://xmlns.com/foaf/0.1/knows> <http://ex.org/u/bob> .
+<http://ex.org/u/bob> <http://ex.org/s#likes> <http://ex.org/post/42> .
+
+_:b1 <http://ex.org/s#tagged> "golang rocks"@en .
+<http://ex.org/u/carol> <http://ex.org/s#age> "29"^^<http://www.w3.org/2001/XMLSchema#integer> .
+`
+
+func TestNTriplesBasic(t *testing.T) {
+	src := NewNTriplesSource(strings.NewReader(sampleNT), NTriplesConfig{VertexLabel: "node"})
+	edges := drain(t, src)
+	if len(edges) != 4 {
+		t.Fatalf("got %d edges, want 4", len(edges))
+	}
+	e := edges[0]
+	if e.Src != "alice" || e.Dst != "bob" || e.Type != "knows" {
+		t.Fatalf("edge 0 = %+v", e)
+	}
+	if e.TS != 1 || edges[3].TS != 4 {
+		t.Fatalf("arrival timestamps wrong: %d ... %d", e.TS, edges[3].TS)
+	}
+	if edges[1].Type != "likes" || edges[1].Dst != "42" {
+		t.Fatalf("edge 1 = %+v", edges[1])
+	}
+	if edges[2].Src != "_:b1" || edges[2].Dst != "golang rocks" {
+		t.Fatalf("edge 2 (blank node + literal) = %+v", edges[2])
+	}
+	if edges[3].Dst != "29" {
+		t.Fatalf("edge 3 (typed literal) = %+v", edges[3])
+	}
+}
+
+func TestNTriplesKeepFullIRI(t *testing.T) {
+	src := NewNTriplesSource(strings.NewReader(sampleNT), NTriplesConfig{KeepFullIRI: true})
+	edges := drain(t, src)
+	if edges[0].Src != "<http://ex.org/u/alice>" {
+		t.Fatalf("full IRI not preserved: %q", edges[0].Src)
+	}
+	if edges[0].Type != "<http://xmlns.com/foaf/0.1/knows>" {
+		t.Fatalf("full predicate not preserved: %q", edges[0].Type)
+	}
+}
+
+func TestNTriplesEscapedLiteral(t *testing.T) {
+	nt := `<http://e/a> <http://e/says> "line1\nline\"2\\" .` + "\n"
+	src := NewNTriplesSource(strings.NewReader(nt), NTriplesConfig{})
+	edges := drain(t, src)
+	if edges[0].Dst != "line1\nline\"2\\" {
+		t.Fatalf("unescaping wrong: %q", edges[0].Dst)
+	}
+}
+
+func TestNTriplesMalformedFail(t *testing.T) {
+	for _, bad := range []string{
+		`<http://e/a> <http://e/p> <http://e/b>`,           // missing dot
+		`<http://e/a> <http://e/p> .`,                      // missing object
+		`<http://e/a> "literal-predicate" <http://e/b> .`,  // literal predicate
+		`<http://e/a <http://e/p> <http://e/b> .`,          // unterminated IRI
+		`<http://e/a> <http://e/p> "unterminated .`,        // unterminated literal
+		`<http://e/a> <http://e/p> <http://e/b> . trailer`, // trailing garbage
+		`_: <http://e/p> <http://e/b> .`,                   // empty blank node
+		`@prefix ex: <http://e/> .`,                        // Turtle, not N-Triples
+	} {
+		src := NewNTriplesSource(strings.NewReader(bad+"\n"), NTriplesConfig{})
+		if _, err := src.Next(); err == nil || err == io.EOF {
+			t.Errorf("malformed %q: err = %v, want parse error", bad, err)
+		}
+	}
+}
+
+func TestNTriplesMalformedSkip(t *testing.T) {
+	nt := "<http://e/a> <http://e/p> <http://e/b> .\nbroken line\n<http://e/c> <http://e/p> <http://e/d> .\n"
+	src := NewNTriplesSource(strings.NewReader(nt), NTriplesConfig{OnError: Skip})
+	edges := drain(t, src)
+	if len(edges) != 2 {
+		t.Fatalf("got %d edges, want 2", len(edges))
+	}
+	if src.Skipped() != 1 {
+		t.Fatalf("Skipped = %d, want 1", src.Skipped())
+	}
+	// Timestamps remain consecutive over surviving edges.
+	if edges[0].TS != 1 || edges[1].TS != 2 {
+		t.Fatalf("timestamps: %d, %d", edges[0].TS, edges[1].TS)
+	}
+}
+
+func TestLocalNameEdgeCases(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"<http://e/path/leaf>", "leaf"},
+		{"<http://e/frag#x>", "x"},
+		{"<plain>", "plain"},
+		{"<http://e/trailing/>", "http://e/trailing/"}, // nothing after separator
+		{"bare", "bare"},
+	} {
+		if got := localName(tc.in); got != tc.want {
+			t.Errorf("localName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,497 @@
+// Package iso implements subgraph isomorphism over the dynamic data
+// graph: a VF2-style filter-and-verify backtracking matcher (the
+// baseline of Choudhury et al., EDBT 2015, Section 6) and the localized
+// variants the SJ-Tree leaves need — matching a small query subgraph
+// around a newly arrived edge, or around a vertex (used by Lazy Search's
+// retrospective repair and by Algorithm 4's decomposition step).
+//
+// A match is a bijection between the vertices/edges of a (sub)query and
+// a subgraph of the data graph: vertex-injective, edge-distinct,
+// direction-, type- and label-respecting. Matches are represented with
+// full-length binding arrays indexed by the *global* query vertex/edge
+// indices so that partial matches from different SJ-Tree leaves join
+// without translation.
+package iso
+
+import (
+	"math"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/query"
+)
+
+// NoEdge marks an unbound query-edge slot in a Match.
+const NoEdge = graph.EdgeID(math.MaxUint32)
+
+// Match is a (partial) embedding of a query graph in the data graph.
+// VertexOf[i] is the data vertex bound to query vertex i (graph.NoVertex
+// if unbound); EdgeOf[j] is the data edge bound to query edge j (NoEdge
+// if unbound). MinTS/MaxTS track τ(g) over the bound edges.
+type Match struct {
+	VertexOf []graph.VertexID
+	EdgeOf   []graph.EdgeID
+	MinTS    int64
+	MaxTS    int64
+}
+
+// NewMatch returns an empty match sized for query q.
+func NewMatch(q *query.Graph) Match {
+	m := Match{
+		VertexOf: make([]graph.VertexID, len(q.Vertices)),
+		EdgeOf:   make([]graph.EdgeID, len(q.Edges)),
+		MinTS:    math.MaxInt64,
+		MaxTS:    math.MinInt64,
+	}
+	for i := range m.VertexOf {
+		m.VertexOf[i] = graph.NoVertex
+	}
+	for i := range m.EdgeOf {
+		m.EdgeOf[i] = NoEdge
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m Match) Clone() Match {
+	c := m
+	c.VertexOf = append([]graph.VertexID(nil), m.VertexOf...)
+	c.EdgeOf = append([]graph.EdgeID(nil), m.EdgeOf...)
+	return c
+}
+
+// Span returns τ(g): the duration between the earliest and latest bound
+// edge, or 0 for matches with fewer than two edges.
+func (m Match) Span() int64 {
+	if m.MaxTS < m.MinTS {
+		return 0
+	}
+	return m.MaxTS - m.MinTS
+}
+
+// BoundEdges returns the number of bound query edges.
+func (m Match) BoundEdges() int {
+	n := 0
+	for _, e := range m.EdgeOf {
+		if e != NoEdge {
+			n++
+		}
+	}
+	return n
+}
+
+// HasEdge reports whether data edge id participates in the match.
+func (m Match) HasEdge(id graph.EdgeID) bool {
+	for _, e := range m.EdgeOf {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Matcher runs subgraph isomorphism queries for one query graph against
+// one data graph. It is not safe for concurrent use.
+type Matcher struct {
+	G *graph.Graph
+	Q *query.Graph
+
+	// Window, when positive, prunes any embedding whose edge-timestamp
+	// span τ(g) is >= Window (the paper requires τ(g) < tW).
+	Window int64
+
+	// MaxMatches, when positive, stops the search after that many
+	// matches have been produced (guard against pathological queries).
+	MaxMatches int
+
+	// MaxStepsPerSearch, when positive, aborts a single search call
+	// after that many recursive extension steps — the backtracking
+	// search space at hub vertices can explode without producing any
+	// match. Aborted searches may miss matches (load shedding).
+	MaxStepsPerSearch int64
+
+	st searchState
+}
+
+// NewMatcher returns a matcher for q over g.
+func NewMatcher(g *graph.Graph, q *query.Graph) *Matcher {
+	return &Matcher{G: g, Q: q}
+}
+
+type searchState struct {
+	sub       []int // query edge indices being matched
+	isSub     []bool
+	boundCnt  int
+	cur       Match
+	vUsed     map[graph.VertexID]bool
+	emit      func(Match) bool // returns false to stop
+	stopped   bool
+	calls     int64
+	callsThis int64 // steps within the current search call
+}
+
+// Calls reports the number of recursive extension steps performed since
+// the matcher was created (a cheap work metric used by the benchmarks).
+func (m *Matcher) Calls() int64 { return m.st.calls }
+
+func (m *Matcher) initState(sub []int, emit func(Match) bool) {
+	st := &m.st
+	st.sub = sub
+	if cap(st.isSub) < len(m.Q.Edges) {
+		st.isSub = make([]bool, len(m.Q.Edges))
+	} else {
+		st.isSub = st.isSub[:len(m.Q.Edges)]
+		for i := range st.isSub {
+			st.isSub[i] = false
+		}
+	}
+	for _, ei := range sub {
+		st.isSub[ei] = true
+	}
+	st.boundCnt = 0
+	st.cur = NewMatch(m.Q)
+	if st.vUsed == nil {
+		st.vUsed = make(map[graph.VertexID]bool, 8)
+	} else {
+		clear(st.vUsed)
+	}
+	st.emit = emit
+	st.stopped = false
+	st.callsThis = 0
+}
+
+// labelOK reports whether data vertex v satisfies query vertex qv's
+// label constraint.
+func (m *Matcher) labelOK(qv int, v graph.VertexID) bool {
+	want := m.Q.LabelOf(qv)
+	if want == query.Wildcard {
+		return true
+	}
+	id, ok := m.G.Labels().Lookup(want)
+	if !ok {
+		return false
+	}
+	return m.G.VertexLabel(v) == graph.LabelID(id)
+}
+
+// typeID resolves the interned TypeID for query edge qe, reporting false
+// if the type has never been seen in the data graph (no match possible).
+func (m *Matcher) typeID(qe int) (graph.TypeID, bool) {
+	id, ok := m.G.Types().Lookup(m.Q.Edges[qe].Type)
+	return graph.TypeID(id), ok
+}
+
+// FindAroundEdge finds all embeddings of the subquery (the query edges
+// listed in sub, which must induce a weakly connected subgraph) that use
+// data edge e for at least one query edge. Every returned mapping binds
+// e; distinct automorphic mappings are returned separately, matching the
+// bijection-counting semantics of the paper.
+func (m *Matcher) FindAroundEdge(sub []int, e graph.Edge) []Match {
+	var out []Match
+	m.FindAroundEdgeFunc(sub, e, func(mt Match) bool {
+		out = append(out, mt.Clone())
+		return m.MaxMatches <= 0 || len(out) < m.MaxMatches
+	})
+	return out
+}
+
+// FindAroundEdgeFunc is the streaming form of FindAroundEdge. emit
+// receives each match (valid only for the duration of the call — clone
+// to retain); returning false stops the search.
+func (m *Matcher) FindAroundEdgeFunc(sub []int, e graph.Edge, emit func(Match) bool) {
+	for _, qe := range sub {
+		tid, ok := m.typeID(qe)
+		if !ok || tid != e.Type {
+			continue
+		}
+		qs, qd := m.Q.Edges[qe].Src, m.Q.Edges[qe].Dst
+		if !m.labelOK(qs, e.Src) || !m.labelOK(qd, e.Dst) {
+			continue
+		}
+		m.initState(sub, emit)
+		m.bindEdge(qe, e)
+		m.extend()
+		m.unbindEdge(qe, e)
+		if m.st.stopped {
+			return
+		}
+	}
+}
+
+// FindAroundVertex finds all embeddings of the subquery that bind data
+// vertex v to some query vertex of the subquery. Used by Lazy Search's
+// retrospective neighborhood search.
+func (m *Matcher) FindAroundVertex(sub []int, v graph.VertexID) []Match {
+	var out []Match
+	m.FindAroundVertexFunc(sub, v, func(mt Match) bool {
+		out = append(out, mt.Clone())
+		return m.MaxMatches <= 0 || len(out) < m.MaxMatches
+	})
+	return out
+}
+
+// FindAroundVertexFunc is the streaming form of FindAroundVertex.
+func (m *Matcher) FindAroundVertexFunc(sub []int, v graph.VertexID, emit func(Match) bool) {
+	verts := m.Q.EdgeVertices(sub)
+	for _, qv := range verts {
+		if !m.labelOK(qv, v) {
+			continue
+		}
+		m.initState(sub, emit)
+		m.st.cur.VertexOf[qv] = v
+		m.st.vUsed[v] = true
+		m.extend()
+		m.st.cur.VertexOf[qv] = graph.NoVertex
+		delete(m.st.vUsed, v)
+		if m.st.stopped {
+			return
+		}
+	}
+}
+
+// FindAll enumerates every embedding of the subquery in the entire data
+// graph (the non-incremental VF2-style baseline). The first subquery
+// edge is used as the anchor: every data edge of its type is tried.
+func (m *Matcher) FindAll(sub []int) []Match {
+	var out []Match
+	m.FindAllFunc(sub, func(mt Match) bool {
+		out = append(out, mt.Clone())
+		return m.MaxMatches <= 0 || len(out) < m.MaxMatches
+	})
+	return out
+}
+
+// FindAllFunc is the streaming form of FindAll.
+func (m *Matcher) FindAllFunc(sub []int, emit func(Match) bool) {
+	if len(sub) == 0 {
+		return
+	}
+	anchor := sub[0]
+	tid, ok := m.typeID(anchor)
+	if !ok {
+		return
+	}
+	qs, qd := m.Q.Edges[anchor].Src, m.Q.Edges[anchor].Dst
+	stopped := false
+	m.G.EachEdge(func(e graph.Edge) bool {
+		if e.Type != tid {
+			return true
+		}
+		if !m.labelOK(qs, e.Src) || !m.labelOK(qd, e.Dst) {
+			return true
+		}
+		m.initState(sub, emit)
+		m.bindEdge(anchor, e)
+		m.extend()
+		m.unbindEdge(anchor, e)
+		if m.st.stopped {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	_ = stopped
+}
+
+// bindEdge binds query edge qe to data edge e, binding both endpoints.
+// Callers must have verified type, direction and label compatibility.
+func (m *Matcher) bindEdge(qe int, e graph.Edge) {
+	st := &m.st
+	q := m.Q.Edges[qe]
+	st.cur.EdgeOf[qe] = e.ID
+	st.boundCnt++
+	if st.cur.VertexOf[q.Src] == graph.NoVertex {
+		st.cur.VertexOf[q.Src] = e.Src
+		st.vUsed[e.Src] = true
+	}
+	if st.cur.VertexOf[q.Dst] == graph.NoVertex {
+		st.cur.VertexOf[q.Dst] = e.Dst
+		st.vUsed[e.Dst] = true
+	}
+	if e.TS < st.cur.MinTS {
+		st.cur.MinTS = e.TS
+	}
+	if e.TS > st.cur.MaxTS {
+		st.cur.MaxTS = e.TS
+	}
+}
+
+func (m *Matcher) unbindEdge(qe int, e graph.Edge) {
+	// Timestamps are restored by the caller snapshotting MinTS/MaxTS;
+	// see extend. Here we only release the edge and vertex bindings.
+	st := &m.st
+	q := m.Q.Edges[qe]
+	st.cur.EdgeOf[qe] = NoEdge
+	st.boundCnt--
+	if m.vertexFreeable(q.Src, e.Src) {
+		st.cur.VertexOf[q.Src] = graph.NoVertex
+		delete(st.vUsed, e.Src)
+	}
+	if m.vertexFreeable(q.Dst, e.Dst) {
+		st.cur.VertexOf[q.Dst] = graph.NoVertex
+		delete(st.vUsed, e.Dst)
+	}
+}
+
+// vertexFreeable reports whether query vertex qv's binding is no longer
+// justified by any bound edge and may be released.
+func (m *Matcher) vertexFreeable(qv int, _ graph.VertexID) bool {
+	st := &m.st
+	if st.cur.VertexOf[qv] == graph.NoVertex {
+		return false
+	}
+	for _, ei := range st.sub {
+		if st.cur.EdgeOf[ei] == NoEdge {
+			continue
+		}
+		qe := m.Q.Edges[ei]
+		if qe.Src == qv || qe.Dst == qv {
+			return false
+		}
+	}
+	// Anchor-vertex bindings (FindAroundVertex) are released by the
+	// caller, not here; those have no supporting edge either, but the
+	// anchor loop owns them. We distinguish by checking bound count:
+	// during recursion a vertex with no supporting edges must have been
+	// bound by the anchor loop exactly when boundCnt == 0 paths occur.
+	return true
+}
+
+// extend recursively binds the remaining unbound subquery edges.
+func (m *Matcher) extend() {
+	st := &m.st
+	if st.stopped {
+		return
+	}
+	st.calls++
+	st.callsThis++
+	if m.MaxStepsPerSearch > 0 && st.callsThis > m.MaxStepsPerSearch {
+		st.stopped = true
+		return
+	}
+	if st.boundCnt == len(st.sub) {
+		if !st.emit(st.cur) {
+			st.stopped = true
+		}
+		return
+	}
+	qe := m.pickNext()
+	if qe < 0 {
+		return // disconnected remainder: unreachable for valid subqueries
+	}
+	q := m.Q.Edges[qe]
+	tid, ok := m.typeID(qe)
+	if !ok {
+		return
+	}
+	sv := st.cur.VertexOf[q.Src]
+	dv := st.cur.VertexOf[q.Dst]
+	savedMin, savedMax := st.cur.MinTS, st.cur.MaxTS
+
+	try := func(e graph.Edge) bool {
+		if st.cur.hasDataEdge(e.ID, st.sub) {
+			return true
+		}
+		if m.Window > 0 {
+			lo, hi := st.cur.MinTS, st.cur.MaxTS
+			if e.TS < lo {
+				lo = e.TS
+			}
+			if e.TS > hi {
+				hi = e.TS
+			}
+			if lo <= hi && hi-lo >= m.Window {
+				return true
+			}
+		}
+		m.bindEdge(qe, e)
+		m.extend()
+		m.unbindEdge(qe, e)
+		st.cur.MinTS, st.cur.MaxTS = savedMin, savedMax
+		return !st.stopped
+	}
+
+	switch {
+	case sv != graph.NoVertex && dv != graph.NoVertex:
+		m.G.EachOut(sv, func(h graph.Half) bool {
+			if h.Type != tid || h.Peer != dv {
+				return true
+			}
+			e, ok := m.G.Edge(h.ID)
+			if !ok {
+				return true
+			}
+			return try(e)
+		})
+	case sv != graph.NoVertex:
+		m.G.EachOut(sv, func(h graph.Half) bool {
+			if h.Type != tid {
+				return true
+			}
+			if st.vUsed[h.Peer] {
+				return true // injectivity: peer already bound to another query vertex
+			}
+			if !m.labelOK(q.Dst, h.Peer) {
+				return true
+			}
+			e, ok := m.G.Edge(h.ID)
+			if !ok {
+				return true
+			}
+			return try(e)
+		})
+	case dv != graph.NoVertex:
+		m.G.EachIn(dv, func(h graph.Half) bool {
+			if h.Type != tid {
+				return true
+			}
+			if st.vUsed[h.Peer] {
+				return true
+			}
+			if !m.labelOK(q.Src, h.Peer) {
+				return true
+			}
+			e, ok := m.G.Edge(h.ID)
+			if !ok {
+				return true
+			}
+			return try(e)
+		})
+	}
+}
+
+// pickNext selects the next unbound subquery edge that touches a bound
+// vertex, preferring edges with both endpoints bound (cheapest to
+// verify). Returns -1 if no such edge exists.
+func (m *Matcher) pickNext() int {
+	st := &m.st
+	best, bestScore := -1, -1
+	for _, ei := range st.sub {
+		if st.cur.EdgeOf[ei] != NoEdge {
+			continue
+		}
+		q := m.Q.Edges[ei]
+		score := 0
+		if st.cur.VertexOf[q.Src] != graph.NoVertex {
+			score++
+		}
+		if st.cur.VertexOf[q.Dst] != graph.NoVertex {
+			score++
+		}
+		if score > bestScore {
+			best, bestScore = ei, score
+		}
+	}
+	if bestScore <= 0 {
+		return -1
+	}
+	return best
+}
+
+func (m Match) hasDataEdge(id graph.EdgeID, sub []int) bool {
+	for _, ei := range sub {
+		if m.EdgeOf[ei] == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package iso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/query"
+)
+
+// validMatch checks the isomorphism invariants of a produced match: the
+// anchor is present when required, bound vertices are injective, every
+// bound query edge maps to a live data edge of the right type and
+// direction whose endpoints agree with the vertex binding, data edges
+// are distinct, and the recorded timespan is correct.
+func validMatch(g *graph.Graph, q *query.Graph, sub []int, m Match, anchor graph.EdgeID) bool {
+	if anchor != NoEdge && !m.HasEdge(anchor) {
+		return false
+	}
+	seenV := map[graph.VertexID]bool{}
+	for _, dv := range m.VertexOf {
+		if dv == graph.NoVertex {
+			continue
+		}
+		if seenV[dv] {
+			return false
+		}
+		seenV[dv] = true
+	}
+	seenE := map[graph.EdgeID]bool{}
+	minTS, maxTS := int64(1<<62), int64(-1<<62)
+	for _, qe := range sub {
+		eid := m.EdgeOf[qe]
+		if eid == NoEdge {
+			return false // all subquery edges must be bound
+		}
+		if seenE[eid] {
+			return false
+		}
+		seenE[eid] = true
+		de, ok := g.Edge(eid)
+		if !ok {
+			return false
+		}
+		tid, ok := g.Types().Lookup(q.Edges[qe].Type)
+		if !ok || de.Type != graph.TypeID(tid) {
+			return false
+		}
+		if m.VertexOf[q.Edges[qe].Src] != de.Src || m.VertexOf[q.Edges[qe].Dst] != de.Dst {
+			return false
+		}
+		if de.TS < minTS {
+			minTS = de.TS
+		}
+		if de.TS > maxTS {
+			maxTS = de.TS
+		}
+	}
+	return m.MinTS == minTS && m.MaxTS == maxTS
+}
+
+// TestQuickMatchValidity: every match produced by the three search
+// entry points satisfies the isomorphism invariants.
+func TestQuickMatchValidity(t *testing.T) {
+	types := []string{"t1", "t2", "t3"}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraphQ(rng, 6+rng.Intn(4), 12+rng.Intn(12), types)
+		l := 1 + rng.Intn(3)
+		qt := make([]string, l)
+		for i := range qt {
+			qt[i] = types[rng.Intn(len(types))]
+		}
+		q := query.NewPath(query.Wildcard, qt...)
+		sub := make([]int, l)
+		for i := range sub {
+			sub[i] = i
+		}
+		m := NewMatcher(g, q)
+		if rng.Intn(2) == 0 {
+			m.Window = int64(5 + rng.Intn(20))
+		}
+
+		for _, mt := range m.FindAll(sub) {
+			if !validMatch(g, q, sub, mt, NoEdge) {
+				return false
+			}
+			if m.Window > 0 && mt.Span() >= m.Window {
+				return false
+			}
+		}
+		// Anchored search around a random live edge.
+		var anchor graph.Edge
+		found := false
+		g.EachEdge(func(e graph.Edge) bool {
+			if rng.Intn(4) == 0 {
+				anchor, found = e, true
+				return false
+			}
+			anchor, found = e, true
+			return true
+		})
+		if found {
+			for _, mt := range m.FindAroundEdge(sub, anchor) {
+				if !validMatch(g, q, sub, mt, anchor.ID) {
+					return false
+				}
+			}
+		}
+		// Vertex-anchored search around a random vertex.
+		v := graph.VertexID(rng.Intn(g.NumVertices()))
+		for _, mt := range m.FindAroundVertex(sub, v) {
+			if !validMatch(g, q, sub, mt, NoEdge) {
+				return false
+			}
+			touches := false
+			for _, dv := range mt.VertexOf {
+				if dv == v {
+					touches = true
+				}
+			}
+			if !touches {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAnchoredCoversIncremental: replaying a stream and summing
+// anchored matches per arriving edge equals the final FindAll count —
+// each match is discovered exactly once, on its last-arriving edge.
+func TestQuickAnchoredCoversIncremental(t *testing.T) {
+	types := []string{"a", "b"}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 1 + rng.Intn(2)
+		qt := make([]string, l)
+		for i := range qt {
+			qt[i] = types[rng.Intn(len(types))]
+		}
+		q := query.NewPath(query.Wildcard, qt...)
+		sub := make([]int, l)
+		for i := range sub {
+			sub[i] = i
+		}
+
+		g := graph.New()
+		const nv = 6
+		for i := 0; i < nv; i++ {
+			g.EnsureVertex(vname(i), "ip")
+		}
+		m := NewMatcher(g, q)
+		incremental := 0
+		for i := 0; i < 25; i++ {
+			s, d := rng.Intn(nv), rng.Intn(nv)
+			if s == d {
+				continue
+			}
+			eid := g.AddEdgeNamed(vname(s), "ip", vname(d), "ip", types[rng.Intn(len(types))], int64(i+1))
+			de, _ := g.Edge(eid)
+			incremental += len(m.FindAroundEdge(sub, de))
+		}
+		return incremental == len(m.FindAll(sub))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomGraphQ(rng *rand.Rand, nVerts, nEdges int, types []string) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < nVerts; i++ {
+		g.EnsureVertex(vname(i), "ip")
+	}
+	for i := 0; i < nEdges; i++ {
+		s, d := rng.Intn(nVerts), rng.Intn(nVerts)
+		if s == d {
+			continue
+		}
+		g.AddEdgeNamed(vname(s), "ip", vname(d), "ip", types[rng.Intn(len(types))], int64(i+1))
+	}
+	return g
+}

@@ -1,0 +1,88 @@
+package iso
+
+import (
+	"testing"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/query"
+)
+
+func TestFindAllFuncEarlyStop(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 10; i++ {
+		g.AddEdgeNamed("hub", "ip", vname(i), "ip", "t", int64(i))
+	}
+	q := query.NewPath(query.Wildcard, "t")
+	m := NewMatcher(g, q)
+	n := 0
+	m.FindAllFunc([]int{0}, func(Match) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Fatalf("early stop after %d matches, want 4", n)
+	}
+}
+
+func TestFindAroundEdgeFuncEarlyStop(t *testing.T) {
+	g := graph.New()
+	g.AddEdgeNamed("a", "ip", "b", "ip", "t", 1)
+	for i := 0; i < 8; i++ {
+		g.AddEdgeNamed("b", "ip", vname(i), "ip", "u", int64(i+2))
+	}
+	q := query.NewPath(query.Wildcard, "t", "u")
+	m := NewMatcher(g, q)
+	anchor, _ := g.Edge(0)
+	n := 0
+	m.FindAroundEdgeFunc([]int{0, 1}, anchor, func(Match) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop delivered %d matches, want exactly 1", n)
+	}
+}
+
+func TestMaxStepsPerSearchSheds(t *testing.T) {
+	// A dense hub makes the search space large; a tiny step budget must
+	// abort without hanging and without panicking.
+	g := graph.New()
+	for i := 0; i < 40; i++ {
+		g.AddEdgeNamed("hub", "ip", vname(i), "ip", "t", int64(i))
+		g.AddEdgeNamed(vname(i), "ip", "hub2", "ip", "t", int64(100+i))
+	}
+	q := query.NewPath(query.Wildcard, "t", "t", "t")
+	m := NewMatcher(g, q)
+	unbounded := len(m.FindAll([]int{0, 1, 2}))
+	m.MaxStepsPerSearch = 5
+	bounded := len(m.FindAll([]int{0, 1, 2}))
+	if bounded > unbounded {
+		t.Fatalf("budgeted search found more matches (%d > %d)", bounded, unbounded)
+	}
+	if unbounded == 0 {
+		t.Skip("no matches in fixture")
+	}
+}
+
+func TestEmptySubquery(t *testing.T) {
+	g := graph.New()
+	g.AddEdgeNamed("a", "ip", "b", "ip", "t", 1)
+	q := query.NewPath(query.Wildcard, "t")
+	m := NewMatcher(g, q)
+	if got := m.FindAll(nil); got != nil {
+		t.Fatalf("empty subquery returned %v", got)
+	}
+}
+
+func TestCallsMonotone(t *testing.T) {
+	g := graph.New()
+	g.AddEdgeNamed("a", "ip", "b", "ip", "t", 1)
+	q := query.NewPath(query.Wildcard, "t")
+	m := NewMatcher(g, q)
+	m.FindAll([]int{0})
+	c1 := m.Calls()
+	m.FindAll([]int{0})
+	if m.Calls() <= c1 {
+		t.Fatalf("Calls not accumulating: %d then %d", c1, m.Calls())
+	}
+}

@@ -1,0 +1,365 @@
+package iso
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/query"
+)
+
+// buildGraph materializes a data graph from (src, dst, type, ts) tuples
+// with all vertex labels "ip".
+func buildGraph(t *testing.T, edges [][4]string) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i, e := range edges {
+		g.AddEdgeNamed(e[0], "ip", e[1], "ip", e[2], int64(i+1))
+		_ = e[3]
+	}
+	return g
+}
+
+// oracleCount counts embeddings of q in g by brute force: enumerate all
+// injective vertex assignments, then multiply the number of parallel
+// data edges available for each query edge. Only valid for queries
+// without parallel query edges (none of the test queries have them).
+func oracleCount(g *graph.Graph, q *query.Graph) int {
+	nq := len(q.Vertices)
+	var verts []graph.VertexID
+	g.EachVertex(func(v graph.VertexID) bool { verts = append(verts, v); return true })
+	assign := make([]graph.VertexID, nq)
+	used := make(map[graph.VertexID]bool)
+	count := 0
+	labelOK := func(qv int, v graph.VertexID) bool {
+		want := q.LabelOf(qv)
+		if want == query.Wildcard {
+			return true
+		}
+		id, ok := g.Labels().Lookup(want)
+		return ok && g.VertexLabel(v) == graph.LabelID(id)
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == nq {
+			prod := 1
+			for _, qe := range q.Edges {
+				tid, ok := g.Types().Lookup(qe.Type)
+				if !ok {
+					return
+				}
+				n := 0
+				g.EachOut(assign[qe.Src], func(h graph.Half) bool {
+					if h.Peer == assign[qe.Dst] && h.Type == graph.TypeID(tid) {
+						n++
+					}
+					return true
+				})
+				if n == 0 {
+					return
+				}
+				prod *= n
+			}
+			count += prod
+			return
+		}
+		for _, v := range verts {
+			if used[v] || !labelOK(i, v) {
+				continue
+			}
+			used[v] = true
+			assign[i] = v
+			rec(i + 1)
+			delete(used, v)
+		}
+	}
+	rec(0)
+	return count
+}
+
+func TestFindAllSimplePath(t *testing.T) {
+	g := buildGraph(t, [][4]string{
+		{"a", "b", "tcp", ""},
+		{"b", "c", "udp", ""},
+		{"b", "d", "udp", ""},
+		{"x", "y", "tcp", ""},
+	})
+	q := query.NewPath(query.Wildcard, "tcp", "udp")
+	m := NewMatcher(g, q)
+	got := m.FindAll([]int{0, 1})
+	if len(got) != 2 {
+		t.Fatalf("FindAll = %d matches, want 2", len(got))
+	}
+	if want := oracleCount(g, q); len(got) != want {
+		t.Fatalf("FindAll = %d, oracle = %d", len(got), want)
+	}
+}
+
+func TestFindAllRespectsDirection(t *testing.T) {
+	g := buildGraph(t, [][4]string{
+		{"a", "b", "tcp", ""},
+		{"c", "b", "udp", ""}, // wrong direction for b->c
+	})
+	q := query.NewPath(query.Wildcard, "tcp", "udp")
+	m := NewMatcher(g, q)
+	if got := m.FindAll([]int{0, 1}); len(got) != 0 {
+		t.Fatalf("direction violated: got %d matches", len(got))
+	}
+}
+
+func TestFindAllRespectsLabels(t *testing.T) {
+	g := graph.New()
+	g.AddEdgeNamed("alice", "person", "post1", "post", "likes", 1)
+	g.AddEdgeNamed("srv", "server", "post2", "post", "likes", 2)
+	q := &query.Graph{
+		Vertices: []query.Vertex{{Name: "u", Label: "person"}, {Name: "p", Label: "post"}},
+		Edges:    []query.Edge{{Src: 0, Dst: 1, Type: "likes"}},
+	}
+	m := NewMatcher(g, q)
+	got := m.FindAll([]int{0})
+	if len(got) != 1 {
+		t.Fatalf("label filter: got %d matches, want 1", len(got))
+	}
+	if g.VertexName(got[0].VertexOf[0]) != "alice" {
+		t.Fatalf("wrong vertex matched: %s", g.VertexName(got[0].VertexOf[0]))
+	}
+}
+
+func TestVertexInjectivity(t *testing.T) {
+	// Triangle-ish data where a non-injective map would close a path.
+	g := buildGraph(t, [][4]string{
+		{"a", "b", "t", ""},
+		{"b", "a", "t", ""},
+	})
+	// Path of length 2: v0 -t-> v1 -t-> v2 requires three distinct vertices.
+	q := query.NewPath(query.Wildcard, "t", "t")
+	m := NewMatcher(g, q)
+	if got := m.FindAll([]int{0, 1}); len(got) != 0 {
+		t.Fatalf("injectivity violated: got %d matches (a->b->a should not count)", len(got))
+	}
+}
+
+func TestParallelQueryEdgesNeedDistinctDataEdges(t *testing.T) {
+	g := graph.New()
+	g.AddEdgeNamed("a", "ip", "b", "ip", "t", 1)
+	q := &query.Graph{
+		Vertices: []query.Vertex{{Name: "x", Label: "*"}, {Name: "y", Label: "*"}},
+		Edges: []query.Edge{
+			{Src: 0, Dst: 1, Type: "t"},
+			{Src: 0, Dst: 1, Type: "t"},
+		},
+	}
+	m := NewMatcher(g, q)
+	if got := m.FindAll([]int{0, 1}); len(got) != 0 {
+		t.Fatalf("one data edge satisfied two query edges: %d matches", len(got))
+	}
+	// Add a parallel edge: now 2 bijections (swap which query edge maps
+	// to which data edge).
+	g.AddEdgeNamed("a", "ip", "b", "ip", "t", 2)
+	if got := m.FindAll([]int{0, 1}); len(got) != 2 {
+		t.Fatalf("parallel edges: got %d matches, want 2", len(got))
+	}
+}
+
+func TestFindAroundEdgeAnchorsOnNewEdge(t *testing.T) {
+	g := buildGraph(t, [][4]string{
+		{"a", "b", "tcp", ""},
+		{"b", "c", "udp", ""},
+		{"p", "q", "tcp", ""}, // unrelated
+	})
+	q := query.NewPath(query.Wildcard, "tcp", "udp")
+	m := NewMatcher(g, q)
+	e, _ := g.Edge(1) // the udp edge b->c
+	got := m.FindAroundEdge([]int{0, 1}, e)
+	if len(got) != 1 {
+		t.Fatalf("FindAroundEdge = %d matches, want 1", len(got))
+	}
+	if !got[0].HasEdge(e.ID) {
+		t.Fatalf("returned match does not contain the anchor edge")
+	}
+	// Anchoring on the unrelated tcp edge yields nothing: no udp around.
+	e2, _ := g.Edge(2)
+	if got := m.FindAroundEdge([]int{0, 1}, e2); len(got) != 0 {
+		t.Fatalf("unrelated anchor produced %d matches", len(got))
+	}
+}
+
+func TestFindAroundEdgeAutomorphicAnchors(t *testing.T) {
+	// Query tcp-tcp path; data a->b->c all tcp. Anchoring on the middle
+	// edge... there is no middle; anchor b->c can serve as either query
+	// edge but only one binding is structurally valid.
+	g := buildGraph(t, [][4]string{
+		{"a", "b", "t", ""},
+		{"b", "c", "t", ""},
+	})
+	q := query.NewPath(query.Wildcard, "t", "t")
+	m := NewMatcher(g, q)
+	e, _ := g.Edge(1)
+	got := m.FindAroundEdge([]int{0, 1}, e)
+	if len(got) != 1 {
+		t.Fatalf("got %d matches, want 1 (b->c as second hop)", len(got))
+	}
+}
+
+func TestFindAroundVertex(t *testing.T) {
+	g := buildGraph(t, [][4]string{
+		{"a", "b", "tcp", ""},
+		{"b", "c", "udp", ""},
+	})
+	q := query.NewPath(query.Wildcard, "tcp", "udp")
+	m := NewMatcher(g, q)
+	b := g.VertexByName("b")
+	got := m.FindAroundVertex([]int{0, 1}, b)
+	if len(got) != 1 {
+		t.Fatalf("FindAroundVertex(b) = %d, want 1", len(got))
+	}
+	a := g.VertexByName("a")
+	got = m.FindAroundVertex([]int{0, 1}, a)
+	if len(got) != 1 {
+		t.Fatalf("FindAroundVertex(a) = %d, want 1", len(got))
+	}
+	// Subquery of just the udp edge around a: a has no udp.
+	if got := m.FindAroundVertex([]int{1}, a); len(got) != 0 {
+		t.Fatalf("udp around a = %d, want 0", len(got))
+	}
+}
+
+func TestWindowPruning(t *testing.T) {
+	g := graph.New()
+	g.AddEdgeNamed("a", "ip", "b", "ip", "tcp", 1)
+	g.AddEdgeNamed("b", "ip", "c", "ip", "udp", 100)
+	q := query.NewPath(query.Wildcard, "tcp", "udp")
+	m := NewMatcher(g, q)
+	m.Window = 50
+	if got := m.FindAll([]int{0, 1}); len(got) != 0 {
+		t.Fatalf("window 50 should prune span-99 match, got %d", len(got))
+	}
+	m.Window = 100
+	if got := m.FindAll([]int{0, 1}); len(got) != 1 {
+		t.Fatalf("window 100 should admit span-99 match, got %d", len(got))
+	}
+	m.Window = 99
+	if got := m.FindAll([]int{0, 1}); len(got) != 0 {
+		t.Fatalf("τ(g) < tW is strict: span 99 with window 99 must be rejected")
+	}
+}
+
+func TestMaxMatches(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 10; i++ {
+		g.AddEdgeNamed("hub", "ip", string(rune('a'+i)), "ip", "t", int64(i))
+	}
+	q := query.NewPath(query.Wildcard, "t")
+	m := NewMatcher(g, q)
+	m.MaxMatches = 3
+	if got := m.FindAll([]int{0}); len(got) != 3 {
+		t.Fatalf("MaxMatches: got %d, want 3", len(got))
+	}
+}
+
+func TestMatchSpanAndClone(t *testing.T) {
+	q := query.NewPath(query.Wildcard, "t")
+	m := NewMatch(q)
+	if m.Span() != 0 {
+		t.Errorf("empty match span = %d, want 0", m.Span())
+	}
+	if m.BoundEdges() != 0 {
+		t.Errorf("empty match bound edges = %d", m.BoundEdges())
+	}
+	c := m.Clone()
+	c.VertexOf[0] = 7
+	if m.VertexOf[0] == 7 {
+		t.Errorf("Clone shares backing array")
+	}
+}
+
+func TestTreeQuery(t *testing.T) {
+	// Tree query: root with two children of different types.
+	q := &query.Graph{
+		Vertices: []query.Vertex{{Name: "r", Label: "*"}, {Name: "x", Label: "*"}, {Name: "y", Label: "*"}},
+		Edges: []query.Edge{
+			{Src: 0, Dst: 1, Type: "t1"},
+			{Src: 0, Dst: 2, Type: "t2"},
+		},
+	}
+	g := buildGraph(t, [][4]string{
+		{"r", "a", "t1", ""},
+		{"r", "b", "t1", ""},
+		{"r", "c", "t2", ""},
+	})
+	m := NewMatcher(g, q)
+	got := m.FindAll([]int{0, 1})
+	if want := oracleCount(g, q); len(got) != want || want != 2 {
+		t.Fatalf("tree query: got %d, oracle %d, want 2", len(got), want)
+	}
+}
+
+func TestCycleQuery(t *testing.T) {
+	// The paper stresses that cyclic queries (infiltration pattern) must
+	// work. Triangle query over a data triangle.
+	q := &query.Graph{
+		Vertices: []query.Vertex{{Name: "a", Label: "*"}, {Name: "b", Label: "*"}, {Name: "c", Label: "*"}},
+		Edges: []query.Edge{
+			{Src: 0, Dst: 1, Type: "t"},
+			{Src: 1, Dst: 2, Type: "t"},
+			{Src: 2, Dst: 0, Type: "t"},
+		},
+	}
+	g := buildGraph(t, [][4]string{
+		{"x", "y", "t", ""},
+		{"y", "z", "t", ""},
+		{"z", "x", "t", ""},
+		{"x", "w", "t", ""}, // distractor
+	})
+	m := NewMatcher(g, q)
+	got := m.FindAll([]int{0, 1, 2})
+	// Rotational automorphisms: the triangle matches in 3 ways.
+	if len(got) != 3 {
+		t.Fatalf("cycle query: got %d matches, want 3", len(got))
+	}
+}
+
+// randomGraph builds a random data graph and stream order for the
+// property tests.
+func randomGraph(rng *rand.Rand, nVerts, nEdges int, types []string) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < nVerts; i++ {
+		g.EnsureVertex(vname(i), "ip")
+	}
+	for i := 0; i < nEdges; i++ {
+		s := rng.Intn(nVerts)
+		d := rng.Intn(nVerts)
+		if s == d {
+			continue
+		}
+		g.AddEdgeNamed(vname(s), "ip", vname(d), "ip", types[rng.Intn(len(types))], int64(i+1))
+	}
+	return g
+}
+
+func vname(i int) string { return string(rune('A' + i)) }
+
+func TestPropertyFindAllMatchesOracle(t *testing.T) {
+	types := []string{"t1", "t2", "t3"}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(rng, 5+rng.Intn(4), 8+rng.Intn(10), types)
+		// Random path query of length 1..3 without parallel query edges.
+		l := 1 + rng.Intn(3)
+		qt := make([]string, l)
+		for i := range qt {
+			qt[i] = types[rng.Intn(len(types))]
+		}
+		q := query.NewPath(query.Wildcard, qt...)
+		sub := make([]int, l)
+		for i := range sub {
+			sub[i] = i
+		}
+		m := NewMatcher(g, q)
+		got := len(m.FindAll(sub))
+		want := oracleCount(g, q)
+		if got != want {
+			t.Fatalf("trial %d: FindAll=%d oracle=%d\nquery=%v", trial, got, want, qt)
+		}
+	}
+}

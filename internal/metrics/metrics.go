@@ -1,0 +1,225 @@
+// Package metrics provides the lightweight measurement primitives used
+// by the benchmark harness and the command-line tools: a log-bucketed
+// latency histogram with quantile estimation, and a throughput meter.
+// The paper reports only aggregate runtimes; per-edge latency tails are
+// what a production deployment of a continuous query engine watches, so
+// the harness records them too.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+// Histogram is a log2-bucketed histogram of non-negative int64 samples
+// (typically nanoseconds). Bucket i covers [2^(i-1), 2^i); bucket 0
+// covers {0}. Recording is allocation-free and O(1); quantiles are
+// estimated by linear interpolation within the winning bucket, giving a
+// worst-case relative error of 2x — adequate for tail monitoring.
+// The zero value is ready to use. Not safe for concurrent use.
+type Histogram struct {
+	buckets [65]uint64
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordDuration adds one duration sample in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest recorded sample (0 with no samples).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest recorded sample (0 with no samples).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile estimates the q-th quantile (q in [0,1]). It returns 0 with
+// no samples; q outside [0,1] is clamped.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo, hi := bucketBounds(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			// Linear interpolation of the rank within this bucket.
+			frac := float64(rank-seen) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		seen += c
+	}
+	return h.max
+}
+
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << uint(i-1)
+	hi = lo*2 - 1
+	return lo, hi
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Summary renders count/mean/p50/p95/p99/max with a duration unit.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.count,
+		time.Duration(int64(h.Mean())),
+		time.Duration(h.Quantile(0.50)),
+		time.Duration(h.Quantile(0.95)),
+		time.Duration(h.Quantile(0.99)),
+		time.Duration(h.max))
+}
+
+// Meter measures event throughput against wall-clock time.
+type Meter struct {
+	start time.Time
+	now   func() time.Time // test hook; nil means time.Now
+	n     int64
+}
+
+// NewMeter returns a started meter.
+func NewMeter() *Meter {
+	m := &Meter{}
+	m.start = m.clock()()
+	return m
+}
+
+func (m *Meter) clock() func() time.Time {
+	if m.now != nil {
+		return m.now
+	}
+	return time.Now
+}
+
+// Add records n events.
+func (m *Meter) Add(n int64) { m.n += n }
+
+// Count returns the number of recorded events.
+func (m *Meter) Count() int64 { return m.n }
+
+// Elapsed returns the time since the meter started.
+func (m *Meter) Elapsed() time.Duration { return m.clock()().Sub(m.start) }
+
+// Rate returns events per second since the meter started.
+func (m *Meter) Rate() float64 {
+	el := m.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.n) / el
+}
+
+// String renders the meter compactly.
+func (m *Meter) String() string {
+	return fmt.Sprintf("%d events in %v (%.0f/s)", m.n, m.Elapsed().Round(time.Millisecond), m.Rate())
+}
+
+// Table renders labeled histograms as an aligned text table (a helper
+// for the experiment harness output).
+func Table(rows map[string]*Histogram) string {
+	var names []string
+	width := 0
+	for name := range rows {
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sortStrings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, name, rows[name].Summary())
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero-value histogram should report zeros")
+	}
+	for _, v := range []int64{1, 2, 3, 4, 100} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 110 {
+		t.Fatalf("Sum = %d, want 110", h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("Min/Max = %d/%d, want 1/100", h.Min(), h.Max())
+	}
+	if h.Mean() != 22 {
+		t.Fatalf("Mean = %v, want 22", h.Mean())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatal("negative sample should clamp to 0")
+	}
+}
+
+func TestHistogramQuantileWithinBucketError(t *testing.T) {
+	// Against a sorted sample the log-bucketed estimate must stay within
+	// a factor of two of the exact order statistic.
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	var samples []int64
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.ExpFloat64() * 1e5)
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		got := h.Quantile(q)
+		if exact == 0 {
+			continue
+		}
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.45 || ratio > 2.2 {
+			t.Errorf("q=%v: estimate %d vs exact %d (ratio %.2f) outside 2x band", q, got, exact, ratio)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	err := quick.Check(func(raw []uint32) bool {
+		var h Histogram
+		for _, v := range raw {
+			h.Record(int64(v))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		// Quantiles stay within [min, max].
+		if h.Count() > 0 && (h.Quantile(0) < h.Min() || h.Quantile(1) > h.Max()) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileClampsQ(t *testing.T) {
+	var h Histogram
+	h.Record(7)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Error("q<0 should clamp to 0")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q>1 should clamp to 1")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(10)
+	a.Record(20)
+	b.Record(5)
+	b.Record(1000)
+	a.Merge(&b)
+	if a.Count() != 4 {
+		t.Fatalf("merged Count = %d, want 4", a.Count())
+	}
+	if a.Min() != 5 || a.Max() != 1000 {
+		t.Fatalf("merged Min/Max = %d/%d, want 5/1000", a.Min(), a.Max())
+	}
+	if a.Sum() != 1035 {
+		t.Fatalf("merged Sum = %d, want 1035", a.Sum())
+	}
+	var empty Histogram
+	a.Merge(&empty) // must be a no-op
+	if a.Count() != 4 {
+		t.Fatal("merging an empty histogram changed the count")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestHistogramRecordDurationAndSummary(t *testing.T) {
+	var h Histogram
+	h.RecordDuration(3 * time.Millisecond)
+	s := h.Summary()
+	if !strings.Contains(s, "n=1") {
+		t.Fatalf("Summary missing count: %q", s)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	fake := time.Unix(0, 0)
+	m := &Meter{now: func() time.Time { return fake }}
+	m.start = fake
+	m.Add(500)
+	fake = fake.Add(2 * time.Second)
+	if got := m.Rate(); got != 250 {
+		t.Fatalf("Rate = %v, want 250", got)
+	}
+	if m.Count() != 500 {
+		t.Fatalf("Count = %d, want 500", m.Count())
+	}
+	if m.Elapsed() != 2*time.Second {
+		t.Fatalf("Elapsed = %v, want 2s", m.Elapsed())
+	}
+	if !strings.Contains(m.String(), "500 events") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestMeterZeroElapsed(t *testing.T) {
+	fake := time.Unix(10, 0)
+	m := &Meter{now: func() time.Time { return fake }}
+	m.start = fake
+	m.Add(10)
+	if m.Rate() != 0 {
+		t.Fatal("zero elapsed must report zero rate, not Inf")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var a, b Histogram
+	a.Record(1)
+	b.Record(2)
+	out := Table(map[string]*Histogram{"beta": &b, "alpha": &a})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("Table produced %d lines, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "alpha") {
+		t.Fatalf("Table not sorted: %q", out)
+	}
+}

@@ -1,0 +1,421 @@
+// Package persist checkpoints a running continuous query and restores
+// it in a fresh process: the windowed data graph, the SJ-Tree's partial
+// matches, the Lazy Search bitmap and the engine counters are written
+// to a versioned binary snapshot. A restored engine continues exactly
+// where the original stopped — the package tests verify that feeding
+// the same suffix of a stream to the original and the restored engine
+// yields identical match sets.
+//
+// The paper's engine is a long-standing query over an endless stream
+// ("register a pattern ... continuously perform the query"); surviving
+// a process restart without dropping the partial matches accumulated
+// inside the window is table stakes for deploying one.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+	"streamgraph/internal/sjtree"
+)
+
+const (
+	magic   = "SGSNAP1\n"
+	version = uint32(1)
+	// noIdx marks an unbound binding slot in the serialized form.
+	noIdx = uint32(math.MaxUint32)
+)
+
+// Save writes a snapshot of the engine to w. The engine must be
+// quiescent (between ProcessEdge calls). Save first flushes deferred
+// lazy work and forces window eviction; complete matches produced by
+// the flush are returned so the caller can report them.
+func Save(w io.Writer, eng *core.Engine) (flushed []iso.Match, err error) {
+	flushed = eng.FlushPending()
+	eng.ForceEvict()
+
+	bw := &writer{w: bufio.NewWriter(w)}
+	bw.bytes([]byte(magic))
+	bw.u32(version)
+
+	// Query and configuration (decomposition pinned).
+	cfg := eng.ConfigSnapshot()
+	bw.str(eng.Query().String())
+	bw.u32(uint32(cfg.Strategy))
+	bw.i64(cfg.Window)
+	bw.u32(uint32(cfg.MaxMatchesPerSearch))
+	bw.i64(cfg.MaxWorkPerEdge)
+	bw.i64(cfg.MaxStepsPerSearch)
+	bw.u32(uint32(cfg.EvictEvery))
+	bw.u32(uint32(len(cfg.Leaves)))
+	for _, leaf := range cfg.Leaves {
+		bw.u32(uint32(len(leaf)))
+		for _, ei := range leaf {
+			bw.u32(uint32(ei))
+		}
+	}
+
+	// Gather the referenced vertex set: endpoints of live edges, match
+	// bindings, bitmap entries.
+	g := eng.Graph()
+	vertIdx := make(map[graph.VertexID]uint32)
+	var verts []graph.VertexID
+	need := func(v graph.VertexID) uint32 {
+		if i, ok := vertIdx[v]; ok {
+			return i
+		}
+		i := uint32(len(verts))
+		vertIdx[v] = i
+		verts = append(verts, v)
+		return i
+	}
+
+	type edgeRef struct {
+		src, dst uint32
+		typeName string
+		ts       int64
+	}
+	edgeIdx := make(map[graph.EdgeID]uint32)
+	var edges []edgeRef
+	g.EachEdgeArrival(func(e graph.Edge) bool {
+		edgeIdx[e.ID] = uint32(len(edges))
+		edges = append(edges, edgeRef{
+			src: need(e.Src), dst: need(e.Dst),
+			typeName: g.Types().Name(uint32(e.Type)), ts: e.TS,
+		})
+		return true
+	})
+
+	bits := eng.LazyBits()
+	for v := range bits {
+		need(v)
+	}
+
+	type storedRef struct {
+		node int
+		m    iso.Match
+	}
+	var stored []storedRef
+	var storedErr error
+	if t := eng.Tree(); t != nil {
+		t.EachStored(func(n *sjtree.Node, m iso.Match) bool {
+			for _, dv := range m.VertexOf {
+				if dv != graph.NoVertex {
+					need(dv)
+				}
+			}
+			for _, de := range m.EdgeOf {
+				if de == iso.NoEdge {
+					continue
+				}
+				if _, ok := edgeIdx[de]; !ok {
+					storedErr = fmt.Errorf("persist: stored match references edge %d not in the live graph", de)
+					return false
+				}
+			}
+			stored = append(stored, storedRef{node: n.ID, m: m})
+			return true
+		})
+	}
+	if storedErr != nil {
+		return flushed, storedErr
+	}
+
+	// Vertex table.
+	bw.u32(uint32(len(verts)))
+	for _, v := range verts {
+		bw.str(g.VertexName(v))
+		bw.str(g.Labels().Name(uint32(g.VertexLabel(v))))
+	}
+	// Edge table in arrival order.
+	bw.u32(uint32(len(edges)))
+	for _, e := range edges {
+		bw.u32(e.src)
+		bw.u32(e.dst)
+		bw.str(e.typeName)
+		bw.i64(e.ts)
+	}
+	// Stored partial matches.
+	bw.u32(uint32(len(stored)))
+	for _, s := range stored {
+		bw.u32(uint32(s.node))
+		bw.u32(uint32(len(s.m.VertexOf)))
+		for _, dv := range s.m.VertexOf {
+			if dv == graph.NoVertex {
+				bw.u32(noIdx)
+			} else {
+				bw.u32(vertIdx[dv])
+			}
+		}
+		bw.u32(uint32(len(s.m.EdgeOf)))
+		for _, de := range s.m.EdgeOf {
+			if de == iso.NoEdge {
+				bw.u32(noIdx)
+			} else {
+				bw.u32(edgeIdx[de])
+			}
+		}
+		bw.i64(s.m.MinTS)
+		bw.i64(s.m.MaxTS)
+	}
+	// Lazy bitmap.
+	bw.u32(uint32(len(bits)))
+	for v, b := range bits {
+		bw.u32(vertIdx[v])
+		bw.u64(b)
+	}
+	// Engine counters.
+	st := eng.Stats()
+	for _, v := range []int64{
+		st.EdgesProcessed, st.LeafSearches, st.LeafMatches,
+		st.RetroSearches, st.RetroMatches, st.CompleteMatches,
+		st.GraphEvicted,
+	} {
+		bw.i64(v)
+	}
+
+	if bw.err != nil {
+		return flushed, bw.err
+	}
+	return flushed, bw.w.Flush()
+}
+
+// Load reads a snapshot and returns a restored engine ready to continue
+// processing the stream.
+func Load(r io.Reader) (*core.Engine, error) {
+	br := &reader{r: bufio.NewReader(r)}
+	head := make([]byte, len(magic))
+	br.bytes(head)
+	if br.err == nil && string(head) != magic {
+		return nil, fmt.Errorf("persist: bad magic %q", head)
+	}
+	if v := br.u32(); br.err == nil && v != version {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d", v)
+	}
+
+	qText := br.str()
+	cfg := core.Config{
+		Strategy:            core.Strategy(br.u32()),
+		Window:              br.i64(),
+		MaxMatchesPerSearch: int(br.u32()),
+		MaxWorkPerEdge:      br.i64(),
+		MaxStepsPerSearch:   br.i64(),
+		EvictEvery:          int(br.u32()),
+	}
+	nLeaves := br.u32()
+	if nLeaves > 0 {
+		cfg.Leaves = make([][]int, nLeaves)
+		for i := range cfg.Leaves {
+			n := br.u32()
+			leaf := make([]int, n)
+			for j := range leaf {
+				leaf[j] = int(br.u32())
+			}
+			cfg.Leaves[i] = leaf
+		}
+	}
+	if br.err != nil {
+		return nil, br.err
+	}
+	q, err := query.Parse(qText)
+	if err != nil {
+		return nil, fmt.Errorf("persist: snapshot query: %v", err)
+	}
+	eng, err := core.New(q, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("persist: rebuilding engine: %v", err)
+	}
+
+	// Vertices.
+	g := eng.Graph()
+	nVerts := br.u32()
+	if br.err != nil {
+		return nil, br.err
+	}
+	vertID := make([]graph.VertexID, nVerts)
+	for i := range vertID {
+		name := br.str()
+		label := br.str()
+		if br.err != nil {
+			return nil, br.err
+		}
+		vertID[i] = g.EnsureVertex(name, label)
+	}
+	// Edges, re-added in the original arrival order.
+	nEdges := br.u32()
+	if br.err != nil {
+		return nil, br.err
+	}
+	edgeID := make([]graph.EdgeID, nEdges)
+	for i := range edgeID {
+		src := br.u32()
+		dst := br.u32()
+		typeName := br.str()
+		ts := br.i64()
+		if br.err != nil {
+			return nil, br.err
+		}
+		if src >= nVerts || dst >= nVerts {
+			return nil, fmt.Errorf("persist: edge %d references vertex out of range", i)
+		}
+		t := graph.TypeID(g.Types().Intern(typeName))
+		edgeID[i] = g.AddEdge(vertID[src], vertID[dst], t, ts)
+	}
+	// Stored partial matches.
+	nStored := br.u32()
+	if br.err != nil {
+		return nil, br.err
+	}
+	for i := uint32(0); i < nStored; i++ {
+		node := int(br.u32())
+		m := iso.NewMatch(q)
+		nv := br.u32()
+		if br.err == nil && int(nv) != len(m.VertexOf) {
+			return nil, fmt.Errorf("persist: match %d has %d vertex slots, query has %d", i, nv, len(m.VertexOf))
+		}
+		for j := range m.VertexOf {
+			if idx := br.u32(); idx != noIdx {
+				if idx >= nVerts {
+					return nil, fmt.Errorf("persist: match %d binds unknown vertex %d", i, idx)
+				}
+				m.VertexOf[j] = vertID[idx]
+			}
+		}
+		ne := br.u32()
+		if br.err == nil && int(ne) != len(m.EdgeOf) {
+			return nil, fmt.Errorf("persist: match %d has %d edge slots, query has %d", i, ne, len(m.EdgeOf))
+		}
+		for j := range m.EdgeOf {
+			if idx := br.u32(); idx != noIdx {
+				if idx >= nEdges {
+					return nil, fmt.Errorf("persist: match %d binds unknown edge %d", i, idx)
+				}
+				m.EdgeOf[j] = edgeID[idx]
+			}
+		}
+		m.MinTS = br.i64()
+		m.MaxTS = br.i64()
+		if br.err != nil {
+			return nil, br.err
+		}
+		if eng.Tree() == nil {
+			return nil, fmt.Errorf("persist: snapshot has stored matches but strategy %v builds no tree", cfg.Strategy)
+		}
+		if err := eng.Tree().RestoreStored(node, m); err != nil {
+			return nil, err
+		}
+	}
+	// Lazy bitmap.
+	nBits := br.u32()
+	if br.err != nil {
+		return nil, br.err
+	}
+	bits := make(map[graph.VertexID]uint64, nBits)
+	for i := uint32(0); i < nBits; i++ {
+		idx := br.u32()
+		b := br.u64()
+		if br.err != nil {
+			return nil, br.err
+		}
+		if idx >= nVerts {
+			return nil, fmt.Errorf("persist: bitmap references unknown vertex %d", idx)
+		}
+		bits[vertID[idx]] = b
+	}
+	eng.RestoreLazyBits(bits)
+	// Engine counters. IsoSteps restarts from zero (it is a live matcher
+	// counter, not persisted state).
+	var st core.Stats
+	st.EdgesProcessed = br.i64()
+	st.LeafSearches = br.i64()
+	st.LeafMatches = br.i64()
+	st.RetroSearches = br.i64()
+	st.RetroMatches = br.i64()
+	st.CompleteMatches = br.i64()
+	st.GraphEvicted = br.i64()
+	if br.err != nil {
+		return nil, br.err
+	}
+	eng.RestoreStats(st)
+	return eng, nil
+}
+
+// --- primitive binary IO ---------------------------------------------------
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) bytes(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+func (w *writer) u32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.bytes(buf[:])
+}
+
+func (w *writer) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.bytes(buf[:])
+}
+
+func (w *writer) i64(v int64) { w.u64(uint64(v)) }
+
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.bytes([]byte(s))
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) bytes(b []byte) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = io.ReadFull(r.r, b)
+}
+
+func (r *reader) u32() uint32 {
+	var buf [4]byte
+	r.bytes(buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (r *reader) u64() uint64 {
+	var buf [8]byte
+	r.bytes(buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<24 {
+		r.err = fmt.Errorf("persist: string length %d exceeds sanity bound", n)
+		return ""
+	}
+	b := make([]byte, n)
+	r.bytes(b)
+	return string(b)
+}

@@ -1,0 +1,284 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/datagen"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/stream"
+)
+
+func testStream(n int) []stream.Edge {
+	return datagen.Netflow(datagen.NetflowConfig{Edges: n, Hosts: 60, Seed: 41})
+}
+
+func testQuery(t *testing.T) *query.Graph {
+	t.Helper()
+	q, err := query.Parse(`
+		e a b TCP
+		e b c UDP
+		e c d ICMP
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func stats(edges []stream.Edge) *selectivity.Collector {
+	c := selectivity.NewCollector()
+	c.AddAll(edges)
+	return c
+}
+
+// sig canonicalizes a match by vertex names and edge timestamps so it
+// can be compared across engine instances.
+func sig(eng *core.Engine, m iso.Match) string {
+	g := eng.Graph()
+	s := ""
+	for qe, de := range m.EdgeOf {
+		e, ok := g.Edge(de)
+		if !ok {
+			continue
+		}
+		s += fmt.Sprintf("%d:%s>%s@%d;", qe, g.VertexName(e.Src), g.VertexName(e.Dst), e.TS)
+	}
+	return s
+}
+
+func collect(eng *core.Engine, edges []stream.Edge) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range edges {
+		for _, m := range eng.ProcessEdge(e) {
+			out[sig(eng, m)] = true
+		}
+	}
+	return out
+}
+
+func snapshotRoundTrip(t *testing.T, eng *core.Engine) (*core.Engine, []iso.Match) {
+	t.Helper()
+	var buf bytes.Buffer
+	flushed, err := Save(&buf, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return restored, flushed
+}
+
+func TestRestartEquivalenceUnwindowed(t *testing.T) {
+	edges := testStream(3000)
+	c := stats(edges)
+	q := testQuery(t)
+	for _, strat := range []core.Strategy{
+		core.StrategySingle, core.StrategySingleLazy,
+		core.StrategyPath, core.StrategyPathLazy,
+	} {
+		t.Run(strat.String(), func(t *testing.T) {
+			for _, cut := range []int{1, 500, 1500, 2999} {
+				cfg := core.Config{Strategy: strat, Stats: c, EvictEvery: 1}
+
+				ref, err := core.New(q, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refPrefix := collect(ref, edges[:cut])
+				refSuffix := collect(ref, edges[cut:])
+
+				snap, err := core.New(q, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				snapPrefix := collect(snap, edges[:cut])
+				if len(snapPrefix) != len(refPrefix) {
+					t.Fatalf("cut %d: prefix runs diverged before snapshotting", cut)
+				}
+				restored, flushed := snapshotRoundTrip(t, snap)
+				got := map[string]bool{}
+				for _, m := range flushed {
+					got[sig(restored, m)] = true // flushed matches share no state; sig uses names+ts
+				}
+				for s := range collect(restored, edges[cut:]) {
+					got[s] = true
+				}
+				if len(got) != len(refSuffix) {
+					t.Fatalf("cut %d: restored found %d suffix matches, reference %d",
+						cut, len(got), len(refSuffix))
+				}
+				for s := range refSuffix {
+					if !got[s] {
+						t.Fatalf("cut %d: restored engine lost match %q", cut, s)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRestartWindowedLosesNothing(t *testing.T) {
+	edges := testStream(3000)
+	c := stats(edges)
+	q := testQuery(t)
+	const window = 400
+	for _, strat := range []core.Strategy{core.StrategySingleLazy, core.StrategyPathLazy} {
+		t.Run(strat.String(), func(t *testing.T) {
+			cut := 1500
+			cfg := core.Config{Strategy: strat, Stats: c, Window: window, EvictEvery: 1}
+
+			ref, err := core.New(q, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			collect(ref, edges[:cut])
+			refSuffix := collect(ref, edges[cut:])
+
+			snap, err := core.New(q, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			collect(snap, edges[:cut])
+			restored, flushed := snapshotRoundTrip(t, snap)
+			got := map[string]bool{}
+			for _, m := range flushed {
+				got[sig(restored, m)] = true
+				if m.Span() >= window {
+					t.Fatalf("flushed match violates window: span %d", m.Span())
+				}
+			}
+			suffix := edges[cut:]
+			for _, e := range suffix {
+				for _, m := range restored.ProcessEdge(e) {
+					if m.Span() >= window {
+						t.Fatalf("restored match violates window: span %d", m.Span())
+					}
+					got[sig(restored, m)] = true
+				}
+			}
+			// The restored engine must not lose any match the reference
+			// run reports. (It may additionally report matches that lie
+			// entirely in the past near the snapshot cut — the usual
+			// eviction-cadence slack — all window-valid, checked above.)
+			for s := range refSuffix {
+				if !got[s] {
+					t.Fatalf("restored engine lost match %q", s)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotRestoresCountersAndDecomposition(t *testing.T) {
+	edges := testStream(1200)
+	c := stats(edges)
+	q := testQuery(t)
+	eng, err := core.New(q, core.Config{Strategy: core.StrategyPathLazy, Stats: c, Window: 300, EvictEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(eng, edges[:800])
+	wantLeaves := eng.Tree().LeafSets()
+
+	restored, _ := snapshotRoundTrip(t, eng)
+	st, rst := eng.Stats(), restored.Stats()
+	if rst.EdgesProcessed != st.EdgesProcessed {
+		t.Errorf("EdgesProcessed = %d, want %d", rst.EdgesProcessed, st.EdgesProcessed)
+	}
+	if rst.CompleteMatches != st.CompleteMatches {
+		t.Errorf("CompleteMatches = %d, want %d", rst.CompleteMatches, st.CompleteMatches)
+	}
+	if rst.Tree.Stored != st.Tree.Stored {
+		t.Errorf("Tree.Stored = %d, want %d", rst.Tree.Stored, st.Tree.Stored)
+	}
+	if eng.Graph().NumEdges() != restored.Graph().NumEdges() {
+		t.Errorf("NumEdges = %d, want %d", restored.Graph().NumEdges(), eng.Graph().NumEdges())
+	}
+	gotLeaves := restored.Tree().LeafSets()
+	if len(gotLeaves) != len(wantLeaves) {
+		t.Fatalf("leaf count %d, want %d", len(gotLeaves), len(wantLeaves))
+	}
+	for i := range wantLeaves {
+		if len(gotLeaves[i]) != len(wantLeaves[i]) {
+			t.Fatalf("leaf %d = %v, want %v", i, gotLeaves[i], wantLeaves[i])
+		}
+		for j := range wantLeaves[i] {
+			if gotLeaves[i][j] != wantLeaves[i][j] {
+				t.Fatalf("leaf %d = %v, want %v", i, gotLeaves[i], wantLeaves[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotVF2Baseline(t *testing.T) {
+	edges := testStream(300)
+	q := testQuery(t)
+	eng, err := core.New(q, core.Config{Strategy: core.StrategyIncIso})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for s := range collect(eng, edges[:200]) {
+		want[s] = true
+	}
+	restored, flushed := snapshotRoundTrip(t, eng)
+	if len(flushed) != 0 {
+		t.Fatalf("baseline flush produced %d matches, want 0", len(flushed))
+	}
+	ref, _ := core.New(q, core.Config{Strategy: core.StrategyIncIso})
+	collect(ref, edges[:200])
+	refSuffix := collect(ref, edges[200:])
+	gotSuffix := collect(restored, edges[200:])
+	if len(refSuffix) != len(gotSuffix) {
+		t.Fatalf("baseline restored: %d suffix matches, want %d", len(gotSuffix), len(refSuffix))
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	edges := testStream(400)
+	c := stats(edges)
+	q := testQuery(t)
+	eng, err := core.New(q, core.Config{Strategy: core.StrategySingleLazy, Stats: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(eng, edges)
+	var buf bytes.Buffer
+	if _, err := Save(&buf, eng); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte("NOTSNAP!"), good[8:]...)
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[8] = 0xFF
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Fatal("bad version accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 4, 8, 20, len(good) / 2, len(good) - 1} {
+			if _, err := Load(bytes.NewReader(good[:n])); err == nil {
+				t.Fatalf("truncation at %d accepted", n)
+			}
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Load(bytes.NewReader(nil)); err == nil {
+			t.Fatal("empty input accepted")
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"streamgraph/internal/query"
+)
+
+// dpState is one Pareto point for a covered-edge subset: the accumulated
+// work and space, the estimated prefix join frequency (which alone
+// determines all future join costs), and backtracking links.
+type dpState struct {
+	work     float64
+	space    float64
+	prefFreq float64
+	selProd  float64
+
+	primIdx   int // primitive appended to reach this state (-1 at origin)
+	prevMask  uint32
+	prevState int
+}
+
+// dominates reports componentwise domination: every future increment is
+// monotone in (work, space, prefFreq), so a completion of b can never
+// beat the same completion of a.
+func (a dpState) dominates(b dpState) bool {
+	return a.work <= b.work && a.space <= b.space && a.prefFreq <= b.prefFreq
+}
+
+// Optimal searches every valid decomposition of q — every partition of
+// its edges into admissible primitives crossed with every frontier-
+// respecting left-deep order — and returns the one minimizing the
+// planner objective. The search is a dynamic program over edge subsets
+// keeping a Pareto frontier of (work, space, min leaf frequency) per
+// subset; it is exact with respect to the analytical cost model.
+//
+// Queries with more than MaxDPEdges edges are rejected; use Genetic.
+func (p *Planner) Optimal(q *query.Graph) ([][]int, Score, error) {
+	maxEdges := p.MaxDPEdges
+	if maxEdges <= 0 {
+		maxEdges = 14
+	}
+	if len(q.Edges) > maxEdges {
+		return nil, Score{}, fmt.Errorf("plan: query has %d edges, exact optimizer limited to %d (use Genetic)",
+			len(q.Edges), maxEdges)
+	}
+	prims, err := p.Primitives(q)
+	if err != nil {
+		return nil, Score{}, err
+	}
+	sortPrimitives(prims)
+
+	n := float64(p.Stats.EdgeTotal())
+	if n < 1 {
+		n = 1
+	}
+	full := uint32(1)<<uint(len(q.Edges)) - 1
+	requireFrontier := q.Connected()
+
+	// Vertex masks per primitive and incrementally per subset.
+	maskVerts := make([]uint64, full+1)
+	edgeVerts := make([]uint64, len(q.Edges))
+	for i := range q.Edges {
+		edgeVerts[i] = vertMask(q, []int{i})
+	}
+	for m := uint32(1); m <= full; m++ {
+		low := uint32(bits.TrailingZeros32(m))
+		maskVerts[m] = maskVerts[m&(m-1)] | edgeVerts[low]
+	}
+
+	// Query edge lists per mask for extFactor (masks are small).
+	maskEdges := func(mask uint32) []int {
+		var out []int
+		for mask != 0 {
+			low := bits.TrailingZeros32(mask)
+			out = append(out, low)
+			mask &= mask - 1
+		}
+		return out
+	}
+
+	states := make([][]dpState, full+1)
+	states[0] = []dpState{{prefFreq: math.Inf(1), selProd: 1, primIdx: -1}}
+
+	push := func(mask uint32, s dpState) {
+		bucket := states[mask]
+		for _, old := range bucket {
+			if old.dominates(s) {
+				return
+			}
+		}
+		kept := bucket[:0]
+		for _, old := range bucket {
+			if !s.dominates(old) {
+				kept = append(kept, old)
+			}
+		}
+		states[mask] = append(kept, s)
+	}
+
+	for mask := uint32(0); mask < full; mask++ {
+		bucket := states[mask]
+		if len(bucket) == 0 {
+			continue
+		}
+		prefix := maskEdges(mask)
+		// extFactor depends only on (mask, primitive): hoist it out of
+		// the per-state loop.
+		exts := make([]float64, len(prims))
+		for pi, pr := range prims {
+			if pr.mask&mask != 0 {
+				exts[pi] = -1
+				continue
+			}
+			if mask != 0 && requireFrontier && pr.verts&maskVerts[mask] == 0 {
+				exts[pi] = -1
+				continue
+			}
+			if mask != 0 {
+				exts[pi] = p.extFactor(q, prefix, pr)
+			}
+		}
+		for si, st := range bucket {
+			for pi, pr := range prims {
+				if exts[pi] < 0 {
+					continue
+				}
+				var cs chainState
+				if mask == 0 {
+					cs = p.startChain(pr)
+				} else {
+					cs = p.extendChain(chainState{
+						work: st.work, space: st.space,
+						prefFreq: st.prefFreq, selProd: st.selProd,
+					}, pr, len(prefix), exts[pi], n)
+				}
+				push(mask|pr.mask, dpState{
+					work: cs.work, space: cs.space,
+					prefFreq: cs.prefFreq, selProd: cs.selProd,
+					primIdx: pi, prevMask: mask, prevState: si,
+				})
+			}
+		}
+	}
+
+	finals := states[full]
+	if len(finals) == 0 {
+		return nil, Score{}, fmt.Errorf("plan: no valid decomposition found")
+	}
+	bestIdx, bestObj := -1, math.Inf(1)
+	for i, st := range finals {
+		obj := p.objective(Score{Work: st.work, Space: st.space, ExpectedSel: st.selProd})
+		if obj < bestObj {
+			bestIdx, bestObj = i, obj
+		}
+	}
+	best := finals[bestIdx]
+	score := Score{Work: best.work, Space: best.space, ExpectedSel: best.selProd}
+
+	// Reconstruct the leaf order by walking the parent chain.
+	var rev [][]int
+	mask, st := full, best
+	for st.primIdx >= 0 {
+		rev = append(rev, append([]int(nil), prims[st.primIdx].Edges...))
+		mask, st = st.prevMask, states[st.prevMask][st.prevState]
+	}
+	_ = mask
+	leaves := make([][]int, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		leaves = append(leaves, rev[i])
+	}
+	return leaves, score, nil
+}

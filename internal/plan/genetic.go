@@ -1,0 +1,259 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamgraph/internal/query"
+)
+
+// GeneticConfig parameterizes the genetic optimizer. The zero value
+// selects sensible defaults; Seed 0 is a valid (fixed) seed, so runs are
+// reproducible by construction.
+type GeneticConfig struct {
+	Seed        int64
+	Population  int     // default 48
+	Generations int     // default 80
+	Tournament  int     // default 3
+	MutateProb  float64 // default 0.35
+	Elite       int     // default 2
+}
+
+func (c GeneticConfig) withDefaults() GeneticConfig {
+	if c.Population <= 0 {
+		c.Population = 48
+	}
+	if c.Generations <= 0 {
+		c.Generations = 80
+	}
+	if c.Tournament <= 0 {
+		c.Tournament = 3
+	}
+	if c.MutateProb <= 0 {
+		c.MutateProb = 0.35
+	}
+	if c.Elite < 0 {
+		c.Elite = 0
+	} else if c.Elite == 0 {
+		c.Elite = 2
+	}
+	return c
+}
+
+// individual is an ordered list of indices into the primitive set,
+// always representing a valid decomposition.
+type individual struct {
+	genes []int
+	obj   float64
+}
+
+// Genetic runs a genetic search over valid decompositions: individuals
+// are frontier-respecting primitive sequences, crossover splices a
+// prefix of one parent with a completion guided by the other, and
+// mutation regrows a random suffix. It handles queries beyond the exact
+// optimizer's reach; on small queries it typically rediscovers the
+// optimum (see the package tests).
+func (p *Planner) Genetic(q *query.Graph, cfg GeneticConfig) ([][]int, Score, error) {
+	cfg = cfg.withDefaults()
+	prims, err := p.Primitives(q)
+	if err != nil {
+		return nil, Score{}, err
+	}
+	sortPrimitives(prims)
+	ctx := &gaContext{
+		p:               p,
+		q:               q,
+		prims:           prims,
+		full:            uint32(1)<<uint(len(q.Edges)) - 1,
+		requireFrontier: q.Connected(),
+		rng:             rand.New(rand.NewSource(cfg.Seed)),
+	}
+
+	pop := make([]individual, cfg.Population)
+	for i := range pop {
+		pop[i] = ctx.evaluate(ctx.randomValid())
+	}
+	for g := 0; g < cfg.Generations; g++ {
+		next := make([]individual, 0, cfg.Population)
+		sortByObj(pop)
+		for e := 0; e < cfg.Elite && e < len(pop); e++ {
+			next = append(next, pop[e])
+		}
+		for len(next) < cfg.Population {
+			a := ctx.tournament(pop, cfg.Tournament)
+			b := ctx.tournament(pop, cfg.Tournament)
+			child := ctx.crossover(a.genes, b.genes)
+			if ctx.rng.Float64() < cfg.MutateProb {
+				child = ctx.mutate(child)
+			}
+			next = append(next, ctx.evaluate(child))
+		}
+		pop = next
+	}
+	sortByObj(pop)
+	best := pop[0]
+	leaves := make([][]int, len(best.genes))
+	for i, gi := range best.genes {
+		leaves[i] = append([]int(nil), prims[gi].Edges...)
+	}
+	score := ctx.score(best.genes)
+	return leaves, score, nil
+}
+
+type gaContext struct {
+	p               *Planner
+	q               *query.Graph
+	prims           []Primitive
+	full            uint32
+	requireFrontier bool
+	rng             *rand.Rand
+}
+
+// candidates returns the primitive indices extendable from the given
+// covered-mask / frontier state.
+func (c *gaContext) candidates(mask uint32, verts uint64) []int {
+	var out []int
+	for i, pr := range c.prims {
+		if pr.mask&mask != 0 {
+			continue
+		}
+		if mask != 0 && c.requireFrontier && pr.verts&verts == 0 {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// randomValid builds a uniformly random frontier-respecting
+// decomposition. Single-edge primitives guarantee progress, so the
+// construction always terminates with full coverage.
+func (c *gaContext) randomValid() []int {
+	var genes []int
+	var mask uint32
+	var verts uint64
+	for mask != c.full {
+		cand := c.candidates(mask, verts)
+		gi := cand[c.rng.Intn(len(cand))]
+		genes = append(genes, gi)
+		mask |= c.prims[gi].mask
+		verts |= c.prims[gi].verts
+	}
+	return genes
+}
+
+// crossover keeps a random prefix of a, then completes it preferring
+// b's primitives (in b's order) and falling back to random choices.
+func (c *gaContext) crossover(a, b []int) []int {
+	cut := 0
+	if len(a) > 1 {
+		cut = c.rng.Intn(len(a))
+	}
+	genes := append([]int(nil), a[:cut]...)
+	var mask uint32
+	var verts uint64
+	for _, gi := range genes {
+		mask |= c.prims[gi].mask
+		verts |= c.prims[gi].verts
+	}
+	for _, gi := range b {
+		pr := c.prims[gi]
+		if pr.mask&mask != 0 {
+			continue
+		}
+		if mask != 0 && c.requireFrontier && pr.verts&verts == 0 {
+			continue
+		}
+		genes = append(genes, gi)
+		mask |= pr.mask
+		verts |= pr.verts
+	}
+	for mask != c.full {
+		cand := c.candidates(mask, verts)
+		gi := cand[c.rng.Intn(len(cand))]
+		genes = append(genes, gi)
+		mask |= c.prims[gi].mask
+		verts |= c.prims[gi].verts
+	}
+	return genes
+}
+
+// mutate truncates the individual at a random point and regrows the
+// suffix randomly.
+func (c *gaContext) mutate(genes []int) []int {
+	if len(genes) == 0 {
+		return c.randomValid()
+	}
+	cut := c.rng.Intn(len(genes))
+	out := append([]int(nil), genes[:cut]...)
+	var mask uint32
+	var verts uint64
+	for _, gi := range out {
+		mask |= c.prims[gi].mask
+		verts |= c.prims[gi].verts
+	}
+	for mask != c.full {
+		cand := c.candidates(mask, verts)
+		gi := cand[c.rng.Intn(len(cand))]
+		out = append(out, gi)
+		mask |= c.prims[gi].mask
+		verts |= c.prims[gi].verts
+	}
+	return out
+}
+
+func (c *gaContext) tournament(pop []individual, k int) individual {
+	best := pop[c.rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		if cand := pop[c.rng.Intn(len(pop))]; cand.obj < best.obj {
+			best = cand
+		}
+	}
+	return best
+}
+
+// score evaluates a gene sequence with the same chain model as
+// ScoreLeaves, without re-resolving primitives.
+func (c *gaContext) score(genes []int) Score {
+	n := float64(c.p.Stats.EdgeTotal())
+	if n < 1 {
+		n = 1
+	}
+	st := c.p.startChain(c.prims[genes[0]])
+	prefix := append([]int(nil), c.prims[genes[0]].Edges...)
+	for i := 1; i < len(genes); i++ {
+		pr := c.prims[genes[i]]
+		ext := c.p.extFactor(c.q, prefix, pr)
+		st = c.p.extendChain(st, pr, len(prefix), ext, n)
+		prefix = append(prefix, pr.Edges...)
+	}
+	return st.score()
+}
+
+func (c *gaContext) evaluate(genes []int) individual {
+	return individual{genes: genes, obj: c.p.objective(c.score(genes))}
+}
+
+func sortByObj(pop []individual) {
+	for i := 1; i < len(pop); i++ {
+		for j := i; j > 0 && pop[j].obj < pop[j-1].obj; j-- {
+			pop[j], pop[j-1] = pop[j-1], pop[j]
+		}
+	}
+}
+
+// Best runs the appropriate optimizer for the query size: the exact DP
+// when it fits, the genetic search otherwise.
+func (p *Planner) Best(q *query.Graph, cfg GeneticConfig) ([][]int, Score, error) {
+	maxEdges := p.MaxDPEdges
+	if maxEdges <= 0 {
+		maxEdges = 14
+	}
+	if len(q.Edges) <= maxEdges {
+		return p.Optimal(q)
+	}
+	if len(q.Edges) > 32 {
+		return nil, Score{}, fmt.Errorf("plan: query has %d edges; planner supports at most 32", len(q.Edges))
+	}
+	return p.Genetic(q, cfg)
+}

@@ -1,0 +1,122 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamgraph/internal/datagen"
+	"streamgraph/internal/query"
+)
+
+func TestGeneticProducesValidDecompositions(t *testing.T) {
+	p := newPlanner(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		q := datagen.RandomPathQuery(rng, datagen.NetflowProtocols, 4+rng.Intn(4), "ip")
+		leaves, score, err := p.Genetic(q, GeneticConfig{Seed: int64(i), Generations: 20, Population: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateDecomposition(q, leaves); err != nil {
+			t.Fatalf("query %d: invalid GA decomposition %v: %v", i, leaves, err)
+		}
+		rescored, err := p.ScoreLeaves(q, leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.objective(score)-p.objective(rescored)) > 1e-9*math.Max(1, p.objective(score)) {
+			t.Fatalf("query %d: GA score %v != re-score %v", i, p.objective(score), p.objective(rescored))
+		}
+	}
+}
+
+func TestGeneticDeterministicForSeed(t *testing.T) {
+	p := newPlanner(t)
+	q := pathQuery("ESP", "TCP", "ICMP", "GRE", "UDP")
+	l1, s1, err := p.Genetic(q, GeneticConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, s2, err := p.Genetic(q, GeneticConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("same seed, different scores: %+v vs %+v", s1, s2)
+	}
+	if len(l1) != len(l2) {
+		t.Fatalf("same seed, different leaf counts: %v vs %v", l1, l2)
+	}
+	for i := range l1 {
+		if len(l1[i]) != len(l2[i]) {
+			t.Fatalf("same seed, different decompositions: %v vs %v", l1, l2)
+		}
+		for j := range l1[i] {
+			if l1[i][j] != l2[i][j] {
+				t.Fatalf("same seed, different decompositions: %v vs %v", l1, l2)
+			}
+		}
+	}
+}
+
+func TestGeneticFindsOptimumOnSmallQueries(t *testing.T) {
+	p := newPlanner(t)
+	for i, q := range []*query.Graph{
+		pathQuery("ESP", "TCP", "ICMP"),
+		pathQuery("ESP", "TCP", "ICMP", "GRE"),
+	} {
+		_, opt, err := p.Optimal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ga, err := p.Genetic(q, GeneticConfig{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The GA is a heuristic, but on 3-4 edge queries with default
+		// budgets it reliably reaches the optimum.
+		if p.objective(ga) > p.objective(opt)*(1+1e-6) {
+			t.Errorf("query %d: GA objective %v missed optimum %v", i, p.objective(ga), p.objective(opt))
+		}
+	}
+}
+
+func TestGeneticBeatsRandomBaseline(t *testing.T) {
+	p := newPlanner(t)
+	q := pathQuery("ESP", "TCP", "ICMP", "GRE", "UDP", "TCP", "ICMP")
+	_, ga, err := p.Genetic(q, GeneticConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average objective of pure random decompositions.
+	prims, err := p.Primitives(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortPrimitives(prims)
+	ctx := &gaContext{
+		p: p, q: q, prims: prims,
+		full:            uint32(1)<<uint(len(q.Edges)) - 1,
+		requireFrontier: true,
+		rng:             rand.New(rand.NewSource(2)),
+	}
+	sum, k := 0.0, 50
+	for i := 0; i < k; i++ {
+		sum += ctx.evaluate(ctx.randomValid()).obj
+	}
+	if avg := sum / float64(k); p.objective(ga) > avg {
+		t.Fatalf("GA objective %v not better than average random %v", p.objective(ga), avg)
+	}
+}
+
+func TestGeneticConfigDefaults(t *testing.T) {
+	c := GeneticConfig{}.withDefaults()
+	if c.Population <= 0 || c.Generations <= 0 || c.Tournament <= 0 || c.MutateProb <= 0 || c.Elite <= 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	c2 := GeneticConfig{Elite: -1}.withDefaults()
+	if c2.Elite != 0 {
+		t.Fatalf("negative elite should clamp to 0, got %d", c2.Elite)
+	}
+}

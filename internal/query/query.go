@@ -1,0 +1,279 @@
+// Package query represents pattern (query) graphs: small directed graphs
+// with typed edges and optionally label-constrained vertices, matched
+// continuously against the data stream. It also provides the structural
+// helpers (adjacency, connectivity, path/tree classification) used by
+// the decomposition algorithms.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Wildcard is the vertex label that matches any data vertex label.
+const Wildcard = "*"
+
+// Vertex is a query vertex. Name is the variable name used to refer to
+// the vertex in the textual format; Label is a required data-vertex
+// label, or Wildcard/"" to match any label.
+type Vertex struct {
+	Name  string
+	Label string
+}
+
+// Edge is a directed query edge between vertices identified by index.
+type Edge struct {
+	Src  int
+	Dst  int
+	Type string
+}
+
+// Graph is a query graph.
+type Graph struct {
+	Vertices []Vertex
+	Edges    []Edge
+}
+
+// NewPath builds a directed path query v0 -t0-> v1 -t1-> ... with all
+// vertex labels set to label (Wildcard for unlabeled queries).
+func NewPath(label string, types ...string) *Graph {
+	g := &Graph{}
+	for i := 0; i <= len(types); i++ {
+		g.Vertices = append(g.Vertices, Vertex{Name: fmt.Sprintf("v%d", i), Label: label})
+	}
+	for i, t := range types {
+		g.Edges = append(g.Edges, Edge{Src: i, Dst: i + 1, Type: t})
+	}
+	return g
+}
+
+// AddVertex appends a vertex and returns its index.
+func (g *Graph) AddVertex(name, label string) int {
+	g.Vertices = append(g.Vertices, Vertex{Name: name, Label: label})
+	return len(g.Vertices) - 1
+}
+
+// AddEdge appends a directed edge src -> dst with the given type and
+// returns its index.
+func (g *Graph) AddEdge(src, dst int, etype string) int {
+	g.Edges = append(g.Edges, Edge{Src: src, Dst: dst, Type: etype})
+	return len(g.Edges) - 1
+}
+
+// Validate checks structural sanity: at least one edge, all endpoint
+// indices in range, no self-loops (the engine's matchers require
+// distinct endpoints, as do all of the paper's query classes), and
+// non-empty edge types.
+func (g *Graph) Validate() error {
+	if len(g.Edges) == 0 {
+		return fmt.Errorf("query: graph has no edges")
+	}
+	for i, e := range g.Edges {
+		if e.Src < 0 || e.Src >= len(g.Vertices) || e.Dst < 0 || e.Dst >= len(g.Vertices) {
+			return fmt.Errorf("query: edge %d references vertex out of range", i)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("query: edge %d is a self-loop", i)
+		}
+		if e.Type == "" {
+			return fmt.Errorf("query: edge %d has empty type", i)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Vertices: append([]Vertex(nil), g.Vertices...),
+		Edges:    append([]Edge(nil), g.Edges...),
+	}
+	return c
+}
+
+// LabelOf returns the effective label constraint of vertex v: the empty
+// string and Wildcard both mean "unconstrained" and normalize to
+// Wildcard.
+func (g *Graph) LabelOf(v int) string {
+	l := g.Vertices[v].Label
+	if l == "" {
+		return Wildcard
+	}
+	return l
+}
+
+// IncidentEdges returns the indices of edges incident to vertex v, in
+// edge order.
+func (g *Graph) IncidentEdges(v int) []int {
+	var out []int
+	for i, e := range g.Edges {
+		if e.Src == v || e.Dst == v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Degree reports the number of edges incident to vertex v.
+func (g *Graph) Degree(v int) int {
+	d := 0
+	for _, e := range g.Edges {
+		if e.Src == v || e.Dst == v {
+			d++
+		}
+	}
+	return d
+}
+
+// EdgeVertices returns the sorted distinct vertex indices touched by the
+// given edge indices.
+func (g *Graph) EdgeVertices(edgeIdx []int) []int {
+	seen := make(map[int]bool, 2*len(edgeIdx))
+	for _, ei := range edgeIdx {
+		seen[g.Edges[ei].Src] = true
+		seen[g.Edges[ei].Dst] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Connected reports whether the query graph is weakly connected over the
+// vertices that have at least one incident edge.
+func (g *Graph) Connected() bool {
+	if len(g.Edges) == 0 {
+		return true
+	}
+	adj := make(map[int][]int)
+	for _, e := range g.Edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+	}
+	start := g.Edges[0].Src
+	seen := map[int]bool{start: true}
+	queue := []int{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return len(seen) == len(adj)
+}
+
+// IsPath reports whether the query is a simple (possibly directed-any-way)
+// path: connected, with exactly two vertices of degree 1 and the rest of
+// degree 2, and no cycles.
+func (g *Graph) IsPath() bool {
+	if len(g.Edges) == 0 || !g.Connected() {
+		return false
+	}
+	deg1, degOther := 0, 0
+	for v := range g.Vertices {
+		switch d := g.Degree(v); {
+		case d == 0:
+			// isolated vertex: not part of the path
+		case d == 1:
+			deg1++
+		case d == 2:
+		default:
+			degOther++
+		}
+	}
+	return deg1 == 2 && degOther == 0 && len(g.Edges) == g.activeVertexCount()-1
+}
+
+// IsTree reports whether the query is connected and acyclic (|E| = |V|-1
+// over vertices with incident edges).
+func (g *Graph) IsTree() bool {
+	return g.Connected() && len(g.Edges) == g.activeVertexCount()-1
+}
+
+func (g *Graph) activeVertexCount() int {
+	n := 0
+	for v := range g.Vertices {
+		if g.Degree(v) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the textual format parsed by Parse.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, v := range g.Vertices {
+		label := v.Label
+		if label == "" {
+			label = Wildcard
+		}
+		fmt.Fprintf(&b, "v %s %s\n", v.Name, label)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "e %s %s %s\n", g.Vertices[e.Src].Name, g.Vertices[e.Dst].Name, e.Type)
+	}
+	return b.String()
+}
+
+// Parse reads the textual query format:
+//
+//	# comment
+//	v <name> [label]
+//	e <srcName> <dstName> <type>
+//
+// Vertices referenced by an edge before being declared are created with a
+// wildcard label.
+func Parse(text string) (*Graph, error) {
+	g := &Graph{}
+	index := make(map[string]int)
+	ensure := func(name, label string) int {
+		if i, ok := index[name]; ok {
+			if label != Wildcard && g.Vertices[i].Label == Wildcard {
+				g.Vertices[i].Label = label
+			}
+			return i
+		}
+		i := g.AddVertex(name, label)
+		index[name] = i
+		return i
+	}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "v":
+			if len(f) < 2 || len(f) > 3 {
+				return nil, fmt.Errorf("query: line %d: want 'v name [label]'", ln+1)
+			}
+			label := Wildcard
+			if len(f) == 3 {
+				label = f[2]
+			}
+			ensure(f[1], label)
+		case "e":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("query: line %d: want 'e src dst type'", ln+1)
+			}
+			s := ensure(f[1], Wildcard)
+			d := ensure(f[2], Wildcard)
+			g.AddEdge(s, d, f[3])
+		default:
+			return nil, fmt.Errorf("query: line %d: unknown record %q", ln+1, f[0])
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

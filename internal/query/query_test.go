@@ -1,0 +1,213 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewPath(t *testing.T) {
+	q := NewPath("ip", "a", "b", "c")
+	if len(q.Vertices) != 4 || len(q.Edges) != 3 {
+		t.Fatalf("path sizes: %d vertices %d edges", len(q.Vertices), len(q.Edges))
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsPath() || !q.IsTree() || !q.Connected() {
+		t.Errorf("classification wrong: path=%v tree=%v conn=%v", q.IsPath(), q.IsTree(), q.Connected())
+	}
+	for i, e := range q.Edges {
+		if e.Src != i || e.Dst != i+1 {
+			t.Errorf("edge %d endpoints %d->%d", i, e.Src, e.Dst)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"no edges", &Graph{Vertices: []Vertex{{Name: "a"}}}},
+		{"out of range", &Graph{
+			Vertices: []Vertex{{Name: "a"}},
+			Edges:    []Edge{{Src: 0, Dst: 5, Type: "t"}},
+		}},
+		{"self loop", &Graph{
+			Vertices: []Vertex{{Name: "a"}},
+			Edges:    []Edge{{Src: 0, Dst: 0, Type: "t"}},
+		}},
+		{"empty type", &Graph{
+			Vertices: []Vertex{{Name: "a"}, {Name: "b"}},
+			Edges:    []Edge{{Src: 0, Dst: 1, Type: ""}},
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid graph", tc.name)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	q := NewPath("*", "a", "b")
+	c := q.Clone()
+	c.Edges[0].Type = "changed"
+	c.Vertices[0].Label = "changed"
+	if q.Edges[0].Type == "changed" || q.Vertices[0].Label == "changed" {
+		t.Fatalf("Clone shares storage")
+	}
+}
+
+func TestLabelOf(t *testing.T) {
+	q := &Graph{Vertices: []Vertex{{Name: "a", Label: ""}, {Name: "b", Label: "ip"}}}
+	if q.LabelOf(0) != Wildcard {
+		t.Errorf("empty label should normalize to wildcard")
+	}
+	if q.LabelOf(1) != "ip" {
+		t.Errorf("explicit label lost")
+	}
+}
+
+func TestStructuralHelpers(t *testing.T) {
+	// Star: center 0 with 3 leaves — a tree but not a path.
+	star := &Graph{
+		Vertices: []Vertex{{Name: "c"}, {Name: "x"}, {Name: "y"}, {Name: "z"}},
+		Edges: []Edge{
+			{Src: 0, Dst: 1, Type: "t"},
+			{Src: 0, Dst: 2, Type: "t"},
+			{Src: 0, Dst: 3, Type: "t"},
+		},
+	}
+	if star.IsPath() {
+		t.Errorf("star classified as path")
+	}
+	if !star.IsTree() {
+		t.Errorf("star not classified as tree")
+	}
+	if star.Degree(0) != 3 || star.Degree(1) != 1 {
+		t.Errorf("degrees wrong")
+	}
+	if got := star.IncidentEdges(0); len(got) != 3 {
+		t.Errorf("IncidentEdges(0) = %v", got)
+	}
+	if got := star.EdgeVertices([]int{0, 1}); len(got) != 3 || got[0] != 0 {
+		t.Errorf("EdgeVertices = %v", got)
+	}
+
+	// Triangle: connected, not a tree.
+	tri := &Graph{
+		Vertices: []Vertex{{Name: "a"}, {Name: "b"}, {Name: "c"}},
+		Edges: []Edge{
+			{Src: 0, Dst: 1, Type: "t"},
+			{Src: 1, Dst: 2, Type: "t"},
+			{Src: 2, Dst: 0, Type: "t"},
+		},
+	}
+	if tri.IsTree() || tri.IsPath() {
+		t.Errorf("triangle misclassified")
+	}
+	if !tri.Connected() {
+		t.Errorf("triangle not connected")
+	}
+
+	// Two disjoint edges: disconnected.
+	dis := &Graph{
+		Vertices: []Vertex{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}},
+		Edges: []Edge{
+			{Src: 0, Dst: 1, Type: "t"},
+			{Src: 2, Dst: 3, Type: "t"},
+		},
+	}
+	if dis.Connected() {
+		t.Errorf("disjoint edges reported connected")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	text := `
+# the Figure 3 social query
+v a person
+v b person
+v s artist
+e a b friend
+e b s likes
+e c s follows
+`
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Vertices) != 4 || len(q.Edges) != 3 {
+		t.Fatalf("parsed %d vertices %d edges", len(q.Vertices), len(q.Edges))
+	}
+	// c was implicitly created with a wildcard label.
+	found := false
+	for _, v := range q.Vertices {
+		if v.Name == "c" {
+			found = true
+			if v.Label != Wildcard {
+				t.Errorf("implicit vertex label = %q", v.Label)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("implicit vertex missing")
+	}
+	// Round-trip through String.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.Vertices) != len(q.Vertices) || len(q2.Edges) != len(q.Edges) {
+		t.Fatalf("round trip changed shape")
+	}
+	for i := range q.Edges {
+		if q.Edges[i].Type != q2.Edges[i].Type {
+			t.Errorf("edge %d type changed", i)
+		}
+	}
+}
+
+func TestParseLabelUpgrade(t *testing.T) {
+	// A vertex first seen in an edge (wildcard) can be labeled later.
+	q, err := Parse("e a b t\nv a person\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range q.Vertices {
+		if v.Name == "a" && v.Label != "person" {
+			t.Errorf("label upgrade failed: %q", v.Label)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",            // no edges
+		"v a",         // no edges either
+		"x something", // unknown record
+		"e a b",       // missing type
+		"v",           // missing name
+		"v a b c",     // too many fields
+		"e a a t",     // self loop
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse accepted %q", text)
+		}
+	}
+}
+
+func TestAddVertexAddEdge(t *testing.T) {
+	q := &Graph{}
+	a := q.AddVertex("a", "ip")
+	b := q.AddVertex("b", "ip")
+	e := q.AddEdge(a, b, "tcp")
+	if a != 0 || b != 1 || e != 0 {
+		t.Errorf("indices: %d %d %d", a, b, e)
+	}
+	if !strings.Contains(q.String(), "e a b tcp") {
+		t.Errorf("String() = %q", q.String())
+	}
+}

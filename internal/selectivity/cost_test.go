@@ -1,0 +1,174 @@
+package selectivity
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/query"
+	"streamgraph/internal/stream"
+)
+
+func skewedCollector() *Collector {
+	c := NewCollector()
+	ts := int64(0)
+	// 50 "common" edges chained, 5 "mid", 1 "rare".
+	for i := 0; i < 50; i++ {
+		ts++
+		c.Add(edge(vname(i%8), vname((i+1)%8), "common", ts))
+	}
+	for i := 0; i < 5; i++ {
+		ts++
+		c.Add(edge(vname(i%8), vname((i+3)%8), "mid", ts))
+	}
+	ts++
+	c.Add(edge(vname(0), vname(5), "rare", ts))
+	return c
+}
+
+func TestLeafFrequency(t *testing.T) {
+	c := skewedCollector()
+	q := query.NewPath(query.Wildcard, "common", "rare")
+	f, err := c.LeafFrequency(q, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 50 {
+		t.Fatalf("freq(common) = %v, want 50", f)
+	}
+	f, err = c.LeafFrequency(q, []int{1})
+	if err != nil || f != 1 {
+		t.Fatalf("freq(rare) = %v err=%v, want 1", f, err)
+	}
+}
+
+func TestSpaceEstimateOrdering(t *testing.T) {
+	// Theorem 2 analytically: ascending-selectivity leaf order needs
+	// less estimated space than descending for the same query.
+	c := skewedCollector()
+	q := query.NewPath(query.Wildcard, "rare", "mid", "common")
+	asc := [][]int{{0}, {1}, {2}}  // rare, mid, common
+	desc := [][]int{{2}, {1}, {0}} // common, mid, rare
+	sAsc, err := c.SpaceEstimate(q, asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sDesc, err := c.SpaceEstimate(q, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sAsc >= sDesc {
+		t.Fatalf("ascending space %v >= descending %v", sAsc, sDesc)
+	}
+	if s, _ := c.SpaceEstimate(q, nil); s != 0 {
+		t.Errorf("empty decomposition space = %v", s)
+	}
+}
+
+func TestCostEstimate(t *testing.T) {
+	c := skewedCollector()
+	q := query.NewPath(query.Wildcard, "rare", "common")
+	single, err := c.CostEstimate(q, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single <= 0 {
+		t.Fatalf("cost = %v", single)
+	}
+	// A 2-edge path leaf costs d̄ per edge instead of 1+1 plus joins;
+	// both must be positive and finite.
+	path, err := c.CostEstimate(q, [][]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path <= 0 {
+		t.Fatalf("path cost = %v", path)
+	}
+	// Single-leaf decomposition cost excludes join terms.
+	oneLeaf, err := c.CostEstimate(query.NewPath(query.Wildcard, "rare"), [][]int{{0}})
+	if err != nil || oneLeaf != 1 {
+		t.Fatalf("1-edge leaf cost = %v err=%v, want 1", oneLeaf, err)
+	}
+}
+
+func TestShouldDecomposeFurther(t *testing.T) {
+	c := skewedCollector()
+	// A subgraph occurring vastly more often than the whole pattern is
+	// worth decomposing; equal frequencies are not.
+	if !c.ShouldDecomposeFurther(1e6, 1, 3) {
+		t.Errorf("high-frequency sub should trigger decomposition")
+	}
+	if c.ShouldDecomposeFurther(1, 1, 3) {
+		t.Errorf("equal frequency should not trigger decomposition")
+	}
+}
+
+func TestExactTriangles(t *testing.T) {
+	g := graph.New()
+	add := func(a, b string) {
+		g.AddEdgeNamed(a, "v", b, "v", "t", 1)
+	}
+	// One triangle a-b-c plus a dangling edge.
+	add("a", "b")
+	add("b", "c")
+	add("c", "a")
+	add("c", "d")
+	if got := ExactTriangles(g); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+	// Adding a-d and d-b closes three more: {a,b,d}, {a,c,d}, {b,c,d}.
+	add("a", "d")
+	add("d", "b")
+	if got := ExactTriangles(g); got != 4 {
+		t.Fatalf("triangles = %d, want 4", got)
+	}
+	// Direction and parallel edges do not change the structural count.
+	add("b", "a")
+	if got := ExactTriangles(g); got != 4 {
+		t.Fatalf("parallel edge changed count: %d", got)
+	}
+}
+
+func TestTriangleEstimatorConverges(t *testing.T) {
+	// A random graph with a known (exactly counted) triangle total: the
+	// estimator with generous reservoirs should land within 50%.
+	// The estimator (like Jha et al.) assumes a simple stream: skip
+	// duplicate vertex pairs.
+	rng := rand.New(rand.NewSource(5))
+	g := graph.New()
+	est := NewTriangleEstimator(6, 20000, 20000)
+	const nv = 60
+	var edges []stream.Edge
+	seen := map[[2]int]bool{}
+	for i := 0; len(edges) < 1200 && i < 20000; i++ {
+		a, b := rng.Intn(nv), rng.Intn(nv)
+		if a == b {
+			continue
+		}
+		key := [2]int{min(a, b), max(a, b)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		e := edge(vname(a), vname(b), "t", int64(i))
+		edges = append(edges, e)
+		g.AddEdgeNamed(e.Src, "v", e.Dst, "v", e.Type, e.TS)
+	}
+	for _, e := range edges {
+		est.Add(e)
+	}
+	exact := float64(dedupTriangles(g))
+	got := est.Estimate()
+	if exact == 0 {
+		t.Skip("no triangles in random graph")
+	}
+	if got < exact*0.5 || got > exact*1.5 {
+		t.Fatalf("estimate %v vs exact %v (outside ±50%%)", got, exact)
+	}
+}
+
+// dedupTriangles counts structural triangles ignoring parallel edges,
+// matching the estimator's undirected simple-graph semantics.
+func dedupTriangles(g *graph.Graph) int64 {
+	return ExactTriangles(g)
+}

@@ -1,0 +1,268 @@
+package selectivity
+
+import (
+	"math/rand"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/stream"
+)
+
+// TriangleEstimator implements the streaming triangle-count estimator
+// referenced in Section 5.1 (after Jha, Seshadhri, Pinar — "A space
+// efficient streaming algorithm for triangle counting using the
+// birthday paradox", KDD 2013): reservoir-sample edges, sample wedges
+// (2-paths) formed among the sampled edges, and track the fraction of
+// sampled wedges closed by a later edge. Each triangle has exactly one
+// wedge whose closing edge arrives after both wedge edges, so
+//
+//	triangles ≈ closedFraction · totalWedges,
+//
+// where totalWedges is the stream's wedge count estimated from the
+// reservoir by the birthday-paradox scaling (t / reservoirSize)².
+//
+// The estimator treats the graph as undirected and simple (a structural
+// statistic); the paper foresees such estimators extending the
+// selectivity machinery to triangle primitives.
+type TriangleEstimator struct {
+	rng *rand.Rand
+
+	slots    int
+	edges    []undirEdge
+	deg      map[int32]int64 // degree within the reservoir
+	resWedge float64         // wedges among reservoir edges (Σ C(deg,2))
+	seen     int64           // stream edges observed
+
+	wedges []wedge
+	closed []bool
+	live   int
+
+	verts map[string]int32
+}
+
+type undirEdge struct{ a, b int32 }
+
+type wedge struct {
+	a, center, b int32
+	used         bool
+}
+
+// NewTriangleEstimator returns an estimator holding at most edgeSlots
+// sampled edges and wedgeSlots sampled wedges.
+func NewTriangleEstimator(seed int64, edgeSlots, wedgeSlots int) *TriangleEstimator {
+	if edgeSlots <= 0 {
+		edgeSlots = 5000
+	}
+	if wedgeSlots <= 0 {
+		wedgeSlots = 5000
+	}
+	return &TriangleEstimator{
+		rng:    rand.New(rand.NewSource(seed)),
+		slots:  edgeSlots,
+		deg:    make(map[int32]int64),
+		wedges: make([]wedge, wedgeSlots),
+		closed: make([]bool, wedgeSlots),
+		verts:  make(map[string]int32),
+	}
+}
+
+func (t *TriangleEstimator) vertex(name string) int32 {
+	if id, ok := t.verts[name]; ok {
+		return id
+	}
+	id := int32(len(t.verts))
+	t.verts[name] = id
+	return id
+}
+
+// Add folds one stream edge into the estimator.
+func (t *TriangleEstimator) Add(e stream.Edge) {
+	a, b := t.vertex(e.Src), t.vertex(e.Dst)
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	ue := undirEdge{a, b}
+	t.seen++
+
+	// Mark sampled wedges closed by this edge.
+	for i := range t.wedges {
+		w := &t.wedges[i]
+		if !w.used || t.closed[i] {
+			continue
+		}
+		x, y := w.a, w.b
+		if x > y {
+			x, y = y, x
+		}
+		if x == a && y == b {
+			t.closed[i] = true
+		}
+	}
+
+	// Reservoir-sample the edge.
+	var replaced *undirEdge
+	switch {
+	case len(t.edges) < t.slots:
+		t.edges = append(t.edges, ue)
+	default:
+		if j := t.rng.Int63n(t.seen); j < int64(t.slots) {
+			old := t.edges[j]
+			replaced = &old
+			t.edges[j] = ue
+		} else {
+			return // not sampled: reservoir unchanged
+		}
+	}
+	if replaced != nil {
+		t.resWedge -= float64(t.deg[replaced.a]-1) + float64(t.deg[replaced.b]-1)
+		t.deg[replaced.a]--
+		t.deg[replaced.b]--
+	}
+	newWedges := float64(t.deg[a] + t.deg[b])
+	t.resWedge += newWedges
+	t.deg[a]++
+	t.deg[b]++
+
+	if newWedges <= 0 || t.resWedge <= 0 {
+		return
+	}
+	// Refresh each wedge slot with probability newWedges/resWedge,
+	// drawing a uniform new wedge incident to the inserted edge (the
+	// Jha-Seshadhri-Pinar update keeps the wedge reservoir near-uniform
+	// over the reservoir's wedges).
+	p := newWedges / t.resWedge
+	for i := range t.wedges {
+		if t.rng.Float64() >= p {
+			continue
+		}
+		if w, ok := t.randomWedgeWith(ue); ok {
+			if !t.wedges[i].used {
+				t.live++
+			}
+			t.wedges[i] = w
+			t.closed[i] = false
+		}
+	}
+}
+
+// randomWedgeWith draws a uniform wedge formed by ue and another
+// reservoir edge sharing an endpoint.
+func (t *TriangleEstimator) randomWedgeWith(ue undirEdge) (wedge, bool) {
+	// Sample reservoir edges until one sharing exactly one endpoint is
+	// found; bounded attempts keep this O(1) amortized.
+	for attempt := 0; attempt < 32; attempt++ {
+		o := t.edges[t.rng.Intn(len(t.edges))]
+		if o == ue {
+			continue
+		}
+		if w, ok := makeWedge(ue, o); ok {
+			w.used = true
+			return w, true
+		}
+	}
+	// Fallback: linear scan for any partner.
+	var cands []wedge
+	for _, o := range t.edges {
+		if o == ue {
+			continue
+		}
+		if w, ok := makeWedge(ue, o); ok {
+			w.used = true
+			cands = append(cands, w)
+		}
+	}
+	if len(cands) == 0 {
+		return wedge{}, false
+	}
+	return cands[t.rng.Intn(len(cands))], true
+}
+
+func makeWedge(e1, e2 undirEdge) (wedge, bool) {
+	switch {
+	case e1.a == e2.a && e1.b != e2.b:
+		return wedge{a: e1.b, center: e1.a, b: e2.b}, true
+	case e1.a == e2.b && e1.b != e2.a:
+		return wedge{a: e1.b, center: e1.a, b: e2.a}, true
+	case e1.b == e2.a && e1.a != e2.b:
+		return wedge{a: e1.a, center: e1.b, b: e2.b}, true
+	case e1.b == e2.b && e1.a != e2.a:
+		return wedge{a: e1.a, center: e1.b, b: e2.a}, true
+	}
+	return wedge{}, false
+}
+
+// Estimate returns the estimated triangle count of the stream so far.
+func (t *TriangleEstimator) Estimate() float64 {
+	liveCnt, closedCnt := 0, 0
+	for i := range t.wedges {
+		if !t.wedges[i].used {
+			continue
+		}
+		liveCnt++
+		if t.closed[i] {
+			closedCnt++
+		}
+	}
+	if liveCnt == 0 || len(t.edges) == 0 {
+		return 0
+	}
+	frac := float64(closedCnt) / float64(liveCnt)
+	scale := float64(t.seen) / float64(len(t.edges))
+	wedgesInStream := t.resWedge * scale * scale
+	return frac * wedgesInStream
+}
+
+// WedgeEstimate returns the estimated number of wedges (2-paths,
+// undirected) in the stream so far.
+func (t *TriangleEstimator) WedgeEstimate() float64 {
+	if len(t.edges) == 0 {
+		return 0
+	}
+	scale := float64(t.seen) / float64(len(t.edges))
+	return t.resWedge * scale * scale
+}
+
+// ExactTriangles counts triangles in a materialized graph by brute
+// force over wedges (undirected, parallel edges collapsed, each
+// triangle counted once). It is the oracle the estimator is validated
+// against and is also usable directly for small graphs.
+func ExactTriangles(g *graph.Graph) int64 {
+	adj := make([]map[graph.VertexID]bool, g.NumVertices())
+	addPair := func(a, b graph.VertexID) {
+		if adj[a] == nil {
+			adj[a] = make(map[graph.VertexID]bool)
+		}
+		adj[a][b] = true
+	}
+	g.EachEdge(func(e graph.Edge) bool {
+		if e.Src != e.Dst {
+			addPair(e.Src, e.Dst)
+			addPair(e.Dst, e.Src)
+		}
+		return true
+	})
+	var count int64
+	g.EachVertex(func(v graph.VertexID) bool {
+		ns := adj[v]
+		if len(ns) < 2 {
+			return true
+		}
+		var list []graph.VertexID
+		for u := range ns {
+			if u > v {
+				list = append(list, u)
+			}
+		}
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				if adj[list[i]][list[j]] {
+					count++
+				}
+			}
+		}
+		return true
+	})
+	return count
+}

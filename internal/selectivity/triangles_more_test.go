@@ -1,0 +1,44 @@
+package selectivity
+
+import (
+	"testing"
+
+	"streamgraph/internal/stream"
+)
+
+func TestWedgeEstimateExactWhenFullySampled(t *testing.T) {
+	// With reservoirs larger than the stream, the wedge estimate is the
+	// exact wedge count.
+	est := NewTriangleEstimator(1, 1000, 1000)
+	// Star: center c with 4 spokes → C(4,2) = 6 wedges.
+	for i := 0; i < 4; i++ {
+		est.Add(stream.Edge{Src: "c", Dst: vname(i), Type: "t", TS: int64(i)})
+	}
+	if got := est.WedgeEstimate(); got != 6 {
+		t.Fatalf("WedgeEstimate = %v, want 6", got)
+	}
+	if est.Estimate() != 0 {
+		t.Fatalf("no triangles in a star, estimate = %v", est.Estimate())
+	}
+}
+
+func TestTriangleEstimatorSelfLoopIgnored(t *testing.T) {
+	est := NewTriangleEstimator(2, 100, 100)
+	est.Add(stream.Edge{Src: "a", Dst: "a", Type: "t", TS: 1})
+	if est.WedgeEstimate() != 0 {
+		t.Fatalf("self loop contributed wedges")
+	}
+}
+
+func TestTriangleEstimatorSingleTriangleFullSampling(t *testing.T) {
+	est := NewTriangleEstimator(3, 100, 100)
+	est.Add(stream.Edge{Src: "a", Dst: "b", Type: "t", TS: 1})
+	est.Add(stream.Edge{Src: "b", Dst: "c", Type: "t", TS: 2})
+	est.Add(stream.Edge{Src: "c", Dst: "a", Type: "t", TS: 3})
+	// Wedges: 3 (one per vertex); exactly one ((a,b),(b,c)) is closed by
+	// a later edge. With full sampling the estimate is frac·W = (1/3)·3 = 1.
+	got := est.Estimate()
+	if got < 0.5 || got > 1.5 {
+		t.Fatalf("single-triangle estimate = %v, want ≈1", got)
+	}
+}

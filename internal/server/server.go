@@ -1,0 +1,301 @@
+// Package server exposes the multi-query engine over a line-oriented
+// TCP protocol, turning the library into the deployable service the
+// paper's introduction sketches: organizations "register a pattern as a
+// graph query and continuously perform the query on the data graph".
+//
+// The protocol is plain text, one command per line:
+//
+//	register <name> [strategy]   begin registering a query; the query
+//	                             body follows in the textual query
+//	                             format, terminated by a line "end"
+//	unregister <name>            drop a query
+//	edge <src> <srcLabel> <dst> <dstLabel> <type> <ts>
+//	                             ingest one edge (fields tab- or
+//	                             space-separated)
+//	stats                        engine counters
+//	quit                         close the connection
+//
+// Replies: "ok [detail]" on success, "err <reason>" on failure. Each
+// edge's reply is "ok <n>" followed by n lines "match <query> <bindings>"
+// — the complete matches that edge produced across all registered
+// queries. Ingestion is serialized server-side (single-writer graph);
+// any number of clients may connect.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/query"
+	"streamgraph/internal/stream"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Window is tW shared by all queries (0 = unwindowed).
+	Window int64
+	// EvictEvery forwards to the engine (default 256).
+	EvictEvery int
+	// DefaultStrategy applies when a register command names none.
+	// The zero value selects StrategySingleLazy.
+	DefaultStrategy core.Strategy
+	// MaxQueryLines bounds the register body (default 256).
+	MaxQueryLines int
+}
+
+// Server hosts one shared multi-query engine.
+type Server struct {
+	cfg   Config
+	multi *core.MultiEngine
+
+	mu sync.Mutex // serializes engine access across connections
+
+	lnMu   sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// New returns a server with an empty engine.
+func New(cfg Config) *Server {
+	if cfg.DefaultStrategy == core.StrategySingle {
+		cfg.DefaultStrategy = core.StrategySingleLazy
+	}
+	if cfg.MaxQueryLines <= 0 {
+		cfg.MaxQueryLines = 256
+	}
+	return &Server{
+		cfg:   cfg,
+		multi: core.NewMulti(core.MultiConfig{Window: cfg.Window, EvictEvery: cfg.EvictEvery}),
+		conns: make(map[net.Conn]bool),
+	}
+}
+
+// Serve accepts connections on ln until Close. It returns the accept
+// error that terminated the loop (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		return fmt.Errorf("server: already closed")
+	}
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.lnMu.Lock()
+		if s.closed {
+			s.lnMu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.lnMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// handlers to finish.
+func (s *Server) Close() {
+	s.lnMu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.lnMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.lnMu.Lock()
+	delete(s.conns, c)
+	s.lnMu.Unlock()
+	c.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.dropConn(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) bool {
+		fmt.Fprintf(w, format+"\n", args...)
+		return w.Flush() == nil
+	}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "register":
+			if len(fields) < 2 || len(fields) > 3 {
+				if !reply("err usage: register <name> [strategy]") {
+					return
+				}
+				continue
+			}
+			strat := s.cfg.DefaultStrategy
+			if len(fields) == 3 {
+				var ok bool
+				strat, ok = parseStrategy(fields[2])
+				if !ok {
+					if !reply("err unknown strategy %q", fields[2]) {
+						return
+					}
+					continue
+				}
+			}
+			body, err := s.readQueryBody(sc)
+			if err != nil {
+				if !reply("err %v", err) {
+					return
+				}
+				continue
+			}
+			if err := s.register(fields[1], body, strat); err != nil {
+				if !reply("err %v", err) {
+					return
+				}
+				continue
+			}
+			if !reply("ok registered %s", fields[1]) {
+				return
+			}
+		case "unregister":
+			if len(fields) != 2 {
+				if !reply("err usage: unregister <name>") {
+					return
+				}
+				continue
+			}
+			s.mu.Lock()
+			s.multi.Unregister(fields[1])
+			s.mu.Unlock()
+			if !reply("ok") {
+				return
+			}
+		case "edge":
+			e, err := parseEdge(fields[1:])
+			if err != nil {
+				if !reply("err %v", err) {
+					return
+				}
+				continue
+			}
+			s.mu.Lock()
+			matches := s.multi.ProcessEdge(e)
+			lines := make([]string, 0, len(matches))
+			for _, nm := range matches {
+				eng := s.multi.QueryEngine(nm.Query)
+				if eng == nil {
+					continue
+				}
+				lines = append(lines, fmt.Sprintf("match %s %s", nm.Query, eng.Explain(nm.Match)))
+			}
+			s.mu.Unlock()
+			ok := reply("ok %d", len(lines))
+			for _, ln := range lines {
+				ok = ok && reply("%s", ln)
+			}
+			if !ok {
+				return
+			}
+		case "stats":
+			s.mu.Lock()
+			st := s.multi.Stats()
+			s.mu.Unlock()
+			if !reply("ok edges=%d queries=%d partial=%d",
+				st.EdgesProcessed, st.Queries, st.PartialMatches) {
+				return
+			}
+		case "quit":
+			reply("ok bye")
+			return
+		default:
+			if !reply("err unknown command %q", fields[0]) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) readQueryBody(sc *bufio.Scanner) (string, error) {
+	var lines []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "end" {
+			return strings.Join(lines, "\n"), nil
+		}
+		lines = append(lines, line)
+		if len(lines) > s.cfg.MaxQueryLines {
+			return "", fmt.Errorf("query body exceeds %d lines", s.cfg.MaxQueryLines)
+		}
+	}
+	return "", fmt.Errorf("connection ended inside query body")
+}
+
+func (s *Server) register(name, body string, strat core.Strategy) error {
+	q, err := query.Parse(body)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The shared rolling statistics collected from the live stream feed
+	// the decomposition; a query registered before any traffic uses
+	// uniform selectivities.
+	return s.multi.Register(name, q, core.Config{Strategy: strat})
+}
+
+func parseEdge(fields []string) (stream.Edge, error) {
+	if len(fields) != 6 {
+		return stream.Edge{}, fmt.Errorf("usage: edge <src> <srcLabel> <dst> <dstLabel> <type> <ts>")
+	}
+	ts, err := strconv.ParseInt(fields[5], 10, 64)
+	if err != nil {
+		return stream.Edge{}, fmt.Errorf("bad timestamp %q", fields[5])
+	}
+	return stream.Edge{
+		Src: fields[0], SrcLabel: fields[1],
+		Dst: fields[2], DstLabel: fields[3],
+		Type: fields[4], TS: ts,
+	}, nil
+}
+
+func parseStrategy(s string) (core.Strategy, bool) {
+	switch strings.ToLower(s) {
+	case "single":
+		return core.StrategySingle, true
+	case "singlelazy":
+		return core.StrategySingleLazy, true
+	case "path":
+		return core.StrategyPath, true
+	case "pathlazy":
+		return core.StrategyPathLazy, true
+	case "vf2":
+		return core.StrategyVF2, true
+	case "inciso":
+		return core.StrategyIncIso, true
+	case "auto":
+		return core.StrategyAuto, true
+	}
+	return 0, false
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type testClient struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	srv := New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return srv, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *testClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &testClient{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *testClient) send(lines ...string) {
+	c.t.Helper()
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(c.conn, l); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+}
+
+func (c *testClient) recv() string {
+	c.t.Helper()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return strings.TrimSpace(line)
+}
+
+func (c *testClient) expectPrefix(prefix string) string {
+	c.t.Helper()
+	line := c.recv()
+	if !strings.HasPrefix(line, prefix) {
+		c.t.Fatalf("got %q, want prefix %q", line, prefix)
+	}
+	return line
+}
+
+func registerTwoHop(c *testClient, name string) {
+	c.send(
+		"register "+name,
+		"e a b rdp",
+		"e b c ftp",
+		"end",
+	)
+	c.expectPrefix("ok registered " + name)
+}
+
+func TestServerRegisterAndMatch(t *testing.T) {
+	_, addr := startServer(t, Config{Window: 100})
+	c := dial(t, addr)
+	registerTwoHop(c, "lateral")
+
+	c.send("edge evil ip srv1 ip rdp 10")
+	c.expectPrefix("ok 0")
+	c.send("edge srv1 ip nas ip ftp 11")
+	c.expectPrefix("ok 1")
+	match := c.expectPrefix("match lateral ")
+	for _, want := range []string{"a=evil", "b=srv1", "c=nas"} {
+		if !strings.Contains(match, want) {
+			t.Fatalf("match line %q missing %q", match, want)
+		}
+	}
+
+	c.send("stats")
+	st := c.expectPrefix("ok ")
+	if !strings.Contains(st, "edges=2") || !strings.Contains(st, "queries=1") {
+		t.Fatalf("stats = %q", st)
+	}
+}
+
+func TestServerWindowRespected(t *testing.T) {
+	_, addr := startServer(t, Config{Window: 5})
+	c := dial(t, addr)
+	registerTwoHop(c, "q")
+	c.send("edge evil ip srv1 ip rdp 10")
+	c.expectPrefix("ok 0")
+	// Outside the window: no match.
+	c.send("edge srv1 ip nas ip ftp 100")
+	c.expectPrefix("ok 0")
+}
+
+func TestServerUnregister(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := dial(t, addr)
+	registerTwoHop(c, "q")
+	c.send("unregister q")
+	c.expectPrefix("ok")
+	c.send("edge evil ip srv1 ip rdp 10")
+	c.expectPrefix("ok 0")
+	c.send("edge srv1 ip nas ip ftp 11")
+	c.expectPrefix("ok 0")
+}
+
+func TestServerErrors(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := dial(t, addr)
+	for _, tc := range []struct {
+		send []string
+		want string
+	}{
+		{[]string{"bogus"}, "err unknown command"},
+		{[]string{"register"}, "err usage"},
+		{[]string{"register q wat"}, "err unknown strategy"},
+		{[]string{"unregister"}, "err usage"},
+		{[]string{"edge a b c"}, "err usage"},
+		{[]string{"edge a ip b ip TCP notanumber"}, "err bad timestamp"},
+		{[]string{"register q", "not a query line", "end"}, "err query"},
+	} {
+		c.send(tc.send...)
+		line := c.recv()
+		if !strings.HasPrefix(line, tc.want) {
+			t.Errorf("send %v: got %q, want prefix %q", tc.send, line, tc.want)
+		}
+	}
+	// Duplicate registration.
+	registerTwoHop(c, "dup")
+	c.send("register dup", "e a b rdp", "end")
+	c.expectPrefix("err")
+}
+
+func TestServerStrategyOverride(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := dial(t, addr)
+	c.send("register q pathlazy", "e a b rdp", "e b c ftp", "end")
+	c.expectPrefix("ok registered q")
+	c.send("edge evil ip srv1 ip rdp 10")
+	c.expectPrefix("ok 0")
+	c.send("edge srv1 ip nas ip ftp 11")
+	c.expectPrefix("ok 1")
+	c.expectPrefix("match q ")
+}
+
+func TestServerQuit(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := dial(t, addr)
+	c.send("quit")
+	c.expectPrefix("ok bye")
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after quit")
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	reg := dial(t, addr)
+	registerTwoHop(reg, "q")
+
+	const clients = 8
+	const perClient = 50
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := 0; i < perClient; i++ {
+				// Disjoint host spaces per client: no cross-client matches,
+				// but plenty of shared-graph mutation.
+				fmt.Fprintf(conn, "edge c%d-a ip c%d-b ip rdp %d\n", ci, ci, i)
+				line, err := r.ReadString('\n')
+				if err != nil || !strings.HasPrefix(line, "ok") {
+					t.Errorf("client %d: %q %v", ci, line, err)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	reg.send("stats")
+	st := reg.expectPrefix("ok ")
+	if !strings.Contains(st, fmt.Sprintf("edges=%d", clients*perClient)) {
+		t.Fatalf("stats after concurrent load: %q", st)
+	}
+}
+
+func TestServerQueryBodyTooLong(t *testing.T) {
+	_, addr := startServer(t, Config{MaxQueryLines: 2})
+	c := dial(t, addr)
+	c.send("register q", "e a b rdp", "e b c ftp", "e c d ssh", "end")
+	c.expectPrefix("err query body exceeds")
+}

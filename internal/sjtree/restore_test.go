@@ -1,0 +1,168 @@
+package sjtree
+
+import (
+	"strings"
+	"testing"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+)
+
+func restoreTestTree(t *testing.T, window int64) (*Tree, *query.Graph) {
+	t.Helper()
+	q, err := query.Parse("e a b x\ne b c y\ne c d z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(q, [][]int{{0}, {1}, {2}}, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, q
+}
+
+func leafMatch(q *query.Graph, qe int, src, dst graph.VertexID, de graph.EdgeID, ts int64) iso.Match {
+	m := iso.NewMatch(q)
+	m.VertexOf[q.Edges[qe].Src] = src
+	m.VertexOf[q.Edges[qe].Dst] = dst
+	m.EdgeOf[qe] = de
+	m.MinTS, m.MaxTS = ts, ts
+	return m
+}
+
+func TestRestoreStoredRejoinsLater(t *testing.T) {
+	tree, q := restoreTestTree(t, 0)
+	// Restore a leaf-0 match as a snapshot-load would, without probing.
+	m0 := leafMatch(q, 0, 1, 2, 10, 100)
+	if err := tree.RestoreStored(tree.Leaves[0], m0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Stats().Stored; got != 1 {
+		t.Fatalf("Stored = %d, want 1", got)
+	}
+	if tree.Stats().JoinsAttempted != 0 {
+		t.Fatal("RestoreStored must not probe the sibling")
+	}
+	// A live insert at leaf 1 must join with the restored match, cascade
+	// to the internal node, and a final leaf-2 insert completes.
+	var complete []iso.Match
+	emit := func(m iso.Match) { complete = append(complete, m) }
+	m1 := leafMatch(q, 1, 2, 3, 11, 101)
+	tree.Insert(1, m1, emit, nil)
+	if len(complete) != 0 {
+		t.Fatalf("premature completion: %v", complete)
+	}
+	m2 := leafMatch(q, 2, 3, 4, 12, 102)
+	tree.Insert(2, m2, emit, nil)
+	if len(complete) != 1 {
+		t.Fatalf("got %d complete matches, want 1", len(complete))
+	}
+	got := complete[0]
+	if got.MinTS != 100 || got.MaxTS != 102 {
+		t.Fatalf("τ(g) = [%d,%d], want [100,102]", got.MinTS, got.MaxTS)
+	}
+}
+
+func TestRestoreStoredErrors(t *testing.T) {
+	tree, q := restoreTestTree(t, 0)
+	m := leafMatch(q, 0, 1, 2, 10, 100)
+	if err := tree.RestoreStored(-1, m); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := tree.RestoreStored(len(tree.Nodes), m); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := tree.RestoreStored(tree.Root, m); err == nil {
+		t.Error("root accepted")
+	}
+}
+
+func TestRestoreStoredDedupBlocksRediscovery(t *testing.T) {
+	tree, q := restoreTestTree(t, 0)
+	tree.Dedup = true
+	m0 := leafMatch(q, 0, 1, 2, 10, 100)
+	if err := tree.RestoreStored(tree.Leaves[0], m0); err != nil {
+		t.Fatal(err)
+	}
+	// The same embedding re-inserted through the live path must be a
+	// complete no-op.
+	n := tree.Insert(0, m0, nil, nil)
+	if n != 0 {
+		t.Fatalf("duplicate produced %d completions", n)
+	}
+	if tree.Stats().Deduped != 1 {
+		t.Fatalf("Deduped = %d, want 1", tree.Stats().Deduped)
+	}
+	if tree.Stats().Stored != 1 {
+		t.Fatalf("Stored = %d, want 1", tree.Stats().Stored)
+	}
+}
+
+func TestEachStoredAndLeafSets(t *testing.T) {
+	tree, q := restoreTestTree(t, 0)
+	tree.Insert(0, leafMatch(q, 0, 1, 2, 10, 100), nil, nil)
+	tree.Insert(1, leafMatch(q, 1, 2, 3, 11, 101), nil, nil)
+
+	count := 0
+	tree.EachStored(func(n *Node, m iso.Match) bool {
+		count++
+		return true
+	})
+	// Leaf 0, leaf 1, and their join at the internal node.
+	if count != 3 {
+		t.Fatalf("EachStored visited %d matches, want 3", count)
+	}
+	// Early termination.
+	count = 0
+	tree.EachStored(func(n *Node, m iso.Match) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d, want 1", count)
+	}
+
+	sets := tree.LeafSets()
+	if len(sets) != 3 {
+		t.Fatalf("LeafSets = %v", sets)
+	}
+	for i, want := range [][]int{{0}, {1}, {2}} {
+		if len(sets[i]) != 1 || sets[i][0] != want[0] {
+			t.Fatalf("LeafSets[%d] = %v, want %v", i, sets[i], want)
+		}
+	}
+	if got := tree.LeafEdges(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("LeafEdges(1) = %v", got)
+	}
+	if s := tree.String(); !strings.Contains(s, "leaves=3") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTableSizeTracksBuckets(t *testing.T) {
+	tree, q := restoreTestTree(t, 0)
+	leaf0 := tree.Leaves[0]
+	if got := tree.TableSize(leaf0); got != 0 {
+		t.Fatalf("empty TableSize = %d", got)
+	}
+	tree.Insert(0, leafMatch(q, 0, 1, 2, 10, 100), nil, nil)
+	tree.Insert(0, leafMatch(q, 0, 5, 6, 11, 101), nil, nil)
+	if got := tree.TableSize(leaf0); got != 2 {
+		t.Fatalf("TableSize = %d, want 2", got)
+	}
+}
+
+func TestWorkBudgetSheds(t *testing.T) {
+	tree, q := restoreTestTree(t, 0)
+	tree.Budget = &WorkBudget{Remaining: 1}
+	// First insert consumes the budget; second is shed entirely.
+	tree.Insert(0, leafMatch(q, 0, 1, 2, 10, 100), nil, nil)
+	tree.Insert(0, leafMatch(q, 0, 5, 6, 11, 101), nil, nil)
+	if tree.Stats().Shed == 0 {
+		t.Fatal("expected shed work under an exhausted budget")
+	}
+	if tree.Stats().Stored != 1 {
+		t.Fatalf("Stored = %d, want 1 (second insert shed)", tree.Stats().Stored)
+	}
+}

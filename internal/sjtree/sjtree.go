@@ -1,0 +1,521 @@
+// Package sjtree implements the Subgraph Join Tree of Choudhury et al.
+// (EDBT 2015, Section 3): a left-deep binary tree over a decomposition
+// of the query graph. Leaves correspond to the small subgraphs searched
+// on every edge arrival; each node stores the partial matches for its
+// subgraph in a hash table keyed by the projection of the parent's
+// cut sub-graph (the vertices shared between the parent's children,
+// Property 4), so that sibling matches join by hash lookup
+// (Algorithm 2).
+package sjtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+)
+
+// None marks an absent parent/child/sibling link.
+const None = -1
+
+// Node is one SJ-Tree node. Leaves carry the query subgraph searched on
+// the stream; internal nodes carry the join of their children
+// (Property 2) and the cut sub-graph used to key the match tables.
+type Node struct {
+	ID      int
+	Parent  int
+	Left    int
+	Right   int
+	Sibling int
+
+	QEdges []int // query edge indices of VSG(n), sorted
+	QVerts []int // query vertex indices covered, sorted
+	Cut    []int // internal nodes: sorted query vertices shared by children
+
+	IsLeaf  bool
+	LeafPos int // position in left-to-right leaf order; -1 for internal nodes
+
+	// NextLeaf is the leaf position whose search a stored match at this
+	// node enables under Lazy Search, or -1. For the leftmost leaf it is
+	// 1; for the internal node joining leaves 0..i it is i+1.
+	NextLeaf int
+
+	table map[string][]iso.Match
+	// seen maps binding signatures to the match's MinTS for O(1)
+	// duplicate suppression when the tree's Dedup flag is set (Lazy
+	// Search re-discovers matches); entries expire with the window.
+	seen map[string]int64
+}
+
+// Stats counts the work performed by a tree since construction.
+type Stats struct {
+	Inserted       int64 // matches added to some match table
+	Deduped        int64 // duplicate insertions suppressed (lazy mode)
+	JoinsAttempted int64
+	JoinsSucceeded int64
+	Emitted        int64 // complete matches reported
+	Stored         int64 // currently live stored matches
+	PeakStored     int64
+	Evicted        int64
+	Shed           int64 // inserts/probes dropped by the work budget
+}
+
+// Tree is an SJ-Tree bound to a query graph.
+type Tree struct {
+	Query  *query.Graph
+	Nodes  []*Node
+	Root   int
+	Leaves []int // node IDs in left-to-right order
+
+	// Window, when positive, is tW: joins producing a match with
+	// τ(g) >= Window are rejected, and ExpireBefore evicts stored
+	// matches that can no longer participate in an in-window match.
+	Window int64
+
+	// Dedup enables duplicate suppression on insert. Lazy Search's
+	// retrospective neighborhood searches can rediscover a stored match;
+	// non-lazy processing discovers each match exactly once and can skip
+	// the check.
+	Dedup bool
+
+	// Budget, when non-nil, bounds the work (join attempts + stored
+	// inserts) a cascade may perform before load-shedding: once
+	// Budget.Remaining reaches zero, Insert stops probing and storing
+	// for the current event. Streaming engines shed load under
+	// combinatorial pressure (hub vertices of unlabeled queries);
+	// Stats.Shed counts the dropped work.
+	Budget *WorkBudget
+
+	stats Stats
+}
+
+// WorkBudget is a per-event work allowance shared across a cascade.
+type WorkBudget struct{ Remaining int64 }
+
+// Build constructs a left-deep SJ-Tree for query q from an ordered leaf
+// decomposition: leaves[i] lists the query edge indices of the i-th leaf
+// subgraph, most selective first. The leaves must be non-empty, disjoint
+// and together cover every query edge (Property 1).
+func Build(q *query.Graph, leaves [][]int, window int64) (*Tree, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("sjtree: no leaves")
+	}
+	covered := make([]bool, len(q.Edges))
+	for i, leaf := range leaves {
+		if len(leaf) == 0 {
+			return nil, fmt.Errorf("sjtree: leaf %d is empty", i)
+		}
+		for _, ei := range leaf {
+			if ei < 0 || ei >= len(q.Edges) {
+				return nil, fmt.Errorf("sjtree: leaf %d references edge %d out of range", i, ei)
+			}
+			if covered[ei] {
+				return nil, fmt.Errorf("sjtree: query edge %d appears in two leaves", ei)
+			}
+			covered[ei] = true
+		}
+	}
+	for ei, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("sjtree: query edge %d not covered by any leaf", ei)
+		}
+	}
+
+	t := &Tree{Query: q, Root: None, Window: window}
+	newNode := func() *Node {
+		n := &Node{
+			ID: len(t.Nodes), Parent: None, Left: None, Right: None,
+			Sibling: None, LeafPos: -1, NextLeaf: -1,
+			table: make(map[string][]iso.Match),
+		}
+		t.Nodes = append(t.Nodes, n)
+		return n
+	}
+	mkLeaf := func(pos int) *Node {
+		n := newNode()
+		n.IsLeaf = true
+		n.LeafPos = pos
+		n.QEdges = append([]int(nil), leaves[pos]...)
+		sort.Ints(n.QEdges)
+		n.QVerts = q.EdgeVertices(n.QEdges)
+		t.Leaves = append(t.Leaves, n.ID)
+		return n
+	}
+
+	cur := mkLeaf(0)
+	for i := 1; i < len(leaves); i++ {
+		right := mkLeaf(i)
+		parent := newNode()
+		parent.Left, parent.Right = cur.ID, right.ID
+		cur.Parent, right.Parent = parent.ID, parent.ID
+		cur.Sibling, right.Sibling = right.ID, cur.ID
+		parent.QEdges = mergeSorted(cur.QEdges, right.QEdges)
+		parent.QVerts = q.EdgeVertices(parent.QEdges)
+		parent.Cut = intersectSorted(cur.QVerts, right.QVerts)
+		cur = parent
+	}
+	t.Root = cur.ID
+
+	// NextLeaf wiring for Lazy Search: the leftmost leaf enables leaf 1;
+	// each internal node covering leaves 0..i enables leaf i+1.
+	if len(leaves) > 1 {
+		t.Nodes[t.Leaves[0]].NextLeaf = 1
+	}
+	for _, n := range t.Nodes {
+		if n.IsLeaf {
+			continue
+		}
+		if covered := countLeavesCovered(t, n); covered < len(leaves) {
+			n.NextLeaf = covered
+		}
+	}
+	return t, nil
+}
+
+func countLeavesCovered(t *Tree, n *Node) int {
+	// A node covers leaf i iff all of leaf i's edges are within n.QEdges.
+	in := make(map[int]bool, len(n.QEdges))
+	for _, e := range n.QEdges {
+		in[e] = true
+	}
+	covered := 0
+	for _, leafID := range t.Leaves {
+		leaf := t.Nodes[leafID]
+		all := true
+		for _, e := range leaf.QEdges {
+			if !in[e] {
+				all = false
+				break
+			}
+		}
+		if all {
+			covered++
+		}
+	}
+	return covered
+}
+
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Ints(out)
+	return out
+}
+
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// LeafNode returns the node for the given leaf position.
+func (t *Tree) LeafNode(pos int) *Node { return t.Nodes[t.Leaves[pos]] }
+
+// LeafEdges returns the query edge indices of the given leaf position.
+func (t *Tree) LeafEdges(pos int) []int { return t.Nodes[t.Leaves[pos]].QEdges }
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return len(t.Leaves) }
+
+// Stats returns a snapshot of the tree's counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// joinKey builds the hash key for a match with respect to a cut: the
+// data vertices bound to the cut's query vertices, in cut order
+// (Property 4's projection Π followed by GET-JOIN-KEY).
+func joinKey(cut []int, m iso.Match) string {
+	if len(cut) == 0 {
+		return ""
+	}
+	buf := make([]byte, 4*len(cut))
+	for i, qv := range cut {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(m.VertexOf[qv]))
+	}
+	return string(buf)
+}
+
+// OnStored observes every match newly stored at a node; Lazy Search uses
+// it to enable the next leaf's search around the match's vertices.
+type OnStored func(n *Node, m iso.Match)
+
+// Insert runs UPDATE-SJ-TREE (Algorithm 2) for a match discovered at the
+// given leaf. emit receives every completed (root-level) match; onStored
+// (optional) observes every partial match added to a table. It returns
+// the number of complete matches produced.
+func (t *Tree) Insert(leafPos int, m iso.Match, emit func(iso.Match), onStored OnStored) int {
+	return t.update(t.Nodes[t.Leaves[leafPos]], m, emit, onStored)
+}
+
+func (t *Tree) update(node *Node, m iso.Match, emit func(iso.Match), onStored OnStored) int {
+	if node.ID == t.Root {
+		t.stats.Emitted++
+		if emit != nil {
+			emit(m)
+		}
+		return 1
+	}
+	if t.Budget != nil {
+		if t.Budget.Remaining <= 0 {
+			t.stats.Shed++
+			return 0
+		}
+		t.Budget.Remaining--
+	}
+	parent := t.Nodes[node.Parent]
+	sibling := t.Nodes[node.Sibling]
+	k := joinKey(parent.Cut, m)
+
+	// A duplicate insert must be a complete no-op: re-probing the
+	// sibling would re-emit every join this match already produced.
+	var sig string
+	if t.Dedup {
+		sig = t.signature(node, m)
+		if _, dup := node.seen[sig]; dup {
+			t.stats.Deduped++
+			return 0
+		}
+	}
+
+	complete := 0
+	// Probe the sibling's table and push successful joins up the tree.
+	for _, ms := range sibling.table[k] {
+		if t.Budget != nil {
+			if t.Budget.Remaining <= 0 {
+				t.stats.Shed++
+				break
+			}
+			t.Budget.Remaining--
+		}
+		t.stats.JoinsAttempted++
+		sup, ok := t.join(m, ms)
+		if !ok {
+			continue
+		}
+		t.stats.JoinsSucceeded++
+		complete += t.update(parent, sup, emit, onStored)
+	}
+	node.table[k] = append(node.table[k], m)
+	if t.Dedup {
+		if node.seen == nil {
+			node.seen = make(map[string]int64)
+		}
+		node.seen[sig] = m.MinTS
+	}
+	t.stats.Inserted++
+	t.stats.Stored++
+	if t.stats.Stored > t.stats.PeakStored {
+		t.stats.PeakStored = t.stats.Stored
+	}
+	if onStored != nil {
+		onStored(node, m)
+	}
+	return complete
+}
+
+// signature canonicalizes a match's binding at a node: the data edge
+// bound to every query edge of the node, plus the match's earliest
+// timestamp (edge IDs are recycled after window eviction; an identical
+// ID+timestamp combination denotes an observably identical edge).
+func (t *Tree) signature(node *Node, m iso.Match) string {
+	buf := make([]byte, 0, 4*len(node.QEdges)+8)
+	for _, qe := range node.QEdges {
+		id := uint32(m.EdgeOf[qe])
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	ts := uint64(m.MinTS)
+	buf = append(buf, byte(ts), byte(ts>>8), byte(ts>>16), byte(ts>>24),
+		byte(ts>>32), byte(ts>>40), byte(ts>>48), byte(ts>>56))
+	return string(buf)
+}
+
+// join merges two sibling matches (Definition 3.1.3): the union of their
+// bindings, provided shared query vertices agree (guaranteed for cut
+// vertices by the hash key, checked for the rest), vertex injectivity
+// holds across the union, data edges are distinct, and the combined
+// τ(g) respects the window.
+func (t *Tree) join(a, b iso.Match) (iso.Match, bool) {
+	if t.Window > 0 {
+		lo, hi := a.MinTS, a.MaxTS
+		if b.MinTS < lo {
+			lo = b.MinTS
+		}
+		if b.MaxTS > hi {
+			hi = b.MaxTS
+		}
+		if hi-lo >= t.Window {
+			return iso.Match{}, false
+		}
+	}
+	out := a.Clone()
+	// Vertices: merge with consistency + injectivity checks.
+	for qv, dv := range b.VertexOf {
+		if dv == graph.NoVertex {
+			continue
+		}
+		if cur := out.VertexOf[qv]; cur != graph.NoVertex {
+			if cur != dv {
+				return iso.Match{}, false
+			}
+			continue
+		}
+		// dv must not already be bound to a different query vertex.
+		for qv2, dv2 := range out.VertexOf {
+			if dv2 == dv && qv2 != qv {
+				return iso.Match{}, false
+			}
+		}
+		out.VertexOf[qv] = dv
+	}
+	// Edges: merge, requiring distinct data edges.
+	for qe, de := range b.EdgeOf {
+		if de == iso.NoEdge {
+			continue
+		}
+		if out.EdgeOf[qe] != iso.NoEdge {
+			// Leaves are edge-disjoint, so the same query edge can never
+			// be bound on both sides.
+			return iso.Match{}, false
+		}
+		for _, de2 := range out.EdgeOf {
+			if de2 == de {
+				return iso.Match{}, false
+			}
+		}
+		out.EdgeOf[qe] = de
+	}
+	if b.MinTS < out.MinTS {
+		out.MinTS = b.MinTS
+	}
+	if b.MaxTS > out.MaxTS {
+		out.MaxTS = b.MaxTS
+	}
+	return out, true
+}
+
+// RestoreStored re-inserts a previously stored partial match at the
+// given node without probing the sibling or cascading joins — the
+// snapshot/restore path, where every join the match could produce was
+// already produced before the snapshot was taken. The match must carry
+// bindings consistent with the node's subgraph; only structural checks
+// are performed.
+func (t *Tree) RestoreStored(nodeID int, m iso.Match) error {
+	if nodeID < 0 || nodeID >= len(t.Nodes) {
+		return fmt.Errorf("sjtree: node %d out of range", nodeID)
+	}
+	node := t.Nodes[nodeID]
+	if node.ID == t.Root {
+		return fmt.Errorf("sjtree: the root stores no matches")
+	}
+	parent := t.Nodes[node.Parent]
+	k := joinKey(parent.Cut, m)
+	node.table[k] = append(node.table[k], m)
+	if t.Dedup {
+		if node.seen == nil {
+			node.seen = make(map[string]int64)
+		}
+		node.seen[t.signature(node, m)] = m.MinTS
+	}
+	t.stats.Stored++
+	if t.stats.Stored > t.stats.PeakStored {
+		t.stats.PeakStored = t.stats.Stored
+	}
+	return nil
+}
+
+// ExpireBefore evicts every stored match whose earliest edge is older
+// than cutoff; such matches can no longer complete within the window
+// once the stream has advanced past cutoff + tW. Returns the number of
+// matches evicted.
+func (t *Tree) ExpireBefore(cutoff int64) int {
+	evicted := 0
+	for _, n := range t.Nodes {
+		for k, bucket := range n.table {
+			kept := bucket[:0]
+			for _, m := range bucket {
+				if m.MinTS < cutoff {
+					evicted++
+					continue
+				}
+				kept = append(kept, m)
+			}
+			if len(kept) == 0 {
+				delete(n.table, k)
+			} else {
+				n.table[k] = kept
+			}
+		}
+		for sig, minTS := range n.seen {
+			if minTS < cutoff {
+				delete(n.seen, sig)
+			}
+		}
+	}
+	t.stats.Stored -= int64(evicted)
+	t.stats.Evicted += int64(evicted)
+	return evicted
+}
+
+// StoredMatches returns the number of live partial matches across all
+// match tables.
+func (t *Tree) StoredMatches() int { return int(t.stats.Stored) }
+
+// EachStored invokes fn for every stored partial match. Returning false
+// stops the iteration. The tree must not be mutated during iteration.
+func (t *Tree) EachStored(fn func(n *Node, m iso.Match) bool) {
+	for _, n := range t.Nodes {
+		for _, bucket := range n.table {
+			for _, m := range bucket {
+				if !fn(n, m) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// LeafSets returns the decomposition as leaf edge-index lists in
+// left-to-right order (a copy).
+func (t *Tree) LeafSets() [][]int {
+	out := make([][]int, len(t.Leaves))
+	for i, id := range t.Leaves {
+		out[i] = append([]int(nil), t.Nodes[id].QEdges...)
+	}
+	return out
+}
+
+// TableSize returns the number of matches stored at the given node.
+func (t *Tree) TableSize(nodeID int) int {
+	n := 0
+	for _, bucket := range t.Nodes[nodeID].table {
+		n += len(bucket)
+	}
+	return n
+}
+
+// String renders a compact structural description of the tree.
+func (t *Tree) String() string {
+	s := fmt.Sprintf("sjtree{leaves=%d", len(t.Leaves))
+	for i, id := range t.Leaves {
+		s += fmt.Sprintf(" L%d=%v", i, t.Nodes[id].QEdges)
+	}
+	return s + "}"
+}

@@ -1,0 +1,188 @@
+package sjtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+)
+
+// TestQuickBuildInvariants: for random path queries and random valid
+// leaf partitions, the built tree satisfies the SJ-Tree properties:
+// the root covers the whole query (Property 1), every internal node is
+// the union of its children (Property 2), the cut is the intersection
+// of the children's vertex sets (Property 4), and the tree is
+// left-deep with the expected node count.
+func TestQuickBuildInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		types := make([]string, n)
+		for i := range types {
+			types[i] = "t"
+		}
+		q := query.NewPath(query.Wildcard, types...)
+
+		// Random partition of edges into contiguous leaves of size 1-2.
+		var leaves [][]int
+		i := 0
+		for i < n {
+			if i+1 < n && rng.Intn(2) == 0 {
+				leaves = append(leaves, []int{i, i + 1})
+				i += 2
+			} else {
+				leaves = append(leaves, []int{i})
+				i++
+			}
+		}
+		tr, err := Build(q, leaves, 0)
+		if err != nil {
+			return false
+		}
+		if len(tr.Nodes) != 2*len(leaves)-1 {
+			return false
+		}
+		root := tr.Nodes[tr.Root]
+		if len(root.QEdges) != n {
+			return false // Property 1
+		}
+		for _, nd := range tr.Nodes {
+			if nd.IsLeaf {
+				continue
+			}
+			l, r := tr.Nodes[nd.Left], tr.Nodes[nd.Right]
+			if len(nd.QEdges) != len(l.QEdges)+len(r.QEdges) {
+				return false // Property 2
+			}
+			cut := intersectSorted(l.QVerts, r.QVerts)
+			if len(cut) != len(nd.Cut) {
+				return false // Property 4
+			}
+			for i := range cut {
+				if cut[i] != nd.Cut[i] {
+					return false
+				}
+			}
+			// Left-deep: the right child is always a leaf.
+			if !r.IsLeaf {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInsertEmitsEachCombinationOnce: feeding random leaf matches
+// into a 2-leaf tree emits exactly the joinable (left, right) pairs,
+// each once, regardless of insertion order.
+func TestQuickInsertEmitsEachCombinationOnce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := query.NewPath(query.Wildcard, "a", "b") // v0 -a-> v1 -b-> v2
+		tr, err := Build(q, [][]int{{0}, {1}}, 0)
+		if err != nil {
+			return false
+		}
+		type lm struct {
+			leaf int
+			m    iso.Match
+		}
+		var inserts []lm
+		nextEdge := graph.EdgeID(100)
+		// Random leaf matches over a small vertex universe.
+		for i := 0; i < 14; i++ {
+			leaf := rng.Intn(2)
+			m := iso.NewMatch(q)
+			s := graph.VertexID(rng.Intn(5))
+			d := graph.VertexID(rng.Intn(5))
+			if s == d {
+				continue
+			}
+			if leaf == 0 {
+				m.VertexOf[0], m.VertexOf[1] = s, d
+				m.EdgeOf[0] = nextEdge
+			} else {
+				m.VertexOf[1], m.VertexOf[2] = s, d
+				m.EdgeOf[1] = nextEdge
+			}
+			m.MinTS, m.MaxTS = int64(i), int64(i)
+			nextEdge++
+			inserts = append(inserts, lm{leaf, m})
+		}
+		// Expected pairs: left (v0->v1) and right (v1'->v2) join iff
+		// v1 == v1' and v0, v2 distinct from each other and the shared
+		// vertex.
+		expected := 0
+		for _, a := range inserts {
+			if a.leaf != 0 {
+				continue
+			}
+			for _, b := range inserts {
+				if b.leaf != 1 {
+					continue
+				}
+				if a.m.VertexOf[1] != b.m.VertexOf[1] {
+					continue
+				}
+				if a.m.VertexOf[0] == b.m.VertexOf[2] {
+					continue // injectivity
+				}
+				expected++
+			}
+		}
+		emitted := 0
+		rng.Shuffle(len(inserts), func(i, j int) { inserts[i], inserts[j] = inserts[j], inserts[i] })
+		for _, in := range inserts {
+			tr.Insert(in.leaf, in.m, func(iso.Match) { emitted++ }, nil)
+		}
+		return emitted == expected
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEvictionNeverNegative: random inserts and expirations keep
+// the Stored counter consistent with the actual table contents.
+func TestQuickEvictionNeverNegative(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := query.NewPath(query.Wildcard, "a", "b", "c")
+		tr, err := Build(q, [][]int{{0}, {1}, {2}}, 1000)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 60; i++ {
+			leaf := rng.Intn(3)
+			m := iso.NewMatch(q)
+			qe := leaf
+			m.EdgeOf[qe] = graph.EdgeID(1000 + i)
+			m.VertexOf[q.Edges[qe].Src] = graph.VertexID(rng.Intn(8))
+			m.VertexOf[q.Edges[qe].Dst] = graph.VertexID(rng.Intn(8) + 8)
+			ts := int64(rng.Intn(500))
+			m.MinTS, m.MaxTS = ts, ts
+			tr.Insert(leaf, m, nil, nil)
+			if rng.Intn(10) == 0 {
+				tr.ExpireBefore(int64(rng.Intn(500)))
+			}
+		}
+		tr.ExpireBefore(10000)
+		if tr.StoredMatches() != 0 {
+			return false
+		}
+		actual := 0
+		for _, n := range tr.Nodes {
+			actual += tr.TableSize(n.ID)
+		}
+		return actual == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

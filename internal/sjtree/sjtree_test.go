@@ -1,0 +1,328 @@
+package sjtree
+
+import (
+	"testing"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+)
+
+// threeHop builds the 3-edge path query t1,t2,t3.
+func threeHop() *query.Graph { return query.NewPath(query.Wildcard, "t1", "t2", "t3") }
+
+func TestBuildValidation(t *testing.T) {
+	q := threeHop()
+	cases := []struct {
+		name   string
+		leaves [][]int
+	}{
+		{"empty", nil},
+		{"empty leaf", [][]int{{}}},
+		{"out of range", [][]int{{0}, {5}}},
+		{"duplicate edge", [][]int{{0, 1}, {1, 2}}},
+		{"uncovered edge", [][]int{{0}, {1}}},
+	}
+	for _, tc := range cases {
+		if _, err := Build(q, tc.leaves, 0); err == nil {
+			t.Errorf("%s: Build accepted invalid leaves %v", tc.name, tc.leaves)
+		}
+	}
+	if _, err := Build(q, [][]int{{0}, {1}, {2}}, 0); err != nil {
+		t.Fatalf("valid leaves rejected: %v", err)
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	q := threeHop()
+	tr, err := Build(q, [][]int{{0}, {1}, {2}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 3 {
+		t.Fatalf("NumLeaves = %d", tr.NumLeaves())
+	}
+	if len(tr.Nodes) != 5 { // 3 leaves + 2 internal
+		t.Fatalf("nodes = %d, want 5", len(tr.Nodes))
+	}
+	root := tr.Nodes[tr.Root]
+	if len(root.QEdges) != 3 {
+		t.Fatalf("root covers %v", root.QEdges)
+	}
+	// First internal node joins leaves {0} and {1}; cut is their shared
+	// vertex (query vertex 1 on the path).
+	leaf0 := tr.LeafNode(0)
+	internal := tr.Nodes[leaf0.Parent]
+	if len(internal.Cut) != 1 || internal.Cut[0] != 1 {
+		t.Fatalf("internal cut = %v, want [1]", internal.Cut)
+	}
+	// Root joins internal {0,1} with leaf {2}; shared vertex is 2.
+	if len(root.Cut) != 1 || root.Cut[0] != 2 {
+		t.Fatalf("root cut = %v, want [2]", root.Cut)
+	}
+	// NextLeaf wiring: leaf0 enables leaf 1; internal (leaves 0-1)
+	// enables leaf 2; root enables nothing.
+	if leaf0.NextLeaf != 1 {
+		t.Errorf("leaf0.NextLeaf = %d, want 1", leaf0.NextLeaf)
+	}
+	if internal.NextLeaf != 2 {
+		t.Errorf("internal.NextLeaf = %d, want 2", internal.NextLeaf)
+	}
+	if root.NextLeaf != -1 {
+		t.Errorf("root.NextLeaf = %d, want -1", root.NextLeaf)
+	}
+	if tr.LeafNode(1).NextLeaf != -1 {
+		t.Errorf("leaf1.NextLeaf = %d, want -1", tr.LeafNode(1).NextLeaf)
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	q := query.NewPath(query.Wildcard, "t")
+	tr, err := Build(q, [][]int{{0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root != tr.Leaves[0] {
+		t.Fatalf("single-leaf tree: root should be the leaf")
+	}
+	m := iso.NewMatch(q)
+	m.VertexOf[0], m.VertexOf[1] = 1, 2
+	m.EdgeOf[0] = 10
+	m.MinTS, m.MaxTS = 5, 5
+	var emitted []iso.Match
+	n := tr.Insert(0, m, func(cm iso.Match) { emitted = append(emitted, cm) }, nil)
+	if n != 1 || len(emitted) != 1 {
+		t.Fatalf("single-leaf insert: complete=%d emitted=%d", n, len(emitted))
+	}
+	if tr.StoredMatches() != 0 {
+		t.Fatalf("complete matches must not be stored, stored=%d", tr.StoredMatches())
+	}
+}
+
+// mkMatch builds a match binding the given query edges.
+func mkMatch(q *query.Graph, bind map[int]struct {
+	e    graph.EdgeID
+	s, d graph.VertexID
+	ts   int64
+}) iso.Match {
+	m := iso.NewMatch(q)
+	for qe, b := range bind {
+		m.EdgeOf[qe] = b.e
+		m.VertexOf[q.Edges[qe].Src] = b.s
+		m.VertexOf[q.Edges[qe].Dst] = b.d
+		if b.ts < m.MinTS {
+			m.MinTS = b.ts
+		}
+		if b.ts > m.MaxTS {
+			m.MaxTS = b.ts
+		}
+	}
+	return m
+}
+
+type binding = struct {
+	e    graph.EdgeID
+	s, d graph.VertexID
+	ts   int64
+}
+
+func TestJoinThroughTree(t *testing.T) {
+	q := query.NewPath(query.Wildcard, "t1", "t2") // v0 -> v1 -> v2
+	tr, err := Build(q, [][]int{{0}, {1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []iso.Match
+	emit := func(m iso.Match) { emitted = append(emitted, m) }
+
+	// Leaf 0 match: data edge 100 from vertex 10->11 (query v0->v1).
+	m0 := mkMatch(q, map[int]binding{0: {e: 100, s: 10, d: 11, ts: 1}})
+	tr.Insert(0, m0, emit, nil)
+	if len(emitted) != 0 {
+		t.Fatalf("premature emit")
+	}
+	if tr.StoredMatches() != 1 {
+		t.Fatalf("stored = %d, want 1", tr.StoredMatches())
+	}
+
+	// Leaf 1 match sharing vertex 11: 11->12 → must join and complete.
+	m1 := mkMatch(q, map[int]binding{1: {e: 101, s: 11, d: 12, ts: 2}})
+	tr.Insert(1, m1, emit, nil)
+	if len(emitted) != 1 {
+		t.Fatalf("emitted = %d, want 1", len(emitted))
+	}
+	got := emitted[0]
+	if got.EdgeOf[0] != 100 || got.EdgeOf[1] != 101 {
+		t.Fatalf("joined match edges = %v", got.EdgeOf)
+	}
+	if got.VertexOf[0] != 10 || got.VertexOf[1] != 11 || got.VertexOf[2] != 12 {
+		t.Fatalf("joined match vertices = %v", got.VertexOf)
+	}
+	if got.MinTS != 1 || got.MaxTS != 2 {
+		t.Fatalf("joined τ(g) = [%d,%d]", got.MinTS, got.MaxTS)
+	}
+
+	// A non-sharing leaf-1 match must not join (different cut vertex).
+	m2 := mkMatch(q, map[int]binding{1: {e: 102, s: 20, d: 21, ts: 3}})
+	tr.Insert(1, m2, emit, nil)
+	if len(emitted) != 1 {
+		t.Fatalf("non-matching cut joined anyway")
+	}
+	st := tr.Stats()
+	if st.JoinsSucceeded != 1 {
+		t.Fatalf("JoinsSucceeded = %d, want 1", st.JoinsSucceeded)
+	}
+}
+
+func TestJoinInjectivityAcrossSiblings(t *testing.T) {
+	// Path v0 -t1-> v1 -t2-> v2: leaf matches 10->11 and 11->10 share
+	// the cut vertex 11 but would map v0 and v2 both... no: v0=10,
+	// v2=10 — non-injective, must be rejected.
+	q := query.NewPath(query.Wildcard, "t1", "t2")
+	tr, _ := Build(q, [][]int{{0}, {1}}, 0)
+	var emitted []iso.Match
+	emit := func(m iso.Match) { emitted = append(emitted, m) }
+	tr.Insert(0, mkMatch(q, map[int]binding{0: {e: 100, s: 10, d: 11, ts: 1}}), emit, nil)
+	tr.Insert(1, mkMatch(q, map[int]binding{1: {e: 101, s: 11, d: 10, ts: 2}}), emit, nil)
+	if len(emitted) != 0 {
+		t.Fatalf("non-injective join emitted a match")
+	}
+}
+
+func TestJoinRejectsSharedDataEdge(t *testing.T) {
+	// Two query edges of the same type around a shared vertex; the same
+	// data edge may not serve both.
+	q := &query.Graph{
+		Vertices: []query.Vertex{{Name: "a", Label: "*"}, {Name: "b", Label: "*"}, {Name: "c", Label: "*"}},
+		Edges: []query.Edge{
+			{Src: 0, Dst: 1, Type: "t"},
+			{Src: 1, Dst: 2, Type: "t"},
+		},
+	}
+	tr, _ := Build(q, [][]int{{0}, {1}}, 0)
+	var emitted []iso.Match
+	emit := func(m iso.Match) { emitted = append(emitted, m) }
+	tr.Insert(0, mkMatch(q, map[int]binding{0: {e: 100, s: 10, d: 11, ts: 1}}), emit, nil)
+	// Same data edge 100 presented as leaf-1 match, cut vertex must be
+	// 11... its src is 11? Edge 100 runs 10->11, as a leaf-1 match it
+	// would bind v1=10? Construct the pathological case directly:
+	m := mkMatch(q, map[int]binding{1: {e: 100, s: 11, d: 12, ts: 1}})
+	tr.Insert(1, m, emit, nil)
+	if len(emitted) != 0 {
+		t.Fatalf("join reused one data edge for two query edges")
+	}
+}
+
+func TestWindowRejection(t *testing.T) {
+	q := query.NewPath(query.Wildcard, "t1", "t2")
+	tr, _ := Build(q, [][]int{{0}, {1}}, 10)
+	var emitted []iso.Match
+	emit := func(m iso.Match) { emitted = append(emitted, m) }
+	tr.Insert(0, mkMatch(q, map[int]binding{0: {e: 100, s: 10, d: 11, ts: 1}}), emit, nil)
+	tr.Insert(1, mkMatch(q, map[int]binding{1: {e: 101, s: 11, d: 12, ts: 11}}), emit, nil)
+	if len(emitted) != 0 {
+		t.Fatalf("span-10 match emitted with window 10 (τ(g) < tW is strict)")
+	}
+	tr.Insert(1, mkMatch(q, map[int]binding{1: {e: 102, s: 11, d: 13, ts: 10}}), emit, nil)
+	if len(emitted) != 1 {
+		t.Fatalf("span-9 match not emitted with window 10")
+	}
+}
+
+func TestExpireBefore(t *testing.T) {
+	q := query.NewPath(query.Wildcard, "t1", "t2")
+	tr, _ := Build(q, [][]int{{0}, {1}}, 100)
+	for i := 0; i < 5; i++ {
+		tr.Insert(0, mkMatch(q, map[int]binding{0: {e: graph.EdgeID(100 + i), s: 10, d: 11, ts: int64(i)}}), nil, nil)
+	}
+	if tr.StoredMatches() != 5 {
+		t.Fatalf("stored = %d", tr.StoredMatches())
+	}
+	if got := tr.ExpireBefore(3); got != 3 {
+		t.Fatalf("evicted = %d, want 3", got)
+	}
+	if tr.StoredMatches() != 2 {
+		t.Fatalf("stored after eviction = %d, want 2", tr.StoredMatches())
+	}
+	st := tr.Stats()
+	if st.Evicted != 3 {
+		t.Fatalf("Stats.Evicted = %d", st.Evicted)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	q := query.NewPath(query.Wildcard, "t1", "t2")
+	tr, _ := Build(q, [][]int{{0}, {1}}, 0)
+	tr.Dedup = true
+	m := mkMatch(q, map[int]binding{0: {e: 100, s: 10, d: 11, ts: 1}})
+	tr.Insert(0, m, nil, nil)
+	tr.Insert(0, m.Clone(), nil, nil)
+	if tr.StoredMatches() != 1 {
+		t.Fatalf("duplicate stored; stored=%d", tr.StoredMatches())
+	}
+	if tr.Stats().Deduped != 1 {
+		t.Fatalf("Deduped = %d, want 1", tr.Stats().Deduped)
+	}
+	// A different binding is not a duplicate.
+	tr.Insert(0, mkMatch(q, map[int]binding{0: {e: 101, s: 10, d: 11, ts: 2}}), nil, nil)
+	if tr.StoredMatches() != 2 {
+		t.Fatalf("distinct match wrongly deduped")
+	}
+}
+
+func TestOnStoredHook(t *testing.T) {
+	q := threeHop()
+	tr, _ := Build(q, [][]int{{0}, {1}, {2}}, 0)
+	var storedAt []int
+	hook := func(n *Node, m iso.Match) { storedAt = append(storedAt, n.NextLeaf) }
+	tr.Insert(0, mkMatch(q, map[int]binding{0: {e: 100, s: 10, d: 11, ts: 1}}), nil, hook)
+	if len(storedAt) != 1 || storedAt[0] != 1 {
+		t.Fatalf("leaf0 store should enable leaf 1, got %v", storedAt)
+	}
+	storedAt = nil
+	tr.Insert(1, mkMatch(q, map[int]binding{1: {e: 101, s: 11, d: 12, ts: 2}}), nil, hook)
+	// Leaf1 stores (NextLeaf -1) and the join stores at the internal
+	// node (NextLeaf 2).
+	want := map[int]bool{-1: true, 2: true}
+	if len(storedAt) != 2 || !want[storedAt[0]] || !want[storedAt[1]] {
+		t.Fatalf("storedAt = %v, want one -1 and one 2", storedAt)
+	}
+}
+
+func TestFourLeafCascade(t *testing.T) {
+	// 4-hop path decomposed into four 1-edge leaves; feed matches in
+	// order and verify exactly one complete match cascades out.
+	q := query.NewPath(query.Wildcard, "a", "b", "c", "d")
+	tr, _ := Build(q, [][]int{{0}, {1}, {2}, {3}}, 0)
+	var emitted []iso.Match
+	emit := func(m iso.Match) { emitted = append(emitted, m) }
+	for i := 0; i < 4; i++ {
+		tr.Insert(i, mkMatch(q, map[int]binding{
+			i: {e: graph.EdgeID(100 + i), s: graph.VertexID(10 + i), d: graph.VertexID(11 + i), ts: int64(i)},
+		}), emit, nil)
+	}
+	if len(emitted) != 1 {
+		t.Fatalf("emitted = %d, want 1", len(emitted))
+	}
+	m := emitted[0]
+	for qe := 0; qe < 4; qe++ {
+		if m.EdgeOf[qe] != graph.EdgeID(100+qe) {
+			t.Fatalf("edge binding %d = %d", qe, m.EdgeOf[qe])
+		}
+	}
+}
+
+func TestArrivalOrderInsensitiveWithRetroactiveInserts(t *testing.T) {
+	// Non-lazy processing inserts everything, so leaf matches arriving
+	// in reverse order must still produce the complete match.
+	q := query.NewPath(query.Wildcard, "a", "b", "c")
+	tr, _ := Build(q, [][]int{{0}, {1}, {2}}, 0)
+	var emitted []iso.Match
+	emit := func(m iso.Match) { emitted = append(emitted, m) }
+	tr.Insert(2, mkMatch(q, map[int]binding{2: {e: 102, s: 12, d: 13, ts: 3}}), emit, nil)
+	tr.Insert(1, mkMatch(q, map[int]binding{1: {e: 101, s: 11, d: 12, ts: 2}}), emit, nil)
+	tr.Insert(0, mkMatch(q, map[int]binding{0: {e: 100, s: 10, d: 11, ts: 1}}), emit, nil)
+	if len(emitted) != 1 {
+		t.Fatalf("reverse arrival: emitted = %d, want 1", len(emitted))
+	}
+}

@@ -1,0 +1,194 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountMinExactOnSparseKeys(t *testing.T) {
+	// With few distinct keys relative to width, collisions are unlikely
+	// per-row and impossible to affect the min across 4 independent rows
+	// for this fixed seed; estimates must equal true counts.
+	s := NewCountMin(1024, 4, 1)
+	truth := map[uint64]int64{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		k := rng.Uint64()
+		d := int64(rng.Intn(50) + 1)
+		truth[k] += d
+		s.Add(k, d)
+	}
+	for k, want := range truth {
+		if got := s.Estimate(k); got != want {
+			t.Fatalf("Estimate(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	err := quick.Check(func(keys []uint8, conservative bool) bool {
+		s := NewCountMin(16, 3, 42) // deliberately tiny: force collisions
+		s.Conservative = conservative
+		truth := map[uint64]int64{}
+		for _, k := range keys {
+			key := uint64(k)
+			truth[key]++
+			s.Add(key, 1)
+		}
+		for k, want := range truth {
+			if s.Estimate(k) < want {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMinConservativeTighter(t *testing.T) {
+	// On a skewed stream with forced collisions, conservative update must
+	// not be worse in aggregate than plain update, and is typically much
+	// better.
+	plain := NewCountMin(64, 4, 9)
+	cons := NewCountMin(64, 4, 9)
+	cons.Conservative = true
+	truth := map[uint64]int64{}
+	rng := rand.New(rand.NewSource(3))
+	zipf := rand.NewZipf(rng, 1.3, 1, 4096)
+	for i := 0; i < 20000; i++ {
+		k := zipf.Uint64() // low keys dominate
+		truth[k]++
+		plain.Add(k, 1)
+		cons.Add(k, 1)
+	}
+	var errPlain, errCons int64
+	for k, want := range truth {
+		errPlain += plain.Estimate(k) - want
+		errCons += cons.Estimate(k) - want
+	}
+	if errCons > errPlain {
+		t.Fatalf("conservative total overcount %d exceeds plain %d", errCons, errPlain)
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// The classic guarantee: per-key overcount <= eps * N with
+	// probability >= 1 - delta. Check that at most a delta fraction of
+	// keys break the bound on a uniform stream.
+	eps, delta := 0.01, 0.05
+	s, err := NewCountMinWithError(eps, delta, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	truth := map[uint64]int64{}
+	var n int64
+	for i := 0; i < 100000; i++ {
+		k := uint64(rng.Intn(5000))
+		truth[k]++
+		n++
+		s.Add(k, 1)
+	}
+	bound := int64(eps * float64(n))
+	broken := 0
+	for k, want := range truth {
+		if s.Estimate(k)-want > bound {
+			broken++
+		}
+	}
+	if frac := float64(broken) / float64(len(truth)); frac > delta {
+		t.Fatalf("%.3f of keys exceed the eps*N bound, want <= %.3f", frac, delta)
+	}
+}
+
+func TestCountMinWithErrorRejectsBadParams(t *testing.T) {
+	for _, tc := range []struct{ eps, delta float64 }{
+		{0, 0.1}, {1, 0.1}, {-0.5, 0.1}, {0.1, 0}, {0.1, 1}, {0.1, -2},
+	} {
+		if _, err := NewCountMinWithError(tc.eps, tc.delta, 1); err == nil {
+			t.Errorf("NewCountMinWithError(%v, %v) accepted invalid params", tc.eps, tc.delta)
+		}
+	}
+}
+
+func TestCountMinTotalAndReset(t *testing.T) {
+	s := NewCountMin(32, 2, 1)
+	s.Add(1, 5)
+	s.Add(2, 7)
+	if s.Total() != 12 {
+		t.Fatalf("Total = %d, want 12", s.Total())
+	}
+	s.Reset()
+	if s.Total() != 0 || s.Estimate(1) != 0 || s.Estimate(2) != 0 {
+		t.Fatal("Reset did not clear the sketch")
+	}
+}
+
+func TestCountMinNegativeDelta(t *testing.T) {
+	s := NewCountMin(64, 3, 1)
+	s.Add(10, 8)
+	s.Add(10, -3)
+	if got := s.Estimate(10); got != 5 {
+		t.Fatalf("after +8 -3, Estimate = %d, want 5", got)
+	}
+}
+
+func TestCountMinMerge(t *testing.T) {
+	a := NewCountMin(128, 3, 4)
+	b := NewCountMin(128, 3, 4)
+	a.Add(1, 10)
+	b.Add(1, 5)
+	b.Add(2, 7)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Estimate(1); got < 15 {
+		t.Fatalf("merged Estimate(1) = %d, want >= 15", got)
+	}
+	if got := a.Estimate(2); got < 7 {
+		t.Fatalf("merged Estimate(2) = %d, want >= 7", got)
+	}
+	if a.Total() != 22 {
+		t.Fatalf("merged Total = %d, want 22", a.Total())
+	}
+}
+
+func TestCountMinMergeRejectsMismatch(t *testing.T) {
+	a := NewCountMin(128, 3, 4)
+	if err := a.Merge(NewCountMin(64, 3, 4)); err == nil {
+		t.Error("Merge accepted width mismatch")
+	}
+	if err := a.Merge(NewCountMin(128, 2, 4)); err == nil {
+		t.Error("Merge accepted depth mismatch")
+	}
+	if err := a.Merge(NewCountMin(128, 3, 5)); err == nil {
+		t.Error("Merge accepted seed mismatch")
+	}
+}
+
+func TestCountMinGeometryFloors(t *testing.T) {
+	s := NewCountMin(0, 0, 1)
+	if s.Width() != 1 || s.Depth() != 1 {
+		t.Fatalf("geometry floor: got %dx%d, want 1x1", s.Depth(), s.Width())
+	}
+	s.Add(3, 2)
+	if s.Estimate(3) != 2 {
+		t.Fatal("1x1 sketch must still count")
+	}
+}
+
+func TestHash64Distinct(t *testing.T) {
+	seen := map[uint64]string{}
+	words := []string{"", "a", "b", "ab", "ba", "host-1", "host-2", "10.0.0.1", "10.0.0.2"}
+	for _, w := range words {
+		h := Hash64(w)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Hash64 collision: %q and %q", prev, w)
+		}
+		seen[h] = w
+	}
+}

@@ -1,0 +1,187 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/stream"
+)
+
+// Estimator approximates the exact selectivity.Collector in memory
+// independent of the stream's vertex count. The 1-edge histogram is kept
+// exactly (it has one entry per edge type); the per-vertex incident-type
+// state that dominates the exact collector's footprint is replaced by a
+// Count-Min sketch keyed by (vertex hash, direction-type), and the
+// 2-edge-path counter is advanced by sketch estimates instead of exact
+// per-vertex counts.
+//
+// Because Count-Min never undercounts, the estimated path distribution
+// is a pointwise upper bound on the true one whose error concentrates on
+// the low-frequency tail; the head of the distribution — which decides
+// the selectivity *order* used by query decomposition — is preserved on
+// skewed streams. Estimator implements selectivity.Source and can drive
+// decompose directly.
+type Estimator struct {
+	types *graph.Interner
+
+	dirTypes []uint32 // observed direction-type keys, insertion order
+	seenDT   map[uint32]bool
+
+	vert *CountMin // (vertex hash ⊕ dirType) -> incident-edge count
+
+	edgeCount selectivity.Counter[uint32]
+	edgeTotal int64
+
+	pathCount selectivity.Counter[selectivity.PathKey]
+	pathTotal int64
+}
+
+// NewEstimator builds an estimator whose vertex sketch has the given
+// geometry (see NewCountMin). A width of a few hundred thousand suffices
+// for million-vertex streams; memory is width·depth·8 bytes regardless
+// of the stream.
+func NewEstimator(width, depth int, seed int64) *Estimator {
+	cm := NewCountMin(width, depth, seed)
+	cm.Conservative = true
+	return &Estimator{
+		types:     graph.NewInterner(),
+		seenDT:    make(map[uint32]bool),
+		vert:      cm,
+		edgeCount: make(selectivity.Counter[uint32]),
+		pathCount: make(selectivity.Counter[selectivity.PathKey]),
+	}
+}
+
+// NewEstimatorWithError sizes the vertex sketch for the (ε, δ)
+// guarantee of NewCountMinWithError.
+func NewEstimatorWithError(epsilon, delta float64, seed int64) (*Estimator, error) {
+	cm, err := NewCountMinWithError(epsilon, delta, seed)
+	if err != nil {
+		return nil, err
+	}
+	cm.Conservative = true
+	return &Estimator{
+		types:     graph.NewInterner(),
+		seenDT:    make(map[uint32]bool),
+		vert:      cm,
+		edgeCount: make(selectivity.Counter[uint32]),
+		pathCount: make(selectivity.Counter[selectivity.PathKey]),
+	}, nil
+}
+
+// Types exposes the estimator's edge-type interner.
+func (s *Estimator) Types() *graph.Interner { return s.types }
+
+// Add folds one stream edge into the estimate.
+func (s *Estimator) Add(e stream.Edge) {
+	t := s.types.Intern(e.Type)
+	s.edgeCount.Update(t, 1)
+	s.edgeTotal++
+	s.addIncident(Hash64(e.Src), selectivity.DirTypeKey(t, selectivity.Out))
+	s.addIncident(Hash64(e.Dst), selectivity.DirTypeKey(t, selectivity.In))
+}
+
+// AddAll folds a batch of edges into the estimate.
+func (s *Estimator) AddAll(edges []stream.Edge) {
+	for _, e := range edges {
+		s.Add(e)
+	}
+}
+
+func (s *Estimator) addIncident(vh uint64, dt uint32) {
+	if !s.seenDT[dt] {
+		s.seenDT[dt] = true
+		s.dirTypes = append(s.dirTypes, dt)
+	}
+	// The new incident edge forms a 2-edge path with every existing
+	// incident edge at the vertex; the per-dirType count is estimated
+	// from the sketch rather than read from an exact per-vertex counter.
+	for _, dt2 := range s.dirTypes {
+		n := s.vert.Estimate(Combine(vh, uint64(dt2)))
+		if n > 0 {
+			s.pathCount.Update(selectivity.NewPathKey(dt, dt2), n)
+			s.pathTotal += n
+		}
+	}
+	s.vert.Add(Combine(vh, uint64(dt)), 1)
+}
+
+// EdgeTotal returns the (exact) number of edges folded in.
+func (s *Estimator) EdgeTotal() int64 { return s.edgeTotal }
+
+// PathTotal returns the estimated total number of 2-edge paths.
+func (s *Estimator) PathTotal() int64 { return s.pathTotal }
+
+// EdgeSelectivity returns S(g) for a 1-edge subgraph; this component is
+// exact (the histogram has one entry per type).
+func (s *Estimator) EdgeSelectivity(etype string) float64 {
+	if s.edgeTotal == 0 {
+		return 0
+	}
+	t, ok := s.types.Lookup(etype)
+	if !ok {
+		return 0
+	}
+	return float64(s.edgeCount.Count(t)) / float64(s.edgeTotal)
+}
+
+// EdgeFrequency returns the exact count for an edge type.
+func (s *Estimator) EdgeFrequency(etype string) int64 {
+	t, ok := s.types.Lookup(etype)
+	if !ok {
+		return 0
+	}
+	return s.edgeCount.Count(t)
+}
+
+// PathFrequency returns the estimated count of 2-edge paths with the
+// given incident direction-types at the shared center vertex.
+func (s *Estimator) PathFrequency(t1 string, d1 selectivity.Dir, t2 string, d2 selectivity.Dir) int64 {
+	a, ok1 := s.types.Lookup(t1)
+	b, ok2 := s.types.Lookup(t2)
+	if !ok1 || !ok2 {
+		return 0
+	}
+	k := selectivity.NewPathKey(selectivity.DirTypeKey(a, d1), selectivity.DirTypeKey(b, d2))
+	return s.pathCount.Count(k)
+}
+
+// PathSelectivity returns the estimated S(g) for a 2-edge path shape.
+// Together with EdgeSelectivity it satisfies selectivity.Source.
+func (s *Estimator) PathSelectivity(t1 string, d1 selectivity.Dir, t2 string, d2 selectivity.Dir) float64 {
+	if s.pathTotal == 0 {
+		return 0
+	}
+	return float64(s.PathFrequency(t1, d1, t2, d2)) / float64(s.pathTotal)
+}
+
+// UniquePathShapes reports how many distinct 2-edge path shapes received
+// a non-zero estimate.
+func (s *Estimator) UniquePathShapes() int { return len(s.pathCount) }
+
+// PathHistogram returns the estimated 2-edge path distribution sorted by
+// descending count, in the same rendering as the exact collector.
+func (s *Estimator) PathHistogram() []selectivity.HistogramEntry {
+	out := make([]selectivity.HistogramEntry, 0, len(s.pathCount))
+	for k, n := range s.pathCount {
+		ta, da := selectivity.SplitDirTypeKey(k.A)
+		tb, db := selectivity.SplitDirTypeKey(k.B)
+		key := fmt.Sprintf("%s(%s)-%s(%s)", s.types.Name(ta), da, s.types.Name(tb), db)
+		out = append(out, selectivity.HistogramEntry{Key: key, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// MemoryBytes reports the approximate footprint: the vertex sketch plus
+// the (small) exact type and path-shape tables.
+func (s *Estimator) MemoryBytes() int {
+	return s.vert.MemoryBytes() + 16*len(s.pathCount) + 16*len(s.edgeCount) + 8*len(s.dirTypes)
+}

@@ -1,0 +1,71 @@
+package sketch
+
+import "fmt"
+
+// Rotating is a sliding-window frequency sketch built from G generation
+// sketches. Adds go to the newest generation; Advance retires the oldest
+// generation wholesale. With the window tW split into G slices, an
+// estimate covers between (G-1)/G·tW and tW worth of stream — the usual
+// granularity slack of generation-based window synopses. It backs the
+// windowed statistics a long-running continuous query needs when the
+// stream distribution drifts (the paper's Section 7 follow-up).
+type Rotating struct {
+	gens  []*CountMin
+	head  int // index of the newest generation
+	width int
+	depth int
+	seed  int64
+}
+
+// NewRotating builds a rotating sketch with the given per-generation
+// geometry and generation count (at least 2).
+func NewRotating(width, depth, generations int, seed int64) (*Rotating, error) {
+	if generations < 2 {
+		return nil, fmt.Errorf("sketch: need at least 2 generations, got %d", generations)
+	}
+	r := &Rotating{width: width, depth: depth, seed: seed}
+	for i := 0; i < generations; i++ {
+		g := NewCountMin(width, depth, seed)
+		g.Conservative = true
+		r.gens = append(r.gens, g)
+	}
+	return r, nil
+}
+
+// Add folds delta occurrences of key into the newest generation.
+func (r *Rotating) Add(key uint64, delta int64) { r.gens[r.head].Add(key, delta) }
+
+// Advance retires the oldest generation (its counts drop out of every
+// future estimate) and starts a fresh newest generation. Call it every
+// tW / generations stream-time units.
+func (r *Rotating) Advance() {
+	r.head = (r.head + 1) % len(r.gens)
+	r.gens[r.head].Reset()
+}
+
+// Estimate sums the per-generation estimates: an upper bound on the
+// key's frequency over the retained window.
+func (r *Rotating) Estimate(key uint64) int64 {
+	var sum int64
+	for _, g := range r.gens {
+		sum += g.Estimate(key)
+	}
+	return sum
+}
+
+// Total returns the sum of deltas across retained generations.
+func (r *Rotating) Total() int64 {
+	var sum int64
+	for _, g := range r.gens {
+		sum += g.Total()
+	}
+	return sum
+}
+
+// Generations returns the generation count.
+func (r *Rotating) Generations() int { return len(r.gens) }
+
+// MemoryBytes reports the approximate footprint of all generations.
+func (r *Rotating) MemoryBytes() int {
+	return len(r.gens) * r.width * r.depth * 8
+}

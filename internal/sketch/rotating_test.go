@@ -1,0 +1,93 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// newRand is shared by the package tests.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestRotatingRequiresTwoGenerations(t *testing.T) {
+	if _, err := NewRotating(64, 2, 1, 1); err == nil {
+		t.Fatal("NewRotating accepted a single generation")
+	}
+	if _, err := NewRotating(64, 2, 0, 1); err == nil {
+		t.Fatal("NewRotating accepted zero generations")
+	}
+}
+
+func TestRotatingExpiry(t *testing.T) {
+	r, err := NewRotating(256, 3, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(1, 10) // generation 0
+	r.Advance()
+	r.Add(1, 5) // generation 1
+	r.Advance()
+	r.Add(1, 2) // generation 2
+	if got := r.Estimate(1); got < 17 {
+		t.Fatalf("all generations live: Estimate = %d, want >= 17", got)
+	}
+	r.Advance() // retires generation 0 (the +10)
+	if got := r.Estimate(1); got < 7 || got >= 17 {
+		t.Fatalf("after one rotation: Estimate = %d, want in [7,17)", got)
+	}
+	r.Advance() // retires generation 1 (the +5)
+	if got := r.Estimate(1); got < 2 || got >= 7 {
+		t.Fatalf("after two rotations: Estimate = %d, want in [2,7)", got)
+	}
+	r.Advance() // retires generation 2 (the +2)
+	if got := r.Estimate(1); got != 0 {
+		t.Fatalf("fully rotated: Estimate = %d, want 0", got)
+	}
+}
+
+func TestRotatingTotalTracksLiveGenerations(t *testing.T) {
+	r, err := NewRotating(64, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(3, 4)
+	r.Advance()
+	r.Add(3, 6)
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	r.Advance()
+	if r.Total() != 6 {
+		t.Fatalf("Total after expiry = %d, want 6", r.Total())
+	}
+}
+
+func TestRotatingNeverUndercountsWindow(t *testing.T) {
+	// Keys added within the last (G-1) slices must never be undercounted.
+	r, err := NewRotating(512, 4, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newRand(13)
+	recent := map[uint64]int64{}
+	for slice := 0; slice < 3; slice++ {
+		for i := 0; i < 500; i++ {
+			k := uint64(rng.Intn(200))
+			recent[k]++
+			r.Add(k, 1)
+		}
+		if slice < 2 {
+			r.Advance()
+		}
+	}
+	for k, want := range recent {
+		if got := r.Estimate(k); got < want {
+			t.Fatalf("Estimate(%d) = %d undercounts window truth %d", k, got, want)
+		}
+	}
+	if r.Generations() != 4 {
+		t.Fatalf("Generations = %d, want 4", r.Generations())
+	}
+	if r.MemoryBytes() != 4*512*4*8 {
+		t.Fatalf("MemoryBytes = %d", r.MemoryBytes())
+	}
+}

@@ -1,0 +1,83 @@
+package stream
+
+import (
+	"container/heap"
+	"io"
+)
+
+// Merger combines several edge sources into one stream ordered by
+// ascending timestamp — the k-way merge a deployment needs when
+// several collection points (e.g. multiple netflow exporters) feed one
+// continuous query engine. Ties are broken by source index, so the
+// merged order is deterministic. Each input is assumed to be
+// timestamp-ordered; out-of-order inputs are merged on a best-effort
+// basis exactly like the engine treats out-of-order edges. A source
+// error fails the merged stream fast: the pending edge is delivered,
+// then every subsequent Next reports the error — a broken exporter is
+// surfaced rather than silently dropped.
+type Merger struct {
+	h   mergeHeap
+	err error
+}
+
+// NewMerger primes one edge from every source and returns the merged
+// stream. A source error during priming is reported by the first Next.
+func NewMerger(sources ...Source) *Merger {
+	m := &Merger{}
+	for i, src := range sources {
+		e, err := src.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			m.err = err
+			return m
+		}
+		m.h = append(m.h, mergeItem{edge: e, src: src, idx: i})
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// Next implements Source.
+func (m *Merger) Next() (Edge, error) {
+	if m.err != nil {
+		return Edge{}, m.err
+	}
+	if len(m.h) == 0 {
+		return Edge{}, io.EOF
+	}
+	top := m.h[0]
+	out := top.edge
+	next, err := top.src.Next()
+	switch {
+	case err == io.EOF:
+		heap.Pop(&m.h)
+	case err != nil:
+		m.err = err
+		heap.Pop(&m.h)
+	default:
+		m.h[0].edge = next
+		heap.Fix(&m.h, 0)
+	}
+	return out, nil
+}
+
+type mergeItem struct {
+	edge Edge
+	src  Source
+	idx  int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].edge.TS != h[j].edge.TS {
+		return h[i].edge.TS < h[j].edge.TS
+	}
+	return h[i].idx < h[j].idx
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }

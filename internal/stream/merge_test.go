@@ -1,0 +1,132 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func edgesAt(ts ...int64) []Edge {
+	out := make([]Edge, len(ts))
+	for i, t := range ts {
+		out[i] = Edge{Src: fmt.Sprintf("s%d", t), Dst: "d", Type: "t", TS: t}
+	}
+	return out
+}
+
+func TestMergerOrdersByTimestamp(t *testing.T) {
+	m := NewMerger(
+		NewSliceSource(edgesAt(1, 4, 9)),
+		NewSliceSource(edgesAt(2, 3, 10)),
+		NewSliceSource(edgesAt(5, 6, 7, 8)),
+	)
+	got, err := ReadAll(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d edges, want 10", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].TS < got[i-1].TS {
+			t.Fatalf("order violated at %d: %d < %d", i, got[i].TS, got[i-1].TS)
+		}
+	}
+}
+
+func TestMergerTiesBreakBySourceIndex(t *testing.T) {
+	a := []Edge{{Src: "fromA", Dst: "d", Type: "t", TS: 5}}
+	b := []Edge{{Src: "fromB", Dst: "d", Type: "t", TS: 5}}
+	m := NewMerger(NewSliceSource(a), NewSliceSource(b))
+	first, _ := m.Next()
+	second, _ := m.Next()
+	if first.Src != "fromA" || second.Src != "fromB" {
+		t.Fatalf("tie order: %q then %q; want fromA then fromB", first.Src, second.Src)
+	}
+	if _, err := m.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestMergerEmptyInputs(t *testing.T) {
+	m := NewMerger()
+	if _, err := m.Next(); err != io.EOF {
+		t.Fatalf("empty merger: %v", err)
+	}
+	m = NewMerger(NewSliceSource(nil), NewSliceSource(edgesAt(1)))
+	got, err := ReadAll(m)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %d edges, err %v", len(got), err)
+	}
+}
+
+type failingSource struct{ n int }
+
+func (f *failingSource) Next() (Edge, error) {
+	if f.n <= 0 {
+		return Edge{}, fmt.Errorf("disk on fire")
+	}
+	f.n--
+	return Edge{Src: "x", Dst: "y", Type: "t", TS: 1}, nil
+}
+
+func TestMergerPropagatesErrors(t *testing.T) {
+	// Error during priming.
+	m := NewMerger(&failingSource{n: 0})
+	if _, err := m.Next(); err == nil || err == io.EOF {
+		t.Fatalf("priming error lost: %v", err)
+	}
+	// Error mid-stream: the already-primed edge is still delivered, then
+	// the merger fails fast — a broken source must not be silently
+	// dropped from the merged stream.
+	m = NewMerger(&failingSource{n: 1}, NewSliceSource(edgesAt(2)))
+	var n int
+	var lastErr error
+	for {
+		_, err := m.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d edges before error, want 1 (fail fast)", n)
+	}
+	if lastErr == io.EOF {
+		t.Fatal("mid-stream error was swallowed into EOF")
+	}
+}
+
+func TestMergerMatchesSortProperty(t *testing.T) {
+	err := quick.Check(func(a, b, c []uint16) bool {
+		mk := func(ts []uint16) Source {
+			es := make([]Edge, len(ts))
+			// Each source must be internally ordered.
+			var cur int64
+			for i, t := range ts {
+				cur += int64(t % 16)
+				es[i] = Edge{Src: "s", Dst: "d", Type: "t", TS: cur}
+			}
+			return NewSliceSource(es)
+		}
+		m := NewMerger(mk(a), mk(b), mk(c))
+		got, err := ReadAll(m)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(a)+len(b)+len(c) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].TS < got[i-1].TS {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

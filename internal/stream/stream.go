@@ -1,0 +1,130 @@
+// Package stream defines the edge-stream representation shared by the
+// data generators, the file formats and the continuous query engine. A
+// stream is simply an ordered sequence of typed, timestamped edges
+// between labeled vertices.
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge is one element of an edge stream. Vertex identity is by name;
+// labels and types are free-form strings that the engine interns.
+type Edge struct {
+	Src      string
+	SrcLabel string
+	Dst      string
+	DstLabel string
+	Type     string
+	TS       int64
+}
+
+// String renders the edge in the on-disk format (see Writer).
+func (e Edge) String() string {
+	return fmt.Sprintf("%s\t%s\t%s\t%s\t%s\t%d",
+		e.Src, e.SrcLabel, e.Dst, e.DstLabel, e.Type, e.TS)
+}
+
+// Source yields edges one at a time. Next returns io.EOF after the final
+// edge has been delivered.
+type Source interface {
+	Next() (Edge, error)
+}
+
+// SliceSource adapts an in-memory slice to a Source.
+type SliceSource struct {
+	edges []Edge
+	pos   int
+}
+
+// NewSliceSource returns a Source over edges.
+func NewSliceSource(edges []Edge) *SliceSource { return &SliceSource{edges: edges} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Edge, error) {
+	if s.pos >= len(s.edges) {
+		return Edge{}, io.EOF
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// Reset rewinds the source to the first edge.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Reader parses the tab-separated on-disk stream format:
+//
+//	src <TAB> srcLabel <TAB> dst <TAB> dstLabel <TAB> type <TAB> ts
+//
+// Blank lines and lines starting with '#' are skipped.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Next implements Source. It returns io.EOF at end of input and a
+// descriptive error (with line number) on malformed records.
+func (r *Reader) Next() (Edge, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 6 {
+			return Edge{}, fmt.Errorf("stream: line %d: want 6 tab-separated fields, got %d", r.line, len(fields))
+		}
+		ts, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil {
+			return Edge{}, fmt.Errorf("stream: line %d: bad timestamp %q: %v", r.line, fields[5], err)
+		}
+		return Edge{
+			Src: fields[0], SrcLabel: fields[1],
+			Dst: fields[2], DstLabel: fields[3],
+			Type: fields[4], TS: ts,
+		}, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Edge{}, err
+	}
+	return Edge{}, io.EOF
+}
+
+// ReadAll drains a Source into a slice.
+func ReadAll(src Source) ([]Edge, error) {
+	var out []Edge
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// Write serializes edges in the on-disk format.
+func Write(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintln(bw, e.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

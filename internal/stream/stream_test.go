@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestEdgeString(t *testing.T) {
+	e := Edge{Src: "a", SrcLabel: "ip", Dst: "b", DstLabel: "ip", Type: "tcp", TS: 42}
+	want := "a\tip\tb\tip\ttcp\t42"
+	if e.String() != want {
+		t.Fatalf("String = %q, want %q", e.String(), want)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	edges := []Edge{
+		{Src: "a", SrcLabel: "ip", Dst: "b", DstLabel: "ip", Type: "tcp", TS: 1},
+		{Src: "b", SrcLabel: "ip", Dst: "c", DstLabel: "host", Type: "udp", TS: 2},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("read %d edges, want %d", len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Errorf("edge %d: %v != %v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
+	text := "# header\n\na\tip\tb\tip\ttcp\t1\n   \n# trailing\n"
+	got, err := ReadAll(NewReader(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Src != "a" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := []string{
+		"a\tip\tb\tip\ttcp",          // 5 fields
+		"a\tip\tb\tip\ttcp\tnotanum", // bad ts
+	}
+	for _, text := range cases {
+		r := NewReader(strings.NewReader(text))
+		if _, err := r.Next(); err == nil || err == io.EOF {
+			t.Errorf("Next accepted %q", text)
+		}
+	}
+}
+
+func TestReaderErrorMentionsLine(t *testing.T) {
+	text := "a\tip\tb\tip\ttcp\t1\nbroken line here\n"
+	r := NewReader(strings.NewReader(text))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should name line 2: %v", err)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := NewSliceSource([]Edge{{Src: "a", Dst: "b", Type: "t", TS: 1}})
+	if e, err := s.Next(); err != nil || e.Src != "a" {
+		t.Fatalf("first Next: %v %v", e, err)
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	s.Reset()
+	if _, err := s.Next(); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+package streamgraph
+
+import (
+	"streamgraph/internal/core"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+)
+
+// Monitor runs many registered continuous queries over one shared
+// windowed data graph: the stream is ingested once and every registered
+// pattern is matched incrementally against it.
+type Monitor struct {
+	inner   *core.MultiEngine
+	queries map[string]*query.Graph
+}
+
+// MonitorOptions configures a Monitor.
+type MonitorOptions struct {
+	// Window is tW, shared by every registered query (0 = unbounded).
+	Window int64
+}
+
+// NewMonitor returns an empty multi-query monitor.
+func NewMonitor(opts MonitorOptions) *Monitor {
+	return &Monitor{
+		inner:   core.NewMulti(core.MultiConfig{Window: opts.Window}),
+		queries: make(map[string]*query.Graph),
+	}
+}
+
+// Register adds a continuous query under a unique name. The query is
+// decomposed using the statistics the monitor has observed so far, with
+// the given strategy (Auto picks by Relative Selectivity).
+func (m *Monitor) Register(name string, q *Query, strategy Strategy) error {
+	err := m.inner.Register(name, q, core.Config{Strategy: strategy})
+	if err != nil {
+		return err
+	}
+	m.queries[name] = q
+	return nil
+}
+
+// RegisterWithBackfill registers a query and replays the live graph
+// through it, returning matches already complete among existing edges.
+func (m *Monitor) RegisterWithBackfill(name string, q *Query, strategy Strategy) ([]QueryMatch, error) {
+	initial, err := m.inner.RegisterWithBackfill(name, q, core.Config{Strategy: strategy})
+	if err != nil {
+		return nil, err
+	}
+	m.queries[name] = q
+	out := make([]QueryMatch, 0, len(initial))
+	for _, mt := range initial {
+		out = append(out, QueryMatch{Query: name, Match: m.resolve(name, mt)})
+	}
+	return out, nil
+}
+
+// Unregister removes a query and its partial-match state.
+func (m *Monitor) Unregister(name string) {
+	m.inner.Unregister(name)
+	delete(m.queries, name)
+}
+
+// Registered returns the registered query names in registration order.
+func (m *Monitor) Registered() []string { return m.inner.Registered() }
+
+// QueryMatch pairs a complete match with the query that produced it.
+type QueryMatch struct {
+	Query string
+	Match Match
+}
+
+// Process ingests one edge and returns the matches it completed across
+// all registered queries.
+func (m *Monitor) Process(se Edge) []QueryMatch {
+	named := m.inner.ProcessEdge(se)
+	if len(named) == 0 {
+		return nil
+	}
+	out := make([]QueryMatch, 0, len(named))
+	for _, nm := range named {
+		out = append(out, QueryMatch{Query: nm.Query, Match: m.resolve(nm.Query, nm.Match)})
+	}
+	return out
+}
+
+func (m *Monitor) resolve(name string, mt iso.Match) Match {
+	g := m.inner.Graph()
+	q := m.queries[name]
+	var out Match
+	for qv, dv := range mt.VertexOf {
+		if dv == graph.NoVertex {
+			continue
+		}
+		out.Bindings = append(out.Bindings, Binding{
+			QueryVertex: q.Vertices[qv].Name,
+			DataVertex:  g.VertexName(dv),
+		})
+	}
+	for qe, eid := range mt.EdgeOf {
+		de, ok := g.Edge(eid)
+		if !ok {
+			continue
+		}
+		out.Edges = append(out.Edges, MatchedEdge{
+			QueryEdge: qe,
+			Src:       g.VertexName(de.Src),
+			Dst:       g.VertexName(de.Dst),
+			Type:      g.Types().Name(uint32(de.Type)),
+			TS:        de.TS,
+		})
+	}
+	out.FirstTS, out.LastTS = mt.MinTS, mt.MaxTS
+	return out
+}

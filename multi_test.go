@@ -1,0 +1,74 @@
+package streamgraph
+
+import (
+	"testing"
+)
+
+func TestMonitorEndToEnd(t *testing.T) {
+	mon := NewMonitor(MonitorOptions{Window: 100})
+
+	// Warm statistics.
+	for i, tp := range []string{"rdp", "ftp", "http", "http"} {
+		mon.Process(Edge{
+			Src: "w", SrcLabel: "ip", Dst: "u", DstLabel: "ip",
+			Type: tp, TS: int64(i + 1),
+		})
+	}
+
+	q1, _ := ParseQuery("e a b rdp\ne b c ftp\n")
+	q2, _ := ParseQuery("e x y http\n")
+	if err := mon.Register("lateral", q1, Auto); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Register("web", q2, Single); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Register("lateral", q1, Auto); err == nil {
+		t.Fatalf("duplicate registration accepted")
+	}
+	if got := mon.Registered(); len(got) != 2 {
+		t.Fatalf("Registered = %v", got)
+	}
+
+	live := []Edge{
+		{Src: "m", SrcLabel: "ip", Dst: "n", DstLabel: "ip", Type: "rdp", TS: 10},
+		{Src: "n", SrcLabel: "ip", Dst: "o", DstLabel: "ip", Type: "ftp", TS: 11},
+		{Src: "p", SrcLabel: "ip", Dst: "q", DstLabel: "ip", Type: "http", TS: 12},
+	}
+	counts := map[string]int{}
+	for _, e := range live {
+		for _, qm := range mon.Process(e) {
+			counts[qm.Query]++
+			if len(qm.Match.Bindings) == 0 {
+				t.Errorf("match without bindings: %+v", qm)
+			}
+		}
+	}
+	if counts["lateral"] != 1 || counts["web"] != 1 {
+		t.Fatalf("counts = %v, want lateral:1 web:1", counts)
+	}
+
+	mon.Unregister("web")
+	got := mon.Process(Edge{Src: "r", SrcLabel: "ip", Dst: "s", DstLabel: "ip", Type: "http", TS: 13})
+	if len(got) != 0 {
+		t.Fatalf("unregistered query still firing: %v", got)
+	}
+}
+
+func TestMonitorBackfill(t *testing.T) {
+	mon := NewMonitor(MonitorOptions{Window: 100})
+	mon.Process(Edge{Src: "a", SrcLabel: "ip", Dst: "b", DstLabel: "ip", Type: "x", TS: 1})
+	mon.Process(Edge{Src: "b", SrcLabel: "ip", Dst: "c", DstLabel: "ip", Type: "y", TS: 2})
+
+	q, _ := ParseQuery("e u v x\ne v w y\n")
+	initial, err := mon.RegisterWithBackfill("late", q, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(initial) != 1 {
+		t.Fatalf("backfill found %d matches, want 1", len(initial))
+	}
+	if initial[0].Query != "late" || len(initial[0].Match.Edges) != 2 {
+		t.Fatalf("bad backfill match: %+v", initial[0])
+	}
+}

@@ -1,0 +1,73 @@
+package streamgraph
+
+import (
+	"fmt"
+
+	"streamgraph/internal/plan"
+)
+
+// Optimizer selects how the query decomposition (the SJ-Tree leaf set
+// and order) is computed.
+type Optimizer int
+
+const (
+	// Greedy is the paper's Algorithm 4: repeatedly remove the most
+	// selective 1-edge or 2-edge primitive touching the frontier. The
+	// default.
+	Greedy Optimizer = iota
+	// Exact searches every valid (partition, order) pair with a dynamic
+	// program and picks the one minimizing the analytical cost model.
+	// Limited to queries of at most 14 edges.
+	Exact
+	// Genetic runs a seeded genetic search over valid decompositions —
+	// for queries too large for Exact.
+	Genetic
+)
+
+// PlanChoice reports an optimizer's chosen decomposition and its
+// predicted cost.
+type PlanChoice struct {
+	// Leaves lists the SJ-Tree leaves in join order; each entry holds
+	// query edge indices.
+	Leaves [][]int
+	// PredictedWork is the modeled average work per incoming edge.
+	PredictedWork float64
+	// PredictedSpace is the modeled stored-match footprint S(T).
+	PredictedSpace float64
+	// ExpectedSelectivity is Ŝ(T), the product of leaf selectivities.
+	ExpectedSelectivity float64
+}
+
+// Optimize computes a cost-based decomposition for q under the given
+// statistics. The result's Leaves can be passed through
+// Options.Decomposition to pin an engine to the plan.
+func Optimize(q *Query, stats *Statistics, opt Optimizer) (PlanChoice, error) {
+	if stats == nil {
+		return PlanChoice{}, fmt.Errorf("streamgraph: Optimize requires Statistics")
+	}
+	p := &plan.Planner{Stats: stats.c, AvgDegree: stats.c.AvgDegreeEstimate()}
+	var (
+		leaves [][]int
+		score  plan.Score
+		err    error
+	)
+	switch opt {
+	case Exact:
+		leaves, score, err = p.Optimal(q)
+	case Genetic:
+		leaves, score, err = p.Genetic(q, plan.GeneticConfig{})
+	case Greedy:
+		return PlanChoice{}, fmt.Errorf("streamgraph: Greedy is the engine default; construct the engine without a Decomposition instead")
+	default:
+		return PlanChoice{}, fmt.Errorf("streamgraph: unknown optimizer %d", int(opt))
+	}
+	if err != nil {
+		return PlanChoice{}, err
+	}
+	return PlanChoice{
+		Leaves:              leaves,
+		PredictedWork:       score.Work,
+		PredictedSpace:      score.Space,
+		ExpectedSelectivity: score.ExpectedSel,
+	}, nil
+}

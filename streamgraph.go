@@ -1,0 +1,304 @@
+// Package streamgraph is a continuous subgraph pattern detection engine
+// for streaming graphs, reproducing "A Selectivity based approach to
+// Continuous Pattern Detection in Streaming Graphs" (Choudhury, Holder,
+// Chin, Agarwal, Feo — EDBT 2015).
+//
+// Register a small pattern graph (a path, tree, star or cyclic query
+// with typed edges and optionally labeled vertices) and feed the engine
+// a stream of timestamped edges; the engine reports every subgraph of
+// the evolving data graph isomorphic to the pattern whose timespan fits
+// inside the sliding window, incrementally, as the last edge of the
+// match arrives.
+//
+// The engine decomposes the query into small primitives ordered by
+// selectivity estimated from the stream itself (1-edge histograms and
+// 2-edge path distributions), tracks partial matches in a Subgraph Join
+// Tree, and — under the lazy strategies — searches for a primitive only
+// around vertices where the more selective prefix of the query has
+// already been observed.
+//
+// Quick start:
+//
+//	q, _ := streamgraph.ParseQuery(`
+//	    e attacker victim RemoteDesktop
+//	    e victim server FileTransfer
+//	`)
+//	stats := streamgraph.NewStatistics()
+//	for _, e := range trainingEdges {
+//	    stats.Observe(e)
+//	}
+//	eng, _ := streamgraph.NewEngine(q, streamgraph.Options{
+//	    Strategy:   streamgraph.Auto,
+//	    Window:     3600,
+//	    Statistics: stats,
+//	})
+//	for _, e := range liveEdges {
+//	    for _, m := range eng.Process(e) {
+//	        fmt.Println("match:", m)
+//	    }
+//	}
+package streamgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/decompose"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/stream"
+)
+
+// Edge is one element of the input stream: a directed, typed,
+// timestamped edge between two named, labeled vertices.
+type Edge = stream.Edge
+
+// Query is a pattern graph. Build one with ParseQuery or PathQuery, or
+// construct it directly.
+type Query = query.Graph
+
+// Wildcard is the vertex label that matches any data vertex.
+const Wildcard = query.Wildcard
+
+// ParseQuery parses the textual query format:
+//
+//	# comment
+//	v <name> [label]
+//	e <srcName> <dstName> <edgeType>
+func ParseQuery(text string) (*Query, error) { return query.Parse(text) }
+
+// PathQuery builds a directed path query with the given edge types and
+// a uniform vertex label (use Wildcard for unlabeled queries).
+func PathQuery(label string, types ...string) *Query { return query.NewPath(label, types...) }
+
+// Strategy selects the query execution strategy.
+type Strategy = core.Strategy
+
+// The available strategies. Single and Path track every partial match
+// under a 1-edge / 2-edge decomposition; the Lazy variants search a
+// primitive only where the preceding primitive matched; VF2 is the
+// non-incremental baseline; Auto picks between the lazy variants using
+// the Relative Selectivity rule.
+const (
+	Single     = core.StrategySingle
+	SingleLazy = core.StrategySingleLazy
+	Path       = core.StrategyPath
+	PathLazy   = core.StrategyPathLazy
+	VF2        = core.StrategyVF2
+	IncIso     = core.StrategyIncIso
+	Auto       = core.StrategyAuto
+)
+
+// Statistics accumulates the subgraph distributional statistics (edge
+// type histogram and 2-edge path distribution) that drive query
+// decomposition. Feed it a sample of the stream before constructing
+// the engine; it can keep observing afterwards for periodic
+// re-decomposition.
+type Statistics struct {
+	c *selectivity.Collector
+}
+
+// NewStatistics returns an empty statistics collector.
+func NewStatistics() *Statistics { return &Statistics{c: selectivity.NewCollector()} }
+
+// Observe folds one edge into the statistics.
+func (s *Statistics) Observe(e Edge) { s.c.Add(e) }
+
+// ObserveAll folds a batch of edges into the statistics.
+func (s *Statistics) ObserveAll(edges []Edge) { s.c.AddAll(edges) }
+
+// EdgeSelectivity returns the observed selectivity of an edge type.
+func (s *Statistics) EdgeSelectivity(edgeType string) float64 {
+	return s.c.EdgeSelectivity(edgeType)
+}
+
+// Edges returns the number of observed edges.
+func (s *Statistics) Edges() int64 { return s.c.EdgeTotal() }
+
+// RelativeSelectivity computes ξ(T_path, T_single) for a query under
+// these statistics; ok is false when it is undefined (an unseen
+// primitive).
+func (s *Statistics) RelativeSelectivity(q *Query) (xi float64, ok bool) {
+	single, err := decompose.SingleDecompose(q, s.c)
+	if err != nil {
+		return 0, false
+	}
+	path, fellBack, err := decompose.PathDecompose(q, s.c)
+	if err != nil || fellBack {
+		return 0, false
+	}
+	xi, ok, err = s.c.RelativeSelectivity(q, path, single)
+	return xi, ok && err == nil
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Strategy to execute; Auto (the default zero value is Single —
+	// prefer setting this explicitly) requires Statistics.
+	Strategy Strategy
+	// Window is tW in stream time units: a match is reported only when
+	// the span between its earliest and latest edge is strictly less
+	// than Window. Zero disables windowing (the graph grows without
+	// bound).
+	Window int64
+	// Statistics drives the selectivity-ordered decomposition. Required
+	// for every strategy except VF2 and IncIso (and for engines pinned
+	// with Decomposition, which need no statistics at all).
+	Statistics *Statistics
+	// Decomposition, when non-nil, pins the SJ-Tree leaves instead of
+	// computing them greedily — typically the Leaves of a PlanChoice
+	// from Optimize. The Strategy still controls lazy vs
+	// track-everything execution.
+	Decomposition [][]int
+	// MaxMatchesPerSearch caps the matches returned by a single
+	// anchored search (safety valve; 0 = unlimited).
+	MaxMatchesPerSearch int
+}
+
+// Binding is one vertex of a reported match: the query vertex name and
+// the data vertex it was bound to.
+type Binding struct {
+	QueryVertex string
+	DataVertex  string
+}
+
+// MatchedEdge is one edge of a reported match.
+type MatchedEdge struct {
+	QueryEdge int // index into the query's edge list
+	Src, Dst  string
+	Type      string
+	TS        int64
+}
+
+// Match is a complete, window-respecting embedding of the query in the
+// data graph.
+type Match struct {
+	Bindings []Binding
+	Edges    []MatchedEdge
+	// FirstTS and LastTS delimit τ(g), the match's timespan.
+	FirstTS int64
+	LastTS  int64
+}
+
+// String renders the match compactly.
+func (m Match) String() string {
+	parts := make([]string, len(m.Bindings))
+	for i, b := range m.Bindings {
+		parts[i] = b.QueryVertex + "=" + b.DataVertex
+	}
+	return fmt.Sprintf("{%s @%d..%d}", strings.Join(parts, " "), m.FirstTS, m.LastTS)
+}
+
+// Engine runs one continuous query over one edge stream.
+type Engine struct {
+	inner *core.Engine
+	q     *Query
+}
+
+// NewEngine builds an engine for the query.
+func NewEngine(q *Query, opts Options) (*Engine, error) {
+	cfg := core.Config{
+		Strategy:            opts.Strategy,
+		Window:              opts.Window,
+		Leaves:              opts.Decomposition,
+		MaxMatchesPerSearch: opts.MaxMatchesPerSearch,
+	}
+	if opts.Statistics != nil {
+		cfg.Stats = opts.Statistics.c
+	}
+	inner, err := core.New(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner, q: q}, nil
+}
+
+// Process folds one edge into the data graph and returns the complete
+// matches it produced.
+func (e *Engine) Process(se Edge) []Match {
+	raw := e.inner.ProcessEdge(se)
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]Match, 0, len(raw))
+	for _, m := range raw {
+		out = append(out, e.resolve(m))
+	}
+	return out
+}
+
+func (e *Engine) resolve(m iso.Match) Match {
+	g := e.inner.Graph()
+	var out Match
+	for qv, dv := range m.VertexOf {
+		if dv == graph.NoVertex {
+			continue
+		}
+		out.Bindings = append(out.Bindings, Binding{
+			QueryVertex: e.q.Vertices[qv].Name,
+			DataVertex:  g.VertexName(dv),
+		})
+	}
+	sort.Slice(out.Bindings, func(i, j int) bool {
+		return out.Bindings[i].QueryVertex < out.Bindings[j].QueryVertex
+	})
+	for qe, eid := range m.EdgeOf {
+		de, ok := g.Edge(eid)
+		if !ok {
+			continue
+		}
+		out.Edges = append(out.Edges, MatchedEdge{
+			QueryEdge: qe,
+			Src:       g.VertexName(de.Src),
+			Dst:       g.VertexName(de.Dst),
+			Type:      g.Types().Name(uint32(de.Type)),
+			TS:        de.TS,
+		})
+	}
+	out.FirstTS, out.LastTS = m.MinTS, m.MaxTS
+	return out
+}
+
+// EngineStats is a snapshot of the engine's work counters.
+type EngineStats struct {
+	EdgesProcessed  int64
+	CompleteMatches int64
+	LeafSearches    int64
+	PartialMatches  int64 // currently stored in the SJ-Tree
+	PeakPartial     int64
+	IsoSteps        int64
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	st := e.inner.Stats()
+	return EngineStats{
+		EdgesProcessed:  st.EdgesProcessed,
+		CompleteMatches: st.CompleteMatches,
+		LeafSearches:    st.LeafSearches,
+		PartialMatches:  st.Tree.Stored,
+		PeakPartial:     st.Tree.PeakStored,
+		IsoSteps:        st.IsoSteps,
+	}
+}
+
+// Decomposition describes the SJ-Tree leaf order in effect.
+func (e *Engine) Decomposition() string {
+	t := e.inner.Tree()
+	if t == nil {
+		return "(none: baseline strategy)"
+	}
+	var parts []string
+	for i := 0; i < t.NumLeaves(); i++ {
+		var es []string
+		for _, qe := range t.LeafEdges(i) {
+			es = append(es, e.q.Edges[qe].Type)
+		}
+		parts = append(parts, "{"+strings.Join(es, ",")+"}")
+	}
+	return strings.Join(parts, " ⋈ ")
+}

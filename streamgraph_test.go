@@ -1,0 +1,111 @@
+package streamgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func trainingEdges() []Edge {
+	return []Edge{
+		{Src: "a", SrcLabel: "ip", Dst: "b", DstLabel: "ip", Type: "http", TS: 1},
+		{Src: "b", SrcLabel: "ip", Dst: "c", DstLabel: "ip", Type: "http", TS: 2},
+		{Src: "c", SrcLabel: "ip", Dst: "d", DstLabel: "ip", Type: "rdp", TS: 3},
+		{Src: "d", SrcLabel: "ip", Dst: "e", DstLabel: "ip", Type: "ftp", TS: 4},
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	q, err := ParseQuery("e x y rdp\ne y z ftp\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := NewStatistics()
+	stats.ObserveAll(trainingEdges())
+	if stats.Edges() != 4 {
+		t.Errorf("observed %d edges", stats.Edges())
+	}
+	if s := stats.EdgeSelectivity("http"); s != 0.5 {
+		t.Errorf("S(http) = %v", s)
+	}
+
+	eng, err := NewEngine(q, Options{Strategy: Auto, Window: 100, Statistics: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := eng.Decomposition(); !strings.Contains(d, "rdp") {
+		t.Errorf("Decomposition = %q", d)
+	}
+
+	live := []Edge{
+		{Src: "m", SrcLabel: "ip", Dst: "n", DstLabel: "ip", Type: "rdp", TS: 10},
+		{Src: "n", SrcLabel: "ip", Dst: "o", DstLabel: "ip", Type: "ftp", TS: 11},
+	}
+	var matches []Match
+	for _, e := range live {
+		matches = append(matches, eng.Process(e)...)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(matches))
+	}
+	m := matches[0]
+	if len(m.Bindings) != 3 || len(m.Edges) != 2 {
+		t.Fatalf("match shape: %+v", m)
+	}
+	if m.FirstTS != 10 || m.LastTS != 11 {
+		t.Errorf("τ(g) = [%d, %d]", m.FirstTS, m.LastTS)
+	}
+	s := m.String()
+	if !strings.Contains(s, "x=m") || !strings.Contains(s, "z=o") {
+		t.Errorf("String = %q", s)
+	}
+	st := eng.Stats()
+	if st.CompleteMatches != 1 || st.EdgesProcessed != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFacadePathQuery(t *testing.T) {
+	q := PathQuery(Wildcard, "a", "b")
+	if len(q.Edges) != 2 {
+		t.Fatalf("PathQuery edges = %d", len(q.Edges))
+	}
+}
+
+func TestFacadeRelativeSelectivity(t *testing.T) {
+	stats := NewStatistics()
+	stats.ObserveAll(trainingEdges())
+	q := PathQuery(Wildcard, "http", "rdp")
+	xi, ok := stats.RelativeSelectivity(q)
+	if !ok || xi <= 0 {
+		t.Fatalf("xi=%v ok=%v", xi, ok)
+	}
+	// Unseen type: undefined.
+	if _, ok := stats.RelativeSelectivity(PathQuery(Wildcard, "ghost", "rdp")); ok {
+		t.Errorf("unseen type should be undefined")
+	}
+}
+
+func TestFacadeVF2NeedsNoStats(t *testing.T) {
+	q := PathQuery(Wildcard, "rdp")
+	eng, err := NewEngine(q, Options{Strategy: VF2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := eng.Decomposition(); !strings.Contains(d, "baseline") {
+		t.Errorf("Decomposition = %q", d)
+	}
+	got := eng.Process(Edge{Src: "a", SrcLabel: "ip", Dst: "b", DstLabel: "ip", Type: "rdp", TS: 1})
+	if len(got) != 1 {
+		t.Fatalf("VF2 matches = %d", len(got))
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, err := ParseQuery("garbage"); err == nil {
+		t.Errorf("ParseQuery accepted garbage")
+	}
+	q := PathQuery(Wildcard, "a")
+	if _, err := NewEngine(q, Options{Strategy: SingleLazy}); err == nil {
+		t.Errorf("NewEngine accepted missing statistics")
+	}
+}
