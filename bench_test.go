@@ -10,7 +10,9 @@
 package streamgraph
 
 import (
+	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"streamgraph/internal/graph"
 	"streamgraph/internal/query"
 	"streamgraph/internal/selectivity"
+	"streamgraph/internal/stream"
 )
 
 // benchScale keeps each figure benchmark iteration under a few seconds.
@@ -201,6 +204,103 @@ func BenchmarkEngineProcessEdge(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				eng.ProcessEdge(nf.Edges[i%len(nf.Edges)])
 			}
+		})
+	}
+}
+
+// cyclicStream returns n edges by repeating base with timestamps
+// shifted so the stream stays monotonic across repetitions.
+func cyclicStream(base []stream.Edge, n int) []stream.Edge {
+	out := make([]stream.Edge, n)
+	span := base[len(base)-1].TS + 1
+	for i := range out {
+		e := base[i%len(base)]
+		e.TS += span * int64(i/len(base))
+		out[i] = e
+	}
+	return out
+}
+
+// BenchmarkProcessBatch measures the batch ingestion pipeline against
+// the serial loop: the same netflow stream is driven through each
+// strategy at batch sizes 1, 64 and 1024. batch=1 uses ProcessEdge (the
+// serial baseline); larger batches amortize eviction and fan the
+// candidate searches out over the worker pool. Match sets are identical
+// across rows (the differential tests enforce it), so edges/s isolates
+// the ingestion mechanics.
+func BenchmarkProcessBatch(b *testing.B) {
+	nf, _, _ := benchDatasets()
+	stats := experiments.CollectPrefix(nf, 0.2)
+	q := query.NewPath(query.Wildcard, "UDP", "ICMP", "GRE")
+	for _, strat := range []core.Strategy{
+		core.StrategySingle, core.StrategySingleLazy,
+		core.StrategyPath, core.StrategyPathLazy,
+	} {
+		for _, batch := range []int{1, 64, 1024} {
+			b.Run(fmt.Sprintf("%s/batch=%d", strat, batch), func(b *testing.B) {
+				eng, err := core.New(q, core.Config{
+					Strategy: strat, Window: 2000, Stats: stats,
+					MaxMatchesPerSearch: 20000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges := cyclicStream(nf.Edges, b.N)
+				var matches int64
+				b.ResetTimer()
+				if batch == 1 {
+					for _, se := range edges {
+						matches += int64(len(eng.ProcessEdge(se)))
+					}
+				} else {
+					for chunk := range slices.Chunk(edges, batch) {
+						for _, ms := range eng.ProcessBatch(chunk) {
+							matches += int64(len(ms))
+						}
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+				b.ReportMetric(float64(matches), "matches")
+			})
+		}
+	}
+}
+
+// BenchmarkProcessBatchMulti drives several concurrent queries through
+// ParallelMulti.ProcessBatch at batch sizes 1 and 256, exercising the
+// across-query worker pool on the shared graph.
+func BenchmarkProcessBatchMulti(b *testing.B) {
+	nf, _, _ := benchDatasets()
+	queries := map[string]*query.Graph{
+		"q1": query.NewPath(query.Wildcard, "UDP", "ICMP"),
+		"q2": query.NewPath(query.Wildcard, "GRE", "TCP"),
+		"q3": query.NewPath("ip", "TCP", "UDP"),
+	}
+	for _, batch := range []int{1, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			p := core.NewParallelMulti(core.MultiConfig{Window: 2000}, 0)
+			defer p.Close()
+			stats := experiments.CollectPrefix(nf, 0.2)
+			for _, name := range []string{"q1", "q2", "q3"} {
+				if err := p.Register(name, queries[name], core.Config{
+					Strategy: core.StrategySingleLazy, Stats: stats,
+					MaxMatchesPerSearch: 20000,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edges := cyclicStream(nf.Edges, b.N)
+			b.ResetTimer()
+			for chunk := range slices.Chunk(edges, batch) {
+				if batch == 1 {
+					p.ProcessEdge(chunk[0])
+				} else {
+					p.ProcessBatch(chunk)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "edges/s")
 		})
 	}
 }

@@ -8,7 +8,11 @@
 //	sgbench -exp fig9a -scale medium -seed 7
 //
 // Experiments: table1, fig6, fig7, fig9a, fig9b, fig9c, fig9d, fig10,
-// rule, alg5, ablation, planner, sketch, all.
+// rule, alg5, ablation, planner, sketch, batch, all.
+//
+// The batch experiment goes beyond the paper: it compares edge-at-a-
+// time ingestion with the batch pipeline (amortized eviction, parallel
+// candidate search) at -batch as the largest batch size.
 package main
 
 import (
@@ -24,11 +28,16 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (table1, fig6, fig7, fig9a-d, fig10, rule, alg5, ablation, planner, sketch, all)")
+		exp   = flag.String("exp", "all", "experiment id (table1, fig6, fig7, fig9a-d, fig10, rule, alg5, ablation, planner, sketch, batch, all)")
 		scale = flag.String("scale", "small", "dataset scale: small | medium | large")
 		seed  = flag.Int64("seed", 1, "generator seed")
+		batch = flag.Int("batch", 1024, "largest batch size for the batch ingestion experiment")
 	)
 	flag.Parse()
+
+	if *batch < 2 && (*exp == "batch" || *exp == "all") {
+		log.Fatalf("-batch must be >= 2 (got %d): size 1 is the serial baseline, always included", *batch)
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -164,6 +173,18 @@ func main() {
 			experiments.PrintSketchReport(out, experiments.SketchAccuracy(ds, 1<<16, 4, 10))
 			fmt.Fprintln(out)
 		}
+	}
+	if want("batch") {
+		sizes := []int{1, 64, *batch}
+		if *batch <= 64 {
+			sizes = []int{1, *batch}
+		}
+		nf := getNF()
+		rows := experiments.BatchThroughput(experiments.BatchConfig{
+			Dataset: nf, Sizes: sizes,
+		})
+		experiments.PrintBatch(out, nf.Name, rows)
+		fmt.Fprintln(out)
 	}
 }
 

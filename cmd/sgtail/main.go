@@ -5,7 +5,7 @@
 // Usage:
 //
 //	sgtail -query query.sg [-input stream.tsv] [-window N] [-strategy auto]
-//	       [-train 0.1] [-snapshot state.snap] [-stats]
+//	       [-train 0.1] [-batch N] [-snapshot state.snap] [-stats]
 //
 // The stream format is the engine's TSV:
 //
@@ -34,6 +34,7 @@ func main() {
 		window    = flag.Int64("window", 0, "time window tW (0 = unwindowed)")
 		strategy  = flag.String("strategy", "auto", "single|singlelazy|path|pathlazy|vf2|inciso|auto")
 		trainFrac = flag.Float64("train", 0.1, "fraction of the stream buffered to train statistics (ignored with -snapshot restore)")
+		batchSize = flag.Int("batch", 1, "edges ingested per batch (1 = edge-at-a-time; larger batches amortize eviction and parallelize the search)")
 		snapPath  = flag.String("snapshot", "", "snapshot file to restore from / save to")
 		showStats = flag.Bool("stats", false, "print engine counters on exit")
 	)
@@ -122,12 +123,12 @@ func main() {
 		pending = nil
 		// Continue with the rest of the stream below using the same
 		// reader.
-		drain(r, eng)
+		drain(r, eng, *batchSize)
 		finish(eng, *snapPath, *showStats)
 		return
 	}
 
-	drain(stream.NewReader(in), eng)
+	drain(stream.NewReader(in), eng, *batchSize)
 	finish(eng, *snapPath, *showStats)
 }
 
@@ -141,7 +142,18 @@ func trainingTarget(frac float64) int {
 	return n
 }
 
-func drain(r *stream.Reader, eng *streamgraph.Engine) {
+func drain(r *stream.Reader, eng *streamgraph.Engine, batch int) {
+	if batch > 1 {
+		if err := stream.EachBatch(r, batch, func(edges []streamgraph.Edge) bool {
+			for _, m := range eng.ProcessBatch(edges) {
+				fmt.Printf("MATCH %v\n", m)
+			}
+			return true
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	for {
 		e, err := r.Next()
 		if err == io.EOF {

@@ -1,0 +1,3 @@
+module streamgraph
+
+go 1.24

@@ -1,0 +1,262 @@
+// Batch ingestion: admit a whole slice of stream edges into the
+// windowed graph with one amortized eviction/statistics pass, fan the
+// read-only candidate searches out over a worker pool, then merge the
+// per-edge results back single-threaded in input order.
+//
+// The paper's engine (Algorithm 1) is strictly edge-at-a-time; batching
+// is the standard lever once exact incremental semantics are in place
+// (StreamWorks, Choudhury et al. 2013; Zervakis et al. 2019). Two
+// mechanisms keep the batch path's match sets identical to the serial
+// loop:
+//
+//   - Visibility. Every graph edge carries an arrival sequence number,
+//     and each candidate search is bounded by its anchor edge's Seq
+//     (iso.Matcher.MaxSeq), so a search anchored at batch edge i sees
+//     exactly the graph a serial run would have seen when i arrived,
+//     even though later batch edges are already present.
+//   - Ordering. All SJ-Tree mutation — lazy gating, retrospective
+//     repair, joins — happens in a sequential merge phase that consumes
+//     the precomputed candidates in input order. The parallel phase is
+//     read-only on the graph and engine.
+//
+// Equivalence is exact when timestamps are non-decreasing and no
+// load-shedding cap (MaxMatchesPerSearch, MaxWorkPerEdge,
+// MaxStepsPerSearch) is active. With a cap, both paths are best-effort
+// and may shed different work because candidate enumeration order
+// differs. With out-of-order timestamps, serial results are already
+// eviction-cadence-dependent (the EvictEvery slack of
+// graph.ExpireBefore); there the batch path's lazier eviction reports
+// a window-valid superset of the serial matches, never fewer — see
+// Engine.advanceEvict.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/stream"
+)
+
+// ProcessBatch folds a whole batch of stream edges into the graph and
+// returns the new complete matches per input edge: out[i] holds exactly
+// the matches a serial ProcessEdge(batch[i]) call would have returned
+// at that point in the stream. Eviction and adaptive statistics are
+// amortized to one pass per batch; the candidate searches fan out over
+// Config.BatchWorkers workers.
+func (e *Engine) ProcessBatch(batch []stream.Edge) [][]iso.Match {
+	if len(batch) == 0 {
+		return nil
+	}
+	if e.adaptive != nil {
+		// Adaptive engines may re-decompose mid-batch, which would
+		// invalidate candidates precomputed against the old leaves;
+		// keep the serial schedule for them.
+		out := make([][]iso.Match, len(batch))
+		for i, se := range batch {
+			out[i] = e.ProcessEdge(se)
+		}
+		return out
+	}
+	e.advanceEvict(len(batch))
+	des := e.ingestBatch(batch)
+	return e.searchBatch(des, e.batchWorkers())
+}
+
+// ingestOne admits one stream edge into g, interning names, labels and
+// the type, and returns the materialized edge. Every ingestion path —
+// serial and batch, single- and multi-query — funnels through here so
+// admission semantics cannot diverge.
+func ingestOne(g *graph.Graph, se stream.Edge) graph.Edge {
+	src := g.EnsureVertex(se.Src, se.SrcLabel)
+	dst := g.EnsureVertex(se.Dst, se.DstLabel)
+	eid := g.AddEdge(src, dst, graph.TypeID(g.Types().Intern(se.Type)), se.TS)
+	de, _ := g.Edge(eid)
+	return de
+}
+
+// ingestBatch admits the batch into the engine's own graph (single
+// writer, no locking) and returns the materialized edges in input
+// order.
+func (e *Engine) ingestBatch(batch []stream.Edge) []graph.Edge {
+	des := make([]graph.Edge, len(batch))
+	for i, se := range batch {
+		des[i] = ingestOne(e.g, se)
+	}
+	return des
+}
+
+func (e *Engine) batchWorkers() int {
+	if e.cfg.BatchWorkers > 0 {
+		return e.cfg.BatchWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runSearchTasks executes n independent read-only searches across the
+// worker pool and returns their results indexed by task, so the output
+// is deterministic regardless of scheduling. Each worker owns a private
+// matcher; with one worker (or one task) everything runs inline on the
+// engine's own matcher.
+func (e *Engine) runSearchTasks(n, workers int, fn func(m *iso.Matcher, task int) []iso.Match) [][]iso.Match {
+	res := make([][]iso.Match, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		saved := e.matcher.MaxSeq
+		for t := 0; t < n; t++ {
+			res[t] = fn(e.matcher, t)
+		}
+		e.matcher.MaxSeq = saved
+		return res
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			m := e.newMatcher()
+			defer func() { atomic.AddInt64(&e.batchSteps, m.Calls()) }()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= n {
+					return
+				}
+				res[t] = fn(m, t)
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// searchBatch runs the incremental search for a batch of edges already
+// present in the graph and returns the per-edge complete matches. The
+// candidate searches (read-only) run on the worker pool; tree mutation
+// runs single-threaded afterwards, in input order. MultiEngine and
+// ParallelMulti call this directly after their shared-graph ingest.
+func (e *Engine) searchBatch(des []graph.Edge, workers int) [][]iso.Match {
+	out := make([][]iso.Match, len(des))
+	switch e.cfg.Strategy {
+	case StrategyVF2:
+		cands := e.runSearchTasks(len(des), workers, func(m *iso.Matcher, t int) []iso.Match {
+			m.MaxSeq = des[t].Seq
+			var res []iso.Match
+			for _, mt := range m.FindAll(e.allEdges) {
+				if mt.HasEdge(des[t].ID) {
+					res = append(res, mt)
+				}
+			}
+			return res
+		})
+		e.finishBaseline(out, cands)
+	case StrategyIncIso:
+		cands := e.runSearchTasks(len(des), workers, func(m *iso.Matcher, t int) []iso.Match {
+			m.MaxSeq = des[t].Seq
+			return m.FindAroundEdge(e.allEdges, des[t])
+		})
+		e.finishBaseline(out, cands)
+	default:
+		e.searchBatchTree(des, workers, out)
+	}
+	return out
+}
+
+// finishBaseline adopts per-edge baseline results, updating counters.
+func (e *Engine) finishBaseline(out, cands [][]iso.Match) {
+	for i, ms := range cands {
+		e.stats.EdgesProcessed++
+		e.stats.CompleteMatches += int64(len(ms))
+		out[i] = ms
+	}
+}
+
+// searchBatchTree is the decomposition-strategy batch path: precompute
+// the anchored leaf matches for every (edge, leaf) pair in parallel,
+// then replay the serial per-edge merge (lazy gating, retrospective
+// repair, SJ-Tree joins) against the cached candidates. Lazy strategies
+// compute candidates speculatively — the merge discards the ones the
+// serial gate would never have searched — trading extra parallel search
+// work for a mutation phase that never blocks on a search. Speculation
+// only pays when it actually runs concurrently, so with a single worker
+// the merge searches live instead (MaxSeq-bounded, lazy gate applied
+// before searching): on one core a batch is then never slower than the
+// serial loop, just amortized.
+func (e *Engine) searchBatchTree(des []graph.Edge, workers int, out [][]iso.Match) {
+	nl := e.tree.NumLeaves()
+	speculate := workers > 1 && len(des) > 1
+	var cands [][]iso.Match
+	if speculate {
+		cands = e.runSearchTasks(len(des)*nl, workers, func(m *iso.Matcher, t int) []iso.Match {
+			i, l := t/nl, t%nl
+			m.MaxSeq = des[i].Seq
+			return m.FindAroundEdge(e.tree.LeafEdges(l), des[i])
+		})
+	}
+	for i, de := range des {
+		e.stats.EdgesProcessed++
+		e.curResults = e.curResults[:0]
+		e.curEdge = de.ID
+		// Bound every search the merge issues on the engine's own
+		// matcher — live leaf searches and retrospective repair alike —
+		// to this edge's point in time.
+		e.matcher.MaxSeq = de.Seq
+		if e.cfg.MaxWorkPerEdge > 0 {
+			e.budget.Remaining = e.cfg.MaxWorkPerEdge
+			e.tree.Budget = &e.budget
+		}
+		if speculate {
+			e.mergeTree(de, cands[i*nl:(i+1)*nl])
+		} else {
+			e.mergeTree(de, nil)
+		}
+		out[i] = append([]iso.Match(nil), e.curResults...)
+		e.stats.CompleteMatches += int64(len(out[i]))
+	}
+	e.matcher.MaxSeq = 0
+}
+
+// ProcessBatch ingests a batch into the shared graph — one statistics
+// pass, one amortized eviction — and runs every registered query's
+// batch search over it. Matches are returned edge-major: all matches
+// completed by batch edge i (in query registration order) precede those
+// of edge i+1, exactly the order a serial ProcessEdge loop reports.
+func (m *MultiEngine) ProcessBatch(ses []stream.Edge) []NamedMatch {
+	if len(ses) == 0 {
+		return nil
+	}
+	des := m.ingestBatch(ses)
+	perQuery := make([][][]iso.Match, len(m.order))
+	for qi, name := range m.order {
+		eng := m.queries[name]
+		perQuery[qi] = eng.searchBatch(des, eng.batchWorkers())
+	}
+	var out []NamedMatch
+	for i := range des {
+		for qi, name := range m.order {
+			for _, mt := range perQuery[qi][i] {
+				out = append(out, NamedMatch{Query: name, Match: mt})
+			}
+		}
+	}
+	return out
+}
+
+// ingestBatch admits a batch into the shared graph with one statistics
+// pass and one amortized eviction (run up front so the cutoff never
+// gets ahead of the serial schedule's), returning the materialized
+// edges in input order.
+func (m *MultiEngine) ingestBatch(ses []stream.Edge) []graph.Edge {
+	m.advanceEvict(len(ses))
+	m.stats.AddAll(ses)
+	m.edgesSeen += int64(len(ses))
+	des := make([]graph.Edge, len(ses))
+	for i, se := range ses {
+		des[i] = ingestOne(m.g, se)
+	}
+	return des
+}

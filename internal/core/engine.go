@@ -9,7 +9,10 @@
 //
 // The engine owns the windowed data graph: feed it stream edges with
 // ProcessEdge and it returns the incremental set of complete matches
-// f(Gd, Gq, E_{k+1}) = M(G^{k+1}_d) − M(G^k_d).
+// f(Gd, Gq, E_{k+1}) = M(G^{k+1}_d) − M(G^k_d). ProcessBatch (batch.go)
+// ingests many edges at once — one amortized eviction pass, candidate
+// searches fanned out over a worker pool — with per-edge results
+// identical to the serial loop.
 package core
 
 import (
@@ -112,6 +115,11 @@ type Config struct {
 	// eviction sweeps the graph and the match tables. Default 256.
 	EvictEvery int
 
+	// BatchWorkers is the worker-pool size ProcessBatch fans the
+	// read-only candidate searches out over (<= 0 selects GOMAXPROCS).
+	// Ingestion and the SJ-Tree merge always stay single-threaded.
+	BatchWorkers int
+
 	// Adaptive, when non-nil, enables adaptive query processing: the
 	// engine keeps collecting statistics from the live stream and
 	// periodically re-decomposes the query, migrating partial matches
@@ -162,6 +170,11 @@ type Engine struct {
 
 	sinceEvict int
 	stats      Stats
+
+	// batchSteps accumulates the extension steps performed by the
+	// throwaway per-worker matchers of ProcessBatch, which Stats folds
+	// into IsoSteps alongside the owned matcher's counter.
+	batchSteps int64
 }
 
 type retroItem struct {
@@ -181,10 +194,7 @@ func New(q *query.Graph, cfg Config) (*Engine, error) {
 		cfg: cfg,
 		g:   graph.New(),
 	}
-	e.matcher = iso.NewMatcher(e.g, q)
-	e.matcher.Window = cfg.Window
-	e.matcher.MaxMatches = cfg.MaxMatchesPerSearch
-	e.matcher.MaxStepsPerSearch = cfg.MaxStepsPerSearch
+	e.matcher = e.newMatcher()
 	for i := range q.Edges {
 		e.allEdges = append(e.allEdges, i)
 	}
@@ -239,6 +249,17 @@ func New(q *query.Graph, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// newMatcher builds a matcher over the engine's current graph with the
+// engine's search limits. ProcessBatch creates one per search worker so
+// the read-only candidate searches can run concurrently.
+func (e *Engine) newMatcher() *iso.Matcher {
+	m := iso.NewMatcher(e.g, e.q)
+	m.Window = e.cfg.Window
+	m.MaxMatches = e.cfg.MaxMatchesPerSearch
+	m.MaxStepsPerSearch = e.cfg.MaxStepsPerSearch
+	return m
+}
+
 // Graph exposes the engine's windowed data graph (read-only use).
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
@@ -259,7 +280,7 @@ func (e *Engine) RelativeSelectivity() float64 { return e.relSel }
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	s := e.stats
-	s.IsoSteps = e.matcher.Calls()
+	s.IsoSteps = e.matcher.Calls() + e.batchSteps
 	if e.tree != nil {
 		s.Tree = e.tree.Stats()
 	}
@@ -270,11 +291,7 @@ func (e *Engine) Stats() Stats {
 // complete matches it produces. The returned matches reference the
 // engine's query via binding arrays; see Explain for a readable form.
 func (e *Engine) ProcessEdge(se stream.Edge) []iso.Match {
-	src := e.g.EnsureVertex(se.Src, se.SrcLabel)
-	dst := e.g.EnsureVertex(se.Dst, se.DstLabel)
-	eid := e.g.AddEdge(src, dst, graph.TypeID(e.g.Types().Intern(se.Type)), se.TS)
-	de, _ := e.g.Edge(eid)
-
+	de := ingestOne(e.g, se)
 	e.maybeEvict()
 	if e.adaptive != nil {
 		e.observeAdaptive(se)
@@ -358,6 +375,16 @@ func (e *Engine) processIncIso(de graph.Edge) {
 // type-gated) anchored search but keep only matches that touch an
 // enabled vertex; everything else remains lazy.
 func (e *Engine) processTree(de graph.Edge) {
+	e.mergeTree(de, nil)
+}
+
+// mergeTree folds one edge's leaf matches into the SJ-Tree, applying
+// the lazy gating and cascading joins. cands, when non-nil, supplies
+// the anchored matches per leaf — precomputed by the batch pipeline's
+// worker pool; when nil, each non-skipped leaf is searched live on the
+// engine's own matcher (the serial path, and the batch path's
+// single-worker mode where the lazy gate runs before searching).
+func (e *Engine) mergeTree(de graph.Edge, cands [][]iso.Match) {
 	for l := 0; l < e.tree.NumLeaves(); l++ {
 		requireTouch := false
 		if e.lazy {
@@ -371,7 +398,12 @@ func (e *Engine) processTree(de graph.Edge) {
 			}
 		}
 		e.stats.LeafSearches++
-		matches := e.matcher.FindAroundEdge(e.tree.LeafEdges(l), de)
+		var matches []iso.Match
+		if cands != nil {
+			matches = cands[l]
+		} else {
+			matches = e.matcher.FindAroundEdge(e.tree.LeafEdges(l), de)
+		}
 		e.stats.LeafMatches += int64(len(matches))
 		for _, m := range matches {
 			if requireTouch && !e.touchesEnabled(m, l) {
@@ -464,11 +496,26 @@ func (e *Engine) enabled(v graph.VertexID, leaf int) bool {
 
 // maybeEvict performs periodic window maintenance: graph edges, stored
 // partial matches and bitmap entries for isolated vertices.
-func (e *Engine) maybeEvict() {
+func (e *Engine) maybeEvict() { e.advanceEvict(1) }
+
+// advanceEvict advances the eviction clock by n processed edges and
+// sweeps when the cadence fires. ProcessBatch calls it once per batch
+// BEFORE ingesting, so its cutoff (computed from the pre-batch LastTS)
+// is never ahead of any cutoff the serial per-edge schedule would have
+// used mid-batch: with non-decreasing timestamps evicting late only
+// costs memory — the window checks in the matcher and the SJ-Tree
+// joins keep the match sets identical — while evicting early could
+// drop edges a serial run would still match. When a timestamp
+// regresses by more than the window across an eviction boundary, the
+// serial schedule has already lost the old edge to eviction slack (an
+// EvictEvery artifact; see graph.ExpireBefore) and the batch path may
+// report strictly more window-valid matches — a superset, never fewer
+// (pinned by TestBatchOutOfOrderSuperset).
+func (e *Engine) advanceEvict(n int) {
 	if e.cfg.Window <= 0 {
 		return
 	}
-	e.sinceEvict++
+	e.sinceEvict += n
 	if e.sinceEvict < e.cfg.EvictEvery {
 		return
 	}

@@ -88,10 +88,7 @@ func (m *MultiEngine) Register(name string, q *query.Graph, cfg Config) error {
 	// whose last edge arrives after registration, plus anything its
 	// lazy repair reaches in the existing neighborhood.
 	eng.g = m.g
-	eng.matcher = iso.NewMatcher(m.g, q)
-	eng.matcher.Window = cfg.Window
-	eng.matcher.MaxMatches = cfg.MaxMatchesPerSearch
-	eng.matcher.MaxStepsPerSearch = cfg.MaxStepsPerSearch
+	eng.matcher = eng.newMatcher()
 	eng.external = true
 	m.queries[name] = eng
 	m.order = append(m.order, name)
@@ -144,10 +141,7 @@ func (m *MultiEngine) QueryEngine(name string) *Engine { return m.queries[name] 
 func (m *MultiEngine) ingest(se stream.Edge) graph.Edge {
 	m.edgesSeen++
 	m.stats.Add(se)
-	src := m.g.EnsureVertex(se.Src, se.SrcLabel)
-	dst := m.g.EnsureVertex(se.Dst, se.DstLabel)
-	eid := m.g.AddEdge(src, dst, graph.TypeID(m.g.Types().Intern(se.Type)), se.TS)
-	de, _ := m.g.Edge(eid)
+	de := ingestOne(m.g, se)
 	m.maybeEvict()
 	return de
 }
@@ -166,11 +160,17 @@ func (m *MultiEngine) ProcessEdge(se stream.Edge) []NamedMatch {
 	return out
 }
 
-func (m *MultiEngine) maybeEvict() {
+func (m *MultiEngine) maybeEvict() { m.advanceEvict(1) }
+
+// advanceEvict advances the shared eviction clock by n processed edges
+// and sweeps when the cadence fires. The batch path calls it before
+// ingesting so the cutoff stays behind every serial mid-batch cutoff
+// (see Engine.advanceEvict for why that preserves match sets).
+func (m *MultiEngine) advanceEvict(n int) {
 	if m.window <= 0 {
 		return
 	}
-	m.sinceEvict++
+	m.sinceEvict += n
 	if m.sinceEvict < m.evictEvery {
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
 	"streamgraph/internal/query"
 	"streamgraph/internal/stream"
 )
@@ -15,9 +16,11 @@ import (
 // graph, statistics and eviction run on the caller's goroutine); the
 // search phase is read-only on the graph, and every query engine is
 // owned by exactly one worker, so its SJ-Tree and lazy bitmap are
-// mutated single-threaded. The result is a per-edge fork/join with
-// deterministic output order and match sets identical to the serial
-// MultiEngine (verified by the package tests).
+// mutated single-threaded. The result is a per-edge (or, with
+// ProcessBatch, per-batch) fork/join with deterministic output order
+// and match sets identical to the serial MultiEngine (verified by the
+// package tests). For parallelism at the candidate level inside a
+// single query, see Engine.ProcessBatch.
 //
 // The paper defers scale-out to the distributed systems it cites; this
 // is the shared-memory analogue: queries — not graph partitions — are
@@ -32,9 +35,17 @@ type ParallelMulti struct {
 type pworker struct {
 	names   []string
 	engines []*Engine
-	in      chan graph.Edge
-	out     chan []NamedMatch
+	in      chan []graph.Edge
+	out     chan []pmatch
 	done    chan struct{}
+}
+
+// pmatch tags a match with the batch-edge index that completed it so
+// the fork/join merge can restore deterministic input order.
+type pmatch struct {
+	query string
+	edge  int
+	m     iso.Match
 }
 
 // NewParallelMulti returns a parallel multi-query engine with the given
@@ -48,8 +59,8 @@ func NewParallelMulti(cfg MultiConfig, workers int) *ParallelMulti {
 	p := &ParallelMulti{inner: NewMulti(cfg)}
 	for i := 0; i < workers; i++ {
 		w := &pworker{
-			in:   make(chan graph.Edge),
-			out:  make(chan []NamedMatch),
+			in:   make(chan []graph.Edge),
+			out:  make(chan []pmatch),
 			done: make(chan struct{}),
 		}
 		go w.run()
@@ -59,11 +70,25 @@ func NewParallelMulti(cfg MultiConfig, workers int) *ParallelMulti {
 }
 
 func (w *pworker) run() {
-	for de := range w.in {
-		var out []NamedMatch
+	for des := range w.in {
+		var out []pmatch
 		for i, eng := range w.engines {
-			for _, mt := range eng.processShared(de) {
-				out = append(out, NamedMatch{Query: w.names[i], Match: mt})
+			if len(des) == 1 {
+				// Per-edge dispatch: the serial incremental search,
+				// with the lazy gate skipping searches outright.
+				for _, mt := range eng.processShared(des[0]) {
+					out = append(out, pmatch{query: w.names[i], edge: 0, m: mt})
+				}
+				continue
+			}
+			// Batch dispatch: candidate searches stay inline (one
+			// worker) — across-query fan-out is this pool's axis of
+			// parallelism; nesting an intra-query pool per engine
+			// would oversubscribe the machine.
+			for ei, ms := range eng.searchBatch(des, 1) {
+				for _, mt := range ms {
+					out = append(out, pmatch{query: w.names[i], edge: ei, m: mt})
+				}
 			}
 		}
 		w.out <- out
@@ -118,30 +143,57 @@ func (p *ParallelMulti) Stats() MultiStats { return p.inner.Stats() }
 // the worker pool, blocking until every query has processed it. Matches
 // are returned in query registration order.
 func (p *ParallelMulti) ProcessEdge(se stream.Edge) []NamedMatch {
-	de := p.inner.ingest(se)
+	return p.dispatch([]graph.Edge{p.inner.ingest(se)})
+}
+
+// ProcessBatch ingests a whole batch into the shared graph (one
+// statistics pass, one amortized eviction) and fans the per-query batch
+// searches across the worker pool. Matches are returned edge-major in
+// query registration order — byte-identical to a serial ProcessEdge
+// loop over the same batch (see Engine.ProcessBatch).
+func (p *ParallelMulti) ProcessBatch(ses []stream.Edge) []NamedMatch {
+	if len(ses) == 0 {
+		return nil
+	}
+	return p.dispatch(p.inner.ingestBatch(ses))
+}
+
+// dispatch broadcasts the ingested edges to every loaded worker and
+// merges the results back in (edge, registration) order.
+func (p *ParallelMulti) dispatch(des []graph.Edge) []NamedMatch {
 	active := 0
 	for _, w := range p.workers {
 		if len(w.engines) == 0 {
 			continue
 		}
 		active++
-		w.in <- de
+		w.in <- des
 	}
 	if active == 0 {
 		return nil
 	}
-	byQuery := make(map[string][]NamedMatch)
+	type key struct {
+		edge  int
+		query string
+	}
+	byKey := make(map[key][]iso.Match)
 	for _, w := range p.workers {
 		if len(w.engines) == 0 {
 			continue
 		}
-		for _, nm := range <-w.out {
-			byQuery[nm.Query] = append(byQuery[nm.Query], nm)
+		for _, pm := range <-w.out {
+			k := key{edge: pm.edge, query: pm.query}
+			byKey[k] = append(byKey[k], pm.m)
 		}
 	}
+	names := p.inner.Registered()
 	var out []NamedMatch
-	for _, name := range p.inner.Registered() {
-		out = append(out, byQuery[name]...)
+	for i := range des {
+		for _, name := range names {
+			for _, mt := range byKey[key{edge: i, query: name}] {
+				out = append(out, NamedMatch{Query: name, Match: mt})
+			}
+		}
 	}
 	return out
 }

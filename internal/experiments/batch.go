@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"text/tabwriter"
+	"time"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/query"
+)
+
+// BatchRow is one cell of the batch-ingestion throughput comparison:
+// one strategy driven at one batch size over the same stream.
+type BatchRow struct {
+	Strategy    core.Strategy
+	BatchSize   int
+	Edges       int
+	Matches     int64
+	Elapsed     time.Duration
+	EdgesPerSec float64
+	// Speedup is EdgesPerSec relative to the batch=1 row of the same
+	// strategy (1.0 for the batch=1 row itself).
+	Speedup float64
+}
+
+// BatchConfig parameterizes the batch throughput experiment.
+type BatchConfig struct {
+	Dataset Dataset
+	// Query run by every engine (defaults to a 3-hop wildcard path over
+	// the dataset's three most common types via query.NewPath).
+	Query *query.Graph
+	// Sizes are the batch sizes to compare (default 1, 64, 1024).
+	Sizes []int
+	// Strategies to drive (default Single, SingleLazy, Path, PathLazy).
+	Strategies []core.Strategy
+	// Window is tW (default 2000).
+	Window int64
+	// TrainFraction of the stream estimates selectivities (default 0.2).
+	TrainFraction float64
+	// MaxEdges bounds the stream length (0 = whole dataset).
+	MaxEdges int
+}
+
+func (c *BatchConfig) defaults() {
+	if c.Query == nil {
+		c.Query = query.NewPath(query.Wildcard, "UDP", "ICMP", "GRE")
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1, 64, 1024}
+	}
+	if len(c.Strategies) == 0 {
+		c.Strategies = []core.Strategy{
+			core.StrategySingle, core.StrategySingleLazy,
+			core.StrategyPath, core.StrategyPathLazy,
+		}
+	}
+	if c.Window <= 0 {
+		c.Window = 2000
+	}
+	if c.TrainFraction <= 0 {
+		c.TrainFraction = 0.2
+	}
+}
+
+// BatchThroughput measures ProcessBatch throughput per strategy and
+// batch size on one dataset. Batch size 1 goes through ProcessEdge (the
+// serial baseline); every run produces the same match count — the batch
+// path is exact — so the comparison isolates ingestion mechanics.
+func BatchThroughput(cfg BatchConfig) []BatchRow {
+	cfg.defaults()
+	edges := cfg.Dataset.Edges
+	if cfg.MaxEdges > 0 && cfg.MaxEdges < len(edges) {
+		edges = edges[:cfg.MaxEdges]
+	}
+	stats := CollectPrefix(cfg.Dataset, cfg.TrainFraction)
+
+	var rows []BatchRow
+	for _, strat := range cfg.Strategies {
+		var base float64
+		for _, size := range cfg.Sizes {
+			eng, err := core.New(cfg.Query, core.Config{
+				Strategy: strat, Window: cfg.Window, Stats: stats,
+				MaxMatchesPerSearch: 20000,
+			})
+			if err != nil {
+				continue // e.g. unseen primitive for this strategy
+			}
+			var matches int64
+			start := time.Now()
+			if size <= 1 {
+				for _, se := range edges {
+					matches += int64(len(eng.ProcessEdge(se)))
+				}
+			} else {
+				for chunk := range slices.Chunk(edges, size) {
+					for _, ms := range eng.ProcessBatch(chunk) {
+						matches += int64(len(ms))
+					}
+				}
+			}
+			elapsed := time.Since(start)
+			row := BatchRow{
+				Strategy: strat, BatchSize: size, Edges: len(edges),
+				Matches: matches, Elapsed: elapsed,
+				EdgesPerSec: float64(len(edges)) / elapsed.Seconds(),
+			}
+			if size <= 1 || base == 0 {
+				base = row.EdgesPerSec
+			}
+			row.Speedup = row.EdgesPerSec / base
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// PrintBatch renders the batch throughput comparison as a table.
+func PrintBatch(w io.Writer, dataset string, rows []BatchRow) {
+	fmt.Fprintf(w, "== Batch ingestion throughput: %s ==\n", dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tbatch\tedges/s\tspeedup\tmatches\telapsed")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%v\t%d\t%.0f\t%.2fx\t%d\t%v\n",
+			r.Strategy, r.BatchSize, r.EdgesPerSec, r.Speedup, r.Matches, r.Elapsed.Round(time.Millisecond))
+	}
+	tw.Flush()
+}

@@ -41,6 +41,13 @@ type Edge struct {
 	Dst  VertexID
 	Type TypeID
 	TS   int64
+	// Seq is the edge's arrival sequence number: AddEdge assigns 1, 2,
+	// 3, ... in call order and never recycles a value (unlike EdgeID,
+	// which reuses arena slots after eviction). Seq totally orders
+	// arrivals, so "the graph as it was when edge e arrived" is exactly
+	// the set of live edges with Seq <= e.Seq — the visibility bound the
+	// batch ingestion path uses to reproduce serial search results.
+	Seq uint64
 }
 
 // Half is one adjacency entry: the edge as seen from one endpoint.
@@ -69,6 +76,7 @@ type edgeRec struct {
 	src, dst VertexID
 	etype    TypeID
 	ts       int64
+	seq      uint64
 	outIdx   int32 // position within verts[src].out
 	inIdx    int32 // position within verts[dst].in
 	alive    bool
@@ -91,7 +99,8 @@ type Graph struct {
 	fifo   []EdgeID
 	fifoLo int
 
-	lastTS int64
+	lastTS  int64
+	lastSeq uint64
 }
 
 // New returns an empty graph.
@@ -119,6 +128,10 @@ func (g *Graph) NumEdges() int { return g.liveEdges }
 
 // LastTS reports the largest timestamp seen by AddEdge.
 func (g *Graph) LastTS() int64 { return g.lastTS }
+
+// LastSeq reports the arrival sequence number assigned to the most
+// recent AddEdge call (0 before the first edge).
+func (g *Graph) LastSeq() uint64 { return g.lastSeq }
 
 // EnsureVertex returns the vertex named name, creating it with the given
 // label if it does not exist. If the vertex exists with a different
@@ -171,8 +184,9 @@ func (g *Graph) AddEdge(src, dst VertexID, etype TypeID, ts int64) EdgeID {
 	}
 	sv := &g.verts[src]
 	dv := &g.verts[dst]
+	g.lastSeq++
 	g.edges[eid] = edgeRec{
-		src: src, dst: dst, etype: etype, ts: ts,
+		src: src, dst: dst, etype: etype, ts: ts, seq: g.lastSeq,
 		outIdx: int32(len(sv.out)), inIdx: int32(len(dv.in)), alive: true,
 	}
 	sv.out = append(sv.out, adjRec{peer: dst, etype: etype, eid: eid, ts: ts})
@@ -202,7 +216,7 @@ func (g *Graph) Edge(id EdgeID) (Edge, bool) {
 	if !r.alive {
 		return Edge{}, false
 	}
-	return Edge{ID: id, Src: r.src, Dst: r.dst, Type: r.etype, TS: r.ts}, true
+	return Edge{ID: id, Src: r.src, Dst: r.dst, Type: r.etype, TS: r.ts, Seq: r.seq}, true
 }
 
 // RemoveEdge deletes the edge with the given ID. It is a no-op if the
@@ -292,7 +306,7 @@ func (g *Graph) EachEdge(fn func(Edge) bool) {
 		if !r.alive {
 			continue
 		}
-		if !fn(Edge{ID: EdgeID(i), Src: r.src, Dst: r.dst, Type: r.etype, TS: r.ts}) {
+		if !fn(Edge{ID: EdgeID(i), Src: r.src, Dst: r.dst, Type: r.etype, TS: r.ts, Seq: r.seq}) {
 			return
 		}
 	}
@@ -309,7 +323,7 @@ func (g *Graph) EachEdgeArrival(fn func(Edge) bool) {
 		if !r.alive {
 			continue
 		}
-		if !fn(Edge{ID: eid, Src: r.src, Dst: r.dst, Type: r.etype, TS: r.ts}) {
+		if !fn(Edge{ID: eid, Src: r.src, Dst: r.dst, Type: r.etype, TS: r.ts, Seq: r.seq}) {
 			return
 		}
 	}

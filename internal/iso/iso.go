@@ -109,6 +109,14 @@ type Matcher struct {
 	// match. Aborted searches may miss matches (load shedding).
 	MaxStepsPerSearch int64
 
+	// MaxSeq, when positive, hides every data edge whose arrival
+	// sequence number exceeds it. The batch ingestion path admits a
+	// whole batch into the graph before searching; setting MaxSeq to the
+	// anchor edge's Seq makes each search see exactly the graph a serial
+	// edge-at-a-time run would have seen, so batch results are identical
+	// to the serial schedule. Zero disables the bound.
+	MaxSeq uint64
+
 	st searchState
 }
 
@@ -198,6 +206,9 @@ func (m *Matcher) FindAroundEdge(sub []int, e graph.Edge) []Match {
 // receives each match (valid only for the duration of the call — clone
 // to retain); returning false stops the search.
 func (m *Matcher) FindAroundEdgeFunc(sub []int, e graph.Edge, emit func(Match) bool) {
+	if m.MaxSeq > 0 && e.Seq > m.MaxSeq {
+		return
+	}
 	for _, qe := range sub {
 		tid, ok := m.typeID(qe)
 		if !ok || tid != e.Type {
@@ -274,6 +285,9 @@ func (m *Matcher) FindAllFunc(sub []int, emit func(Match) bool) {
 	stopped := false
 	m.G.EachEdge(func(e graph.Edge) bool {
 		if e.Type != tid {
+			return true
+		}
+		if m.MaxSeq > 0 && e.Seq > m.MaxSeq {
 			return true
 		}
 		if !m.labelOK(qs, e.Src) || !m.labelOK(qd, e.Dst) {
@@ -388,6 +402,9 @@ func (m *Matcher) extend() {
 	savedMin, savedMax := st.cur.MinTS, st.cur.MaxTS
 
 	try := func(e graph.Edge) bool {
+		if m.MaxSeq > 0 && e.Seq > m.MaxSeq {
+			return true // not yet arrived at the bounded point in time
+		}
 		if st.cur.hasDataEdge(e.ID, st.sub) {
 			return true
 		}

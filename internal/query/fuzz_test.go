@@ -1,0 +1,51 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzParseQuery feeds arbitrary text to the query parser. Parse must
+// never panic, and any text it accepts must round-trip: rendering the
+// parsed graph with String and reparsing it must succeed and reach a
+// fixed point (String ∘ Parse is idempotent on Parse's image).
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"",
+		"# just a comment\n",
+		"e a b friend\n",
+		"v a person\nv b person\ne a b knows\n",
+		"v x\ne x y likes\ne y z follows\n",
+		"v a *\nv b *\ne a b t1\ne b a t2\n",
+		"e a a self\n",
+		"v lonely person\n",
+		"bogus record\n",
+		"e a b\n",
+		"v\n",
+		"e a b t extra\n",
+		"\tv a person\n  e a b t  \n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := Parse(text)
+		if err != nil {
+			return // rejected input: only requirement is no panic
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid graph: %v\ninput: %q", err, text)
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round-trip reparse failed: %v\nrendered: %q\ninput: %q", err, rendered, text)
+		}
+		if again := q2.String(); again != rendered {
+			t.Fatalf("round-trip not a fixed point:\nfirst:  %q\nsecond: %q\ninput:  %q", rendered, again, text)
+		}
+		if len(q2.Edges) != len(q.Edges) || len(q2.Vertices) != len(q.Vertices) {
+			t.Fatalf("round-trip changed shape: %d/%d vertices, %d/%d edges\ninput: %q",
+				len(q.Vertices), len(q2.Vertices), len(q.Edges), len(q2.Edges), text)
+		}
+	})
+}

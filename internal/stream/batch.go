@@ -1,0 +1,64 @@
+package stream
+
+import "io"
+
+// Batcher groups a Source into fixed-size batches for the engine's
+// batch ingestion path. The final batch may be short; after it has been
+// delivered, Next returns io.EOF like a plain Source.
+type Batcher struct {
+	src  Source
+	size int
+	err  error // deferred error from mid-batch failure
+}
+
+// NewBatcher returns a Batcher emitting batches of up to size edges
+// (size < 1 is treated as 1, which degenerates to the serial path).
+func NewBatcher(src Source, size int) *Batcher {
+	if size < 1 {
+		size = 1
+	}
+	return &Batcher{src: src, size: size}
+}
+
+// Next returns the next batch. A read error mid-batch is deferred: the
+// edges collected so far are returned first and the error on the
+// following call, so no edge is lost.
+func (b *Batcher) Next() ([]Edge, error) {
+	if b.err != nil {
+		err := b.err
+		b.err = nil
+		return nil, err
+	}
+	batch := make([]Edge, 0, b.size)
+	for len(batch) < b.size {
+		e, err := b.src.Next()
+		if err != nil {
+			if len(batch) == 0 {
+				return nil, err
+			}
+			b.err = err
+			return batch, nil
+		}
+		batch = append(batch, e)
+	}
+	return batch, nil
+}
+
+// EachBatch drains a Source in batches of up to size edges, invoking fn
+// for each batch. It stops on the first error (io.EOF excluded) or when
+// fn returns false.
+func EachBatch(src Source, size int, fn func([]Edge) bool) error {
+	b := NewBatcher(src, size)
+	for {
+		batch, err := b.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(batch) {
+			return nil
+		}
+	}
+}

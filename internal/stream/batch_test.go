@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func testEdges(n int) []Edge {
+	out := make([]Edge, n)
+	for i := range out {
+		out[i] = Edge{
+			Src: fmt.Sprintf("s%d", i), SrcLabel: "l",
+			Dst: fmt.Sprintf("d%d", i), DstLabel: "l",
+			Type: "t", TS: int64(i + 1),
+		}
+	}
+	return out
+}
+
+func TestBatcherSizes(t *testing.T) {
+	for _, tc := range []struct {
+		n, size   int
+		wantSizes []int
+	}{
+		{n: 10, size: 4, wantSizes: []int{4, 4, 2}},
+		{n: 8, size: 4, wantSizes: []int{4, 4}},
+		{n: 3, size: 5, wantSizes: []int{3}},
+		{n: 0, size: 4, wantSizes: nil},
+		{n: 5, size: 0, wantSizes: []int{1, 1, 1, 1, 1}}, // size < 1 clamps to 1
+	} {
+		b := NewBatcher(NewSliceSource(testEdges(tc.n)), tc.size)
+		var sizes []int
+		var seen int
+		for {
+			batch, err := b.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("n=%d size=%d: %v", tc.n, tc.size, err)
+			}
+			for _, e := range batch {
+				if want := fmt.Sprintf("s%d", seen); e.Src != want {
+					t.Fatalf("n=%d size=%d: edge %d is %q, want %q", tc.n, tc.size, seen, e.Src, want)
+				}
+				seen++
+			}
+			sizes = append(sizes, len(batch))
+		}
+		if fmt.Sprint(sizes) != fmt.Sprint(tc.wantSizes) {
+			t.Errorf("n=%d size=%d: batch sizes %v, want %v", tc.n, tc.size, sizes, tc.wantSizes)
+		}
+		if seen != tc.n {
+			t.Errorf("n=%d size=%d: delivered %d edges", tc.n, tc.size, seen)
+		}
+		if _, err := b.Next(); err != io.EOF {
+			t.Errorf("n=%d size=%d: want io.EOF after drain, got %v", tc.n, tc.size, err)
+		}
+	}
+}
+
+func TestBatcherDefersMidBatchError(t *testing.T) {
+	// Two good records then a malformed line: the partial batch must
+	// arrive before the error.
+	input := "a\tl\tb\tl\tt\t1\nc\tl\td\tl\tt\t2\ngarbage line\n"
+	b := NewBatcher(NewReader(strings.NewReader(input)), 8)
+	batch, err := b.Next()
+	if err != nil || len(batch) != 2 {
+		t.Fatalf("first Next: %d edges, err %v; want 2 edges, nil", len(batch), err)
+	}
+	if _, err := b.Next(); err == nil || err == io.EOF {
+		t.Fatalf("second Next: err %v; want parse error", err)
+	}
+}
+
+func TestEachBatch(t *testing.T) {
+	var sizes []int
+	err := EachBatch(NewSliceSource(testEdges(7)), 3, func(batch []Edge) bool {
+		sizes = append(sizes, len(batch))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sizes) != fmt.Sprint([]int{3, 3, 1}) {
+		t.Errorf("sizes %v", sizes)
+	}
+	// Early stop.
+	calls := 0
+	if err := EachBatch(NewSliceSource(testEdges(9)), 3, func([]Edge) bool {
+		calls++
+		return false
+	}); err != nil || calls != 1 {
+		t.Errorf("early stop: calls=%d err=%v", calls, err)
+	}
+	// Error propagation.
+	wantErr := errors.New("boom")
+	if err := EachBatch(errSource{wantErr}, 3, func([]Edge) bool { return true }); !errors.Is(err, wantErr) {
+		t.Errorf("err %v, want %v", err, wantErr)
+	}
+}
+
+type errSource struct{ err error }
+
+func (s errSource) Next() (Edge, error) { return Edge{}, s.err }

@@ -85,6 +85,22 @@ func (m *Monitor) Process(se Edge) []QueryMatch {
 	return out
 }
 
+// ProcessBatch ingests a whole batch of edges — one shared statistics
+// pass and one amortized eviction — and returns the matches it
+// completed across all registered queries, edge-major in registration
+// order (the order a serial Process loop reports).
+func (m *Monitor) ProcessBatch(edges []Edge) []QueryMatch {
+	named := m.inner.ProcessBatch(edges)
+	if len(named) == 0 {
+		return nil
+	}
+	out := make([]QueryMatch, 0, len(named))
+	for _, nm := range named {
+		out = append(out, QueryMatch{Query: nm.Query, Match: m.resolve(nm.Query, nm.Match)})
+	}
+	return out
+}
+
 func (m *Monitor) resolve(name string, mt iso.Match) Match {
 	g := m.inner.Graph()
 	q := m.queries[name]

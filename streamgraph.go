@@ -41,6 +41,7 @@ package streamgraph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -157,6 +158,14 @@ type Options struct {
 	// MaxMatchesPerSearch caps the matches returned by a single
 	// anchored search (safety valve; 0 = unlimited).
 	MaxMatchesPerSearch int
+	// BatchSize is the chunk size ProcessAll feeds to the batch
+	// ingestion path (<= 1 processes edge-at-a-time). Batches amortize
+	// window eviction and fan the candidate searches out over
+	// BatchWorkers; results are identical to serial processing.
+	BatchSize int
+	// BatchWorkers sizes the worker pool ProcessBatch fans the
+	// read-only candidate searches over (<= 0 selects GOMAXPROCS).
+	BatchWorkers int
 }
 
 // Binding is one vertex of a reported match: the query vertex name and
@@ -195,8 +204,9 @@ func (m Match) String() string {
 
 // Engine runs one continuous query over one edge stream.
 type Engine struct {
-	inner *core.Engine
-	q     *Query
+	inner     *core.Engine
+	q         *Query
+	batchSize int
 }
 
 // NewEngine builds an engine for the query.
@@ -206,6 +216,7 @@ func NewEngine(q *Query, opts Options) (*Engine, error) {
 		Window:              opts.Window,
 		Leaves:              opts.Decomposition,
 		MaxMatchesPerSearch: opts.MaxMatchesPerSearch,
+		BatchWorkers:        opts.BatchWorkers,
 	}
 	if opts.Statistics != nil {
 		cfg.Stats = opts.Statistics.c
@@ -214,7 +225,7 @@ func NewEngine(q *Query, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{inner: inner, q: q}, nil
+	return &Engine{inner: inner, q: q, batchSize: opts.BatchSize}, nil
 }
 
 // Process folds one edge into the data graph and returns the complete
@@ -227,6 +238,38 @@ func (e *Engine) Process(se Edge) []Match {
 	out := make([]Match, 0, len(raw))
 	for _, m := range raw {
 		out = append(out, e.resolve(m))
+	}
+	return out
+}
+
+// ProcessBatch folds a whole batch of edges into the data graph — one
+// amortized eviction pass, candidate searches fanned out over the
+// worker pool — and returns the complete matches in input order: the
+// concatenation of what per-edge Process calls would have returned.
+func (e *Engine) ProcessBatch(edges []Edge) []Match {
+	var out []Match
+	for _, ms := range e.inner.ProcessBatch(edges) {
+		for _, m := range ms {
+			out = append(out, e.resolve(m))
+		}
+	}
+	return out
+}
+
+// ProcessAll streams a slice of edges through the engine in chunks of
+// Options.BatchSize (edge-at-a-time when BatchSize <= 1), returning all
+// completed matches in input order.
+func (e *Engine) ProcessAll(edges []Edge) []Match {
+	if e.batchSize <= 1 {
+		var out []Match
+		for _, se := range edges {
+			out = append(out, e.Process(se)...)
+		}
+		return out
+	}
+	var out []Match
+	for chunk := range slices.Chunk(edges, e.batchSize) {
+		out = append(out, e.ProcessBatch(chunk)...)
 	}
 	return out
 }
