@@ -8,30 +8,58 @@
 //	sgbench -exp fig9a -scale medium -seed 7
 //
 // Experiments: table1, fig6, fig7, fig9a, fig9b, fig9c, fig9d, fig10,
-// rule, alg5, ablation, planner, sketch, batch, all.
+// rule, alg5, ablation, planner, sketch, batch, shard, all.
 //
-// The batch experiment goes beyond the paper: it compares edge-at-a-
-// time ingestion with the batch pipeline (amortized eviction, parallel
-// candidate search) at -batch as the largest batch size.
+// The batch and shard experiments go beyond the paper: batch compares
+// edge-at-a-time ingestion with the batch pipeline (amortized
+// eviction, parallel candidate search) at -batch as the largest batch
+// size; shard compares the serial multi-query engine, the fork/join
+// ParallelMulti and the sharded runtime (internal/shard) at several
+// shard counts.
+//
+// With -json the throughput experiments (batch, shard) emit one
+// machine-readable JSON document on stdout instead of text tables —
+// the format CI archives as BENCH_PR2.json to track the perf
+// trajectory across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"streamgraph/internal/experiments"
 	"streamgraph/internal/query"
 )
 
+// expReport is one experiment's structured rows in -json mode.
+type expReport struct {
+	ID      string `json:"id"`
+	Dataset string `json:"dataset"`
+	Rows    any    `json:"rows"`
+}
+
+// benchReport is the -json document.
+type benchReport struct {
+	Tool        string      `json:"tool"`
+	Scale       string      `json:"scale"`
+	Seed        int64       `json:"seed"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Experiments []expReport `json:"experiments"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (table1, fig6, fig7, fig9a-d, fig10, rule, alg5, ablation, planner, sketch, batch, all)")
-		scale = flag.String("scale", "small", "dataset scale: small | medium | large")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		batch = flag.Int("batch", 1024, "largest batch size for the batch ingestion experiment")
+		exp      = flag.String("exp", "all", "experiment id (table1, fig6, fig7, fig9a-d, fig10, rule, alg5, ablation, planner, sketch, batch, shard, all)")
+		scale    = flag.String("scale", "small", "dataset scale: small | medium | large")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		batch    = flag.Int("batch", 1024, "largest batch size for the batch ingestion experiment")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables (runs the throughput experiments: batch, shard)")
+		maxEdges = flag.Int("max-edges", 0, "bound the stream length for the batch/shard experiments (0 = whole dataset)")
 	)
 	flag.Parse()
 
@@ -75,6 +103,34 @@ func main() {
 			nyt, haveNYT = experiments.NYTimesDataset(sc, *seed+2), true
 		}
 		return nyt
+	}
+
+	if *jsonOut {
+		report := benchReport{Tool: "sgbench", Scale: *scale, Seed: *seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		nf := getNF()
+		if want("batch") {
+			sizes := []int{1, 64, *batch}
+			if *batch <= 64 {
+				sizes = []int{1, *batch}
+			}
+			rows := experiments.BatchThroughput(experiments.BatchConfig{
+				Dataset: nf, Sizes: sizes, MaxEdges: *maxEdges,
+			})
+			report.Experiments = append(report.Experiments, expReport{ID: "batch", Dataset: nf.Name, Rows: rows})
+		}
+		if want("shard") {
+			rows := experiments.ShardThroughput(experiments.ShardConfig{Dataset: nf, MaxEdges: *maxEdges})
+			report.Experiments = append(report.Experiments, expReport{ID: "shard", Dataset: nf.Name, Rows: rows})
+		}
+		if len(report.Experiments) == 0 {
+			log.Fatalf("-json supports the throughput experiments (batch, shard); got -exp %s", *exp)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if want("table1") {
@@ -181,9 +237,15 @@ func main() {
 		}
 		nf := getNF()
 		rows := experiments.BatchThroughput(experiments.BatchConfig{
-			Dataset: nf, Sizes: sizes,
+			Dataset: nf, Sizes: sizes, MaxEdges: *maxEdges,
 		})
 		experiments.PrintBatch(out, nf.Name, rows)
+		fmt.Fprintln(out)
+	}
+	if want("shard") {
+		nf := getNF()
+		rows := experiments.ShardThroughput(experiments.ShardConfig{Dataset: nf, MaxEdges: *maxEdges})
+		experiments.PrintShard(out, nf.Name, rows)
 		fmt.Fprintln(out)
 	}
 }

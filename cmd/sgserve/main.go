@@ -14,6 +14,12 @@
 //
 // The second edge completes the pattern and the server replies with
 // "match lateral a=evil b=srv1 c=nas".
+//
+// With -shards N the server runs on the sharded runtime: queries are
+// partitioned across N shard workers, "edge" replies "ok queued <seq>"
+// immediately, completed matches are drained with the "matches"
+// command, and "stats" reports per-shard queue depth, edges routed and
+// matches emitted.
 package main
 
 import (
@@ -29,6 +35,8 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:7687", "listen address")
 		window     = flag.Int64("window", 0, "time window tW shared by all queries (0 = unwindowed)")
 		evictEvery = flag.Int("evict-every", 256, "eviction cadence in edges")
+		shards     = flag.Int("shards", 0, "run on the sharded runtime with this many shard workers (0 = single engine); edge ingestion becomes asynchronous, matches are drained with the 'matches' command and 'stats' reports per-shard counters")
+		shardQueue = flag.Int("shard-queue", 256, "per-shard ingest queue capacity (with -shards)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -38,8 +46,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (window=%d)", ln.Addr(), *window)
-	srv := server.New(server.Config{Window: *window, EvictEvery: *evictEvery})
+	if *shards > 0 {
+		log.Printf("listening on %s (window=%d, %d shards)", ln.Addr(), *window, *shards)
+	} else {
+		log.Printf("listening on %s (window=%d)", ln.Addr(), *window)
+	}
+	srv := server.New(server.Config{
+		Window: *window, EvictEvery: *evictEvery,
+		Shards: *shards, ShardQueue: *shardQueue,
+	})
 	if err := srv.Serve(ln); err != nil {
 		log.Fatal(err)
 	}

@@ -53,9 +53,17 @@ func (e *Engine) observeAdaptive(se stream.Edge) {
 	a := e.adaptive
 	a.collector.Add(se)
 	a.sinceCheck++
-	if a.sinceCheck < a.cfg.RecomputeEvery {
-		return
+	if a.sinceCheck >= a.cfg.RecomputeEvery {
+		e.recomputeAdaptive()
 	}
+}
+
+// recomputeAdaptive re-evaluates the decomposition against the current
+// period's statistics and migrates the SJ-Tree when it changed. Called
+// by observeAdaptive on the serial path and by processBatchAdaptive at
+// the equivalent position inside a batch.
+func (e *Engine) recomputeAdaptive() {
+	a := e.adaptive
 	a.sinceCheck = 0
 	a.stats.Recomputes++
 

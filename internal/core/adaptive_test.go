@@ -124,6 +124,83 @@ func TestAdaptiveMatchesNonAdaptive(t *testing.T) {
 	}
 }
 
+// TestAdaptiveBatchMatchesSerial pins the batch wiring for adaptive
+// engines: ProcessBatch must reproduce the serial ProcessEdge schedule
+// — per-edge match sets AND the adaptive recompute/migration counters —
+// for batch sizes that straddle, hit exactly, and subdivide the
+// recompute period.
+func TestAdaptiveBatchMatchesSerial(t *testing.T) {
+	edges := driftStream(3000)
+	for i := 0; i+1 < len(edges); i += 40 {
+		edges[i].Src = fmt.Sprintf("c%d", i)
+		edges[i].Dst = fmt.Sprintf("s%d", i)
+		edges[i+1].Src = fmt.Sprintf("s%d", i)
+		edges[i+1].Dst = fmt.Sprintf("d%d", i)
+		edges[i].Type = "x"
+		edges[i+1].Type = "y"
+	}
+	q := query.NewPath(query.Wildcard, "x", "y")
+	stats := collect(edges[:500])
+
+	newAdaptive := func() *Engine {
+		eng, err := New(q, Config{
+			Strategy: StrategySingleLazy, Stats: stats, Window: 600, EvictEvery: 5,
+			Adaptive: &AdaptiveConfig{RecomputeEvery: 400},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	serial := newAdaptive()
+	var want [][]string
+	for _, se := range edges {
+		want = appendEdgeSigs(serial, want, serial.ProcessEdge(se))
+	}
+	wantStats := serial.AdaptiveStats()
+	if wantStats.Recomputes == 0 || wantStats.Migrations == 0 {
+		t.Fatalf("serial run exercised no re-decomposition: %+v", wantStats)
+	}
+	total := 0
+	for _, sigs := range want {
+		total += len(sigs)
+	}
+	if total == 0 {
+		t.Fatal("no matches; differential is vacuous")
+	}
+
+	// 400 lands recomputes exactly on batch boundaries; 256 and 77
+	// straddle them; 512 spans more than one period per batch.
+	for _, bs := range []int{77, 256, 400, 512} {
+		batched := newAdaptive()
+		var got [][]string
+		for lo := 0; lo < len(edges); lo += bs {
+			hi := lo + bs
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			for _, ms := range batched.ProcessBatch(edges[lo:hi]) {
+				got = appendEdgeSigs(batched, got, ms)
+			}
+		}
+		comparePerEdge(t, fmt.Sprintf("adaptive batch=%d vs serial", bs), got, want)
+		// The decision points must line up exactly. Migrated may exceed
+		// the serial count: the batch path's amortized eviction (cutoff
+		// taken before the batch) legitimately keeps a few more partials
+		// alive at migration time — same slack the non-adaptive batch
+		// path documents for out-of-order eviction.
+		gs := batched.AdaptiveStats()
+		if gs.Recomputes != wantStats.Recomputes || gs.Migrations != wantStats.Migrations {
+			t.Fatalf("batch=%d adaptive decisions diverge: %+v vs serial %+v", bs, gs, wantStats)
+		}
+		if gs.Migrated < wantStats.Migrated {
+			t.Fatalf("batch=%d migrated %d partials, serial migrated %d — batch must keep a superset",
+				bs, gs.Migrated, wantStats.Migrated)
+		}
+	}
+}
+
 func TestAdaptiveStatsZeroWhenDisabled(t *testing.T) {
 	q := query.NewPath(query.Wildcard, "x")
 	eng, err := New(q, Config{Strategy: StrategyVF2})

@@ -51,18 +51,48 @@ func (e *Engine) ProcessBatch(batch []stream.Edge) [][]iso.Match {
 		return nil
 	}
 	if e.adaptive != nil {
-		// Adaptive engines may re-decompose mid-batch, which would
-		// invalidate candidates precomputed against the old leaves;
-		// keep the serial schedule for them.
-		out := make([][]iso.Match, len(batch))
-		for i, se := range batch {
-			out[i] = e.ProcessEdge(se)
-		}
-		return out
+		return e.processBatchAdaptive(batch)
 	}
+	return e.processSubBatch(batch)
+}
+
+// processSubBatch is the core batch step: amortized eviction, ingest,
+// fanned-out search.
+func (e *Engine) processSubBatch(batch []stream.Edge) [][]iso.Match {
 	e.advanceEvict(len(batch))
 	des := e.ingestBatch(batch)
 	return e.searchBatch(des, e.batchWorkers())
+}
+
+// processBatchAdaptive runs the batch pipeline for adaptive engines by
+// splitting the batch at re-decomposition boundaries: within a run no
+// recompute can fire, so candidates precomputed against the current
+// leaves stay valid. The serial schedule observes each edge into the
+// period collector and fires the recompute on the edge that fills the
+// period, after that edge is ingested but before it is searched — the
+// split reproduces exactly that: edges before the trigger are searched
+// under the old tree, the trigger edge and everything after it under
+// the new one, with the trigger edge itself already observed.
+func (e *Engine) processBatchAdaptive(batch []stream.Edge) [][]iso.Match {
+	a := e.adaptive
+	out := make([][]iso.Match, 0, len(batch))
+	for len(batch) > 0 {
+		until := a.cfg.RecomputeEvery - a.sinceCheck // edges until a recompute fires
+		if until > len(batch) {
+			a.collector.AddAll(batch)
+			a.sinceCheck += len(batch)
+			return append(out, e.processSubBatch(batch)...)
+		}
+		head := batch[:until]
+		batch = batch[until:]
+		a.collector.AddAll(head)
+		if len(head) > 1 {
+			out = append(out, e.processSubBatch(head[:len(head)-1])...)
+		}
+		e.recomputeAdaptive()
+		out = append(out, e.processSubBatch(head[len(head)-1:])...)
+	}
+	return out
 }
 
 // ingestOne admits one stream edge into g, interning names, labels and
@@ -226,6 +256,18 @@ func (e *Engine) searchBatchTree(des []graph.Edge, workers int, out [][]iso.Matc
 // completed by batch edge i (in query registration order) precede those
 // of edge i+1, exactly the order a serial ProcessEdge loop reports.
 func (m *MultiEngine) ProcessBatch(ses []stream.Edge) []NamedMatch {
+	var out []NamedMatch
+	for _, named := range m.ProcessBatchGrouped(ses) {
+		out = append(out, named...)
+	}
+	return out
+}
+
+// ProcessBatchGrouped is ProcessBatch with the results grouped by input
+// edge: out[i] holds the matches batch edge i completed, in query
+// registration order. The sharded runtime uses the grouping to tag each
+// match with the arrival sequence of its completing edge.
+func (m *MultiEngine) ProcessBatchGrouped(ses []stream.Edge) [][]NamedMatch {
 	if len(ses) == 0 {
 		return nil
 	}
@@ -235,11 +277,11 @@ func (m *MultiEngine) ProcessBatch(ses []stream.Edge) []NamedMatch {
 		eng := m.queries[name]
 		perQuery[qi] = eng.searchBatch(des, eng.batchWorkers())
 	}
-	var out []NamedMatch
+	out := make([][]NamedMatch, len(des))
 	for i := range des {
 		for qi, name := range m.order {
 			for _, mt := range perQuery[qi][i] {
-				out = append(out, NamedMatch{Query: name, Match: mt})
+				out[i] = append(out[i], NamedMatch{Query: name, Match: mt})
 			}
 		}
 	}

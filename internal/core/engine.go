@@ -16,6 +16,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -68,6 +69,11 @@ func (s Strategy) String() string {
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
+
+// MarshalJSON renders the strategy by name (the String form), so
+// machine-readable benchmark output stays stable if the enum is ever
+// reordered.
+func (s Strategy) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
 // Lazy reports whether the strategy uses the Lazy Search bitmap.
 func (s Strategy) Lazy() bool {

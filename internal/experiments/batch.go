@@ -14,15 +14,15 @@ import (
 // BatchRow is one cell of the batch-ingestion throughput comparison:
 // one strategy driven at one batch size over the same stream.
 type BatchRow struct {
-	Strategy    core.Strategy
-	BatchSize   int
-	Edges       int
-	Matches     int64
-	Elapsed     time.Duration
-	EdgesPerSec float64
+	Strategy    core.Strategy `json:"strategy"`
+	BatchSize   int           `json:"batch_size"`
+	Edges       int           `json:"edges"`
+	Matches     int64         `json:"matches"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	EdgesPerSec float64       `json:"edges_per_sec"`
 	// Speedup is EdgesPerSec relative to the batch=1 row of the same
 	// strategy (1.0 for the batch=1 row itself).
-	Speedup float64
+	Speedup float64 `json:"speedup"`
 }
 
 // BatchConfig parameterizes the batch throughput experiment.

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestShardThroughputAgrees smoke-runs the runtime comparison on a
+// tiny stream: every mode must process the full stream and report the
+// same match count (exactness proper is proven differentially in
+// internal/shard; this guards the harness wiring).
+func TestShardThroughputAgrees(t *testing.T) {
+	ds := NetflowDataset(tinyScale, 5)
+	rows := ShardThroughput(ShardConfig{
+		Dataset: ds, NumQueries: 4, Shards: []int{1, 2}, MaxEdges: 2000, Batch: 128,
+	})
+	if len(rows) != 4 { // serial, parallel, shard=1, shard=2
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for i, r := range rows {
+		if r.Edges != 2000 {
+			t.Fatalf("row %d (%s) processed %d edges, want 2000", i, r.Mode, r.Edges)
+		}
+		if r.Matches != rows[0].Matches {
+			t.Fatalf("row %d (%s shards=%d) found %d matches, serial found %d",
+				i, r.Mode, r.Shards, r.Matches, rows[0].Matches)
+		}
+		if r.EdgesPerSec <= 0 {
+			t.Fatalf("row %d has nonpositive throughput", i)
+		}
+	}
+	if rows[0].Matches == 0 {
+		t.Fatal("workload produced no matches; comparison is vacuous")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/bits"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -152,6 +153,23 @@ func (h *Histogram) Summary() string {
 		time.Duration(h.Quantile(0.99)),
 		time.Duration(h.max))
 }
+
+// Counter is a concurrency-safe event counter: written by one or more
+// hot-path goroutines (a shard worker counting routed edges or emitted
+// matches), read by anyone (the stats endpoint). The zero value is
+// ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Meter measures event throughput against wall-clock time.
 type Meter struct {

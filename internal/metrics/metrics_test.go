@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -182,5 +183,27 @@ func TestTable(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "alpha") {
 		t.Fatalf("Table not sorted: %q", out)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero value loads %d", c.Load())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+			}
+			c.Add(50)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*150 {
+		t.Fatalf("counter = %d, want %d", got, 8*150)
 	}
 }

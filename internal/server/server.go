@@ -12,6 +12,8 @@
 //	edge <src> <srcLabel> <dst> <dstLabel> <type> <ts>
 //	                             ingest one edge (fields tab- or
 //	                             space-separated)
+//	matches [max]                drain buffered asynchronous matches
+//	                             (sharded mode only)
 //	stats                        engine counters
 //	quit                         close the connection
 //
@@ -20,6 +22,15 @@
 // — the complete matches that edge produced across all registered
 // queries. Ingestion is serialized server-side (single-writer graph);
 // any number of clients may connect.
+//
+// With Config.Shards > 0 the server runs on the sharded runtime
+// (internal/shard) instead of a single MultiEngine: queries are
+// partitioned across shard workers, ingestion is asynchronous, and
+// matches are buffered server-side. The protocol shifts accordingly:
+// "edge" replies "ok queued <seq>" immediately (no match lines), the
+// "matches" command drains the buffered matches, and "stats" reports
+// one extra line per shard with its queue depth, edges routed and
+// matches emitted.
 package server
 
 import (
@@ -32,6 +43,7 @@ import (
 
 	"streamgraph/internal/core"
 	"streamgraph/internal/query"
+	"streamgraph/internal/shard"
 	"streamgraph/internal/stream"
 )
 
@@ -46,12 +58,26 @@ type Config struct {
 	DefaultStrategy core.Strategy
 	// MaxQueryLines bounds the register body (default 256).
 	MaxQueryLines int
+	// Shards, when > 0, serves from the sharded runtime: queries
+	// partitioned across Shards workers, asynchronous match delivery
+	// via the "matches" command.
+	Shards int
+	// ShardQueue bounds each shard's ingest queue (default 256).
+	ShardQueue int
+	// MatchBuffer bounds the server-side buffer of undelivered
+	// asynchronous matches; the oldest are dropped (and counted) when
+	// it overflows (default 4096). Sharded mode only.
+	MatchBuffer int
 }
 
 // Server hosts one shared multi-query engine.
 type Server struct {
 	cfg   Config
-	multi *core.MultiEngine
+	multi *core.MultiEngine // nil in sharded mode
+
+	router        *shard.Router // nil unless cfg.Shards > 0
+	buf           *matchLog
+	collectorDone chan struct{}
 
 	mu sync.Mutex // serializes engine access across connections
 
@@ -70,11 +96,97 @@ func New(cfg Config) *Server {
 	if cfg.MaxQueryLines <= 0 {
 		cfg.MaxQueryLines = 256
 	}
-	return &Server{
+	if cfg.MatchBuffer <= 0 {
+		cfg.MatchBuffer = 4096
+	}
+	s := &Server{
 		cfg:   cfg,
-		multi: core.NewMulti(core.MultiConfig{Window: cfg.Window, EvictEvery: cfg.EvictEvery}),
 		conns: make(map[net.Conn]bool),
 	}
+	if cfg.Shards > 0 {
+		s.router = shard.New(shard.Config{
+			Shards:     cfg.Shards,
+			QueueLen:   cfg.ShardQueue,
+			Window:     cfg.Window,
+			EvictEvery: cfg.EvictEvery,
+		})
+		s.buf = &matchLog{limit: cfg.MatchBuffer}
+		s.collectorDone = make(chan struct{})
+		go func() {
+			defer close(s.collectorDone)
+			s.router.Drain(s.buf.add)
+		}()
+	} else {
+		s.multi = core.NewMulti(core.MultiConfig{Window: cfg.Window, EvictEvery: cfg.EvictEvery})
+	}
+	return s
+}
+
+// matchLog buffers asynchronous matches between "matches" commands:
+// append-at-tail, drain-from-head, bounded by dropping the oldest.
+type matchLog struct {
+	mu      sync.Mutex
+	items   []shard.Match
+	head    int
+	dropped int64
+	limit   int
+}
+
+func (l *matchLog) add(m shard.Match) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.items = append(l.items, m)
+	if len(l.items)-l.head > l.limit {
+		l.head++
+		l.dropped++
+	}
+	if l.head > l.limit {
+		l.items = append(l.items[:0], l.items[l.head:]...)
+		l.head = 0
+	}
+}
+
+// putBack reinserts matches a handler took but could not deliver (the
+// connection broke mid-reply) at the FRONT of the buffer, restoring
+// the given drop count, so another client can still drain them. A
+// partially written match may be delivered twice after a reconnect —
+// at-least-once beats silent loss. Overflow drops the re-added
+// (oldest) entries first.
+func (l *matchLog) putBack(ms []shard.Match, dropped int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dropped += dropped
+	if len(ms) == 0 {
+		return
+	}
+	items := make([]shard.Match, 0, len(ms)+len(l.items)-l.head)
+	items = append(items, ms...)
+	items = append(items, l.items[l.head:]...)
+	l.items, l.head = items, 0
+	for len(l.items)-l.head > l.limit {
+		l.head++
+		l.dropped++
+	}
+}
+
+// take removes up to max buffered matches (all when max <= 0) and
+// returns them with the drop count since the last take.
+func (l *matchLog) take(max int) ([]shard.Match, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	avail := len(l.items) - l.head
+	if max <= 0 || max > avail {
+		max = avail
+	}
+	out := append([]shard.Match(nil), l.items[l.head:l.head+max]...)
+	l.head += max
+	if l.head == len(l.items) {
+		l.items = l.items[:0]
+		l.head = 0
+	}
+	dropped := l.dropped
+	l.dropped = 0
+	return out, dropped
 }
 
 // Serve accepts connections on ln until Close. It returns the accept
@@ -121,6 +233,10 @@ func (s *Server) Close() {
 	}
 	s.lnMu.Unlock()
 	s.wg.Wait()
+	if s.router != nil {
+		s.router.Close()
+		<-s.collectorDone
+	}
 }
 
 func (s *Server) dropConn(c net.Conn) {
@@ -186,9 +302,13 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
-			s.mu.Lock()
-			s.multi.Unregister(fields[1])
-			s.mu.Unlock()
+			if s.router != nil {
+				s.router.Unregister(fields[1])
+			} else {
+				s.mu.Lock()
+				s.multi.Unregister(fields[1])
+				s.mu.Unlock()
+			}
 			if !reply("ok") {
 				return
 			}
@@ -196,6 +316,13 @@ func (s *Server) handle(conn net.Conn) {
 			e, err := parseEdge(fields[1:])
 			if err != nil {
 				if !reply("err %v", err) {
+					return
+				}
+				continue
+			}
+			if s.router != nil {
+				seq := s.router.Ingest(e)
+				if !reply("ok queued %d", seq) {
 					return
 				}
 				continue
@@ -218,7 +345,49 @@ func (s *Server) handle(conn net.Conn) {
 			if !ok {
 				return
 			}
+		case "matches":
+			if s.router == nil {
+				if !reply("err matches requires sharded mode (run with -shards)") {
+					return
+				}
+				continue
+			}
+			max := 0
+			if len(fields) == 2 {
+				var err error
+				max, err = strconv.Atoi(fields[1])
+				if err != nil {
+					if !reply("err bad max %q", fields[1]) {
+						return
+					}
+					continue
+				}
+			}
+			ms, dropped := s.buf.take(max)
+			if !reply("ok %d dropped=%d", len(ms), dropped) {
+				s.buf.putBack(ms, dropped)
+				return
+			}
+			for i, m := range ms {
+				if !reply("match %s %s", m.Query, m.BindingString()) {
+					s.buf.putBack(ms[i:], 0)
+					return
+				}
+			}
 		case "stats":
+			if s.router != nil {
+				st := s.router.Stats()
+				ok := reply("ok shards=%d edges=%d queries=%d",
+					len(st), s.router.EdgesRouted(), len(s.router.Registered()))
+				for _, sh := range st {
+					ok = ok && reply("shard %d queries=%d queue=%d/%d routed=%d emitted=%d",
+						sh.Shard, sh.Queries, sh.QueueDepth, sh.QueueCap, sh.EdgesRouted, sh.MatchesEmitted)
+				}
+				if !ok {
+					return
+				}
+				continue
+			}
 			s.mu.Lock()
 			st := s.multi.Stats()
 			s.mu.Unlock()
@@ -256,6 +425,9 @@ func (s *Server) register(name, body string, strat core.Strategy) error {
 	q, err := query.Parse(body)
 	if err != nil {
 		return err
+	}
+	if s.router != nil {
+		return s.router.Register(name, q, core.Config{Strategy: strat})
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

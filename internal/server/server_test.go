@@ -7,6 +7,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"streamgraph/internal/shard"
 )
 
 type testClient struct {
@@ -213,4 +216,148 @@ func TestServerQueryBodyTooLong(t *testing.T) {
 	c := dial(t, addr)
 	c.send("register q", "e a b rdp", "e b c ftp", "e c d ssh", "end")
 	c.expectPrefix("err query body exceeds")
+}
+
+// pollMatches drains the sharded match buffer until n matches arrived
+// or the deadline passed, returning the match lines.
+func pollMatches(t *testing.T, c *testClient, n int) []string {
+	t.Helper()
+	var lines []string
+	for i := 0; i < 200; i++ {
+		c.send("matches")
+		head := c.expectPrefix("ok ")
+		var k int
+		var dropped string
+		if _, err := fmt.Sscanf(head, "ok %d %s", &k, &dropped); err != nil {
+			t.Fatalf("bad matches header %q: %v", head, err)
+		}
+		for j := 0; j < k; j++ {
+			lines = append(lines, c.expectPrefix("match "))
+		}
+		if len(lines) >= n {
+			return lines
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("only %d/%d matches arrived", len(lines), n)
+	return nil
+}
+
+// TestServerSharded exercises the sharded runtime end to end over the
+// wire: async edge ingestion, match drain, and per-shard stats.
+func TestServerSharded(t *testing.T) {
+	_, addr := startServer(t, Config{Window: 100, Shards: 2})
+	c := dial(t, addr)
+	registerTwoHop(c, "lateral")
+	c.send(
+		"register exfil",
+		"e a b ftp",
+		"e b c dns",
+		"end",
+	)
+	c.expectPrefix("ok registered exfil")
+
+	c.send("edge evil ip srv1 ip rdp 10")
+	c.expectPrefix("ok queued 0")
+	c.send("edge srv1 ip nas ip ftp 11")
+	c.expectPrefix("ok queued 1")
+	c.send("edge nas ip out ip dns 12")
+	c.expectPrefix("ok queued 2")
+
+	lines := pollMatches(t, c, 2)
+	var sawLateral, sawExfil bool
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "match lateral ") {
+			sawLateral = true
+			for _, want := range []string{"a=evil", "b=srv1", "c=nas"} {
+				if !strings.Contains(ln, want) {
+					t.Fatalf("lateral match %q missing %q", ln, want)
+				}
+			}
+		}
+		if strings.HasPrefix(ln, "match exfil ") {
+			sawExfil = true
+		}
+	}
+	if !sawLateral || !sawExfil {
+		t.Fatalf("matches = %v, want one lateral and one exfil", lines)
+	}
+
+	c.send("stats")
+	head := c.expectPrefix("ok shards=2 ")
+	if !strings.Contains(head, "edges=3") || !strings.Contains(head, "queries=2") {
+		t.Fatalf("stats header = %q", head)
+	}
+	var routed, emitted, queries int
+	for i := 0; i < 2; i++ {
+		ln := c.expectPrefix(fmt.Sprintf("shard %d ", i))
+		for _, want := range []string{"queries=", "queue=", "routed=", "emitted="} {
+			if !strings.Contains(ln, want) {
+				t.Fatalf("shard stats line %q missing %q", ln, want)
+			}
+		}
+		var q, qd, qc, r, e int
+		if _, err := fmt.Sscanf(ln, fmt.Sprintf("shard %d queries=%%d queue=%%d/%%d routed=%%d emitted=%%d", i), &q, &qd, &qc, &r, &e); err != nil {
+			t.Fatalf("unparseable shard line %q: %v", ln, err)
+		}
+		queries += q
+		routed += r
+		emitted += e
+	}
+	if queries != 2 {
+		t.Fatalf("shard query ownership sums to %d, want 2", queries)
+	}
+	if routed != 6 { // 3 edges broadcast to 2 shards
+		t.Fatalf("routed sums to %d, want 6", routed)
+	}
+	if emitted != 2 {
+		t.Fatalf("emitted sums to %d, want 2", emitted)
+	}
+
+	// Unregister still works over the wire in sharded mode.
+	c.send("unregister exfil")
+	c.expectPrefix("ok")
+}
+
+// TestServerMatchesRequiresShards pins the error for the matches
+// command without sharding.
+func TestServerMatchesRequiresShards(t *testing.T) {
+	_, addr := startServer(t, Config{Window: 100})
+	c := dial(t, addr)
+	c.send("matches")
+	c.expectPrefix("err matches requires sharded mode")
+}
+
+// TestMatchLogPutBack pins the no-loss bookkeeping for a drain whose
+// delivery fails: taken matches are reinserted at the front, the drop
+// count is restored, and overflow still drops oldest-first.
+func TestMatchLogPutBack(t *testing.T) {
+	mk := func(q string) shard.Match { return shard.Match{Query: q} }
+	l := &matchLog{limit: 3}
+	l.add(mk("a"))
+	l.add(mk("b"))
+	l.add(mk("c"))
+	ms, dropped := l.take(2)
+	if len(ms) != 2 || dropped != 0 || ms[0].Query != "a" {
+		t.Fatalf("take = %v dropped=%d", ms, dropped)
+	}
+	l.putBack(ms[1:], 0) // "b" undelivered
+	got, _ := l.take(0)
+	if len(got) != 2 || got[0].Query != "b" || got[1].Query != "c" {
+		t.Fatalf("after putBack take = %v", got)
+	}
+	// Overflow: re-adding beyond the limit drops oldest and counts it.
+	l.add(mk("d"))
+	l.add(mk("e"))
+	l.add(mk("f"))
+	ms, _ = l.take(0)
+	l.putBack(ms, 1)
+	l.add(mk("g")) // 4 > limit 3: "d" dropped
+	got, droppedNow := l.take(0)
+	if len(got) != 3 || got[0].Query != "e" || got[2].Query != "g" {
+		t.Fatalf("overflowed log = %v", got)
+	}
+	if droppedNow != 2 { // 1 restored + 1 overflow
+		t.Fatalf("dropped = %d, want 2", droppedNow)
+	}
 }

@@ -1,0 +1,577 @@
+// Package shard implements the query-partitioned sharded runtime: a
+// Router spreads registered continuous queries across N shard workers,
+// each owning a private windowed graph replica and a single-writer
+// core.MultiEngine, fed by per-shard bounded channels and emitting
+// completed matches asynchronously on a collection channel.
+//
+// This is the pipelined successor to core.ParallelMulti's per-edge
+// fork/join: the router never waits for a shard to finish an edge
+// before accepting the next one, there is no global barrier per edge
+// and no serial merge on the hot path — a slow query only ever stalls
+// its own shard (and, once that shard's bounded queue fills, the
+// producer: backpressure instead of unbounded buffering). Queries —
+// not graph partitions — remain the unit of parallelism, which keeps
+// exact-match semantics trivially intact: every shard ingests the full
+// edge stream in arrival order, so each query sees exactly the stream
+// a serial core.MultiEngine would have shown it (the package tests
+// enforce per-query match-set equality differentially).
+//
+// The cost of the replica-per-shard design is memory: the windowed
+// graph is stored once per shard. That is the standard trade in
+// partitioned multi-query stream engines (cf. "Large-scale continuous
+// subgraph queries on streams"): replicas eliminate cross-shard reads,
+// locks and coordination entirely.
+//
+// Ordering. By default matches arrive on the collection channel in
+// completion order — shards drift apart freely, which is what makes
+// the pipeline fast. Config.Ordered enables the deterministic in-seq
+// merge: a collector k-way-merges per-shard bundles and delivers
+// matches in (arrival seq, query registration) order, byte-identical
+// to a serial MultiEngine run. Ordered mode re-introduces a per-edge
+// collector-side rendezvous; use it for tests and audits, not for
+// throughput.
+//
+// The collection channel MUST be drained concurrently with ingestion
+// (Matches, or the Drain helper): every channel in the pipeline is
+// bounded, so an unread match eventually stalls the shards and then
+// the router.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/metrics"
+	"streamgraph/internal/query"
+	"streamgraph/internal/stream"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards is the worker count (<= 0 selects GOMAXPROCS).
+	Shards int
+	// QueueLen bounds each shard's ingest queue, in messages (an edge
+	// or a batch each); a full queue blocks the producer (default 256).
+	QueueLen int
+	// OutLen buffers the collection channel (default 1024).
+	OutLen int
+	// Window is tW, shared by every registered query (0 = unwindowed).
+	Window int64
+	// EvictEvery forwards to each shard's engine (default 256).
+	EvictEvery int
+	// Ordered enables the deterministic in-seq merge mode: matches are
+	// delivered in (arrival seq, query registration) order, exactly as
+	// a serial core.MultiEngine reports them.
+	Ordered bool
+}
+
+// Binding is one resolved vertex of a match: query vertex name to data
+// vertex name.
+type Binding struct {
+	QueryVertex string
+	DataVertex  string
+}
+
+// MatchEdge is one resolved edge of a match.
+type MatchEdge struct {
+	QueryEdge int // index into the query's edge list
+	Src, Dst  string
+	Type      string
+	TS        int64
+}
+
+// Match is one completed match, resolved into portable name-based form
+// inside the owning shard (so it stays valid after the shard's private
+// graph evicts the underlying edges) and delivered on the collection
+// channel.
+type Match struct {
+	// Seq is the router-assigned arrival index (0-based) of the stream
+	// edge that completed the match.
+	Seq uint64
+	// Shard is the worker that produced the match.
+	Shard int
+	// Query is the registered query name.
+	Query string
+
+	Bindings []Binding
+	Edges    []MatchEdge
+	// FirstTS and LastTS delimit τ(g), the match's timespan.
+	FirstTS int64
+	LastTS  int64
+
+	rank int // global registration rank; orders the in-seq merge
+}
+
+// String renders the match compactly.
+func (m Match) String() string {
+	s := m.Query
+	for _, b := range m.Bindings {
+		s += " " + b.QueryVertex + "=" + b.DataVertex
+	}
+	return s
+}
+
+// BindingString renders only the bindings ("a=x b=y"), the form the
+// TCP server's match lines use.
+func (m Match) BindingString() string {
+	s := ""
+	for _, b := range m.Bindings {
+		if s != "" {
+			s += " "
+		}
+		s += b.QueryVertex + "=" + b.DataVertex
+	}
+	return s
+}
+
+// Stats is a point-in-time snapshot of one shard worker.
+type Stats struct {
+	Shard          int
+	Queries        int   // queries owned by this shard
+	QueueDepth     int   // ingest messages waiting
+	QueueCap       int   // ingest queue capacity
+	EdgesRouted    int64 // edges handed to this shard's queue
+	MatchesEmitted int64 // matches this shard pushed to collection
+}
+
+type msgKind int
+
+const (
+	msgEdges msgKind = iota
+	msgRegister
+	msgUnregister
+)
+
+// message is one entry of a shard's ingest queue: a broadcast edge
+// batch or a control message (register/unregister) targeted at the
+// shard that owns the query. Control messages ride the same queue as
+// edges so a registration takes effect at a definite stream position
+// on its shard.
+type message struct {
+	kind    msgKind
+	edges   []stream.Edge // msgEdges: shared read-only slice
+	baseSeq uint64        // msgEdges: arrival seq of edges[0]
+	name    string        // control: query name
+	q       *query.Graph  // msgRegister
+	cfg     core.Config   // msgRegister
+	rank    int           // msgRegister: global registration rank
+	reply   chan error    // control ack (buffered, may be nil for unregister)
+}
+
+// bundle is one edge's worth of matches from one shard (ordered mode
+// only); every shard emits exactly one bundle per ingested edge, in
+// seq order, which is what makes the k-way merge trivial.
+type bundle struct {
+	seq     uint64
+	matches []Match
+}
+
+// Router is the front of the sharded runtime: it assigns queries to
+// shards, broadcasts ingested edges to every shard's bounded queue and
+// owns the collection channel.
+//
+// Ingest, IngestBatch, Register and Unregister are safe for concurrent
+// use; edges are sequenced in the order the router admits them.
+type Router struct {
+	cfg     Config
+	workers []*worker
+	out     chan Match
+
+	// ingestMu orders everything that enters the shard queues — edge
+	// broadcasts, control messages, and the queue close — and is the
+	// only lock held across a (potentially blocking, backpressured)
+	// queue send. Lock order: ingestMu before mu.
+	ingestMu sync.Mutex
+	closed   bool          // guarded by ingestMu
+	seq      atomic.Uint64 // written under ingestMu, read lock-free
+
+	// mu guards the registry metadata only and is never held across a
+	// queue send, so Stats/Registered stay responsive while a
+	// backpressured ingest is blocked.
+	mu    sync.Mutex
+	order []string // registration order (rank order)
+	owner map[string]*worker
+	owned map[*worker]int
+	rank  int
+
+	wg        sync.WaitGroup // worker goroutines
+	mergeDone chan struct{}  // non-nil in ordered mode
+}
+
+// worker is one shard: a goroutine draining its bounded queue into a
+// privately owned MultiEngine.
+type worker struct {
+	id      int
+	r       *Router
+	in      chan message
+	bundles chan bundle // ordered mode only
+	eng     *core.MultiEngine
+	ranks   map[string]int // query name -> global registration rank
+
+	edgesRouted    metrics.Counter
+	matchesEmitted metrics.Counter
+}
+
+// New starts a router and its shard workers.
+func New(cfg Config) *Router {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 256
+	}
+	if cfg.OutLen <= 0 {
+		cfg.OutLen = 1024
+	}
+	r := &Router{
+		cfg:   cfg,
+		out:   make(chan Match, cfg.OutLen),
+		owner: make(map[string]*worker),
+		owned: make(map[*worker]int),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		w := &worker{
+			id:    i,
+			r:     r,
+			in:    make(chan message, cfg.QueueLen),
+			eng:   core.NewMulti(core.MultiConfig{Window: cfg.Window, EvictEvery: cfg.EvictEvery}),
+			ranks: make(map[string]int),
+		}
+		if cfg.Ordered {
+			w.bundles = make(chan bundle, cfg.QueueLen)
+		}
+		r.workers = append(r.workers, w)
+		r.wg.Add(1)
+		go w.run()
+	}
+	if cfg.Ordered {
+		r.mergeDone = make(chan struct{})
+		go r.mergeOrdered()
+	}
+	return r
+}
+
+// NumShards returns the worker count.
+func (r *Router) NumShards() int { return len(r.workers) }
+
+// Matches returns the collection channel. It is closed by Close after
+// every queued edge has been fully processed — read until closed and
+// no match is lost.
+func (r *Router) Matches() <-chan Match { return r.out }
+
+// Register assigns the query to the least-loaded shard and registers
+// it there, at the current stream position. It blocks until the owning
+// shard has drained its queue up to the registration (so a subsequent
+// Ingest is guaranteed to be seen by the query) and returns the
+// engine's registration error, if any. The engine's BatchWorkers is
+// forced to 1 unless set: the shards themselves are the axis of
+// parallelism, and nesting a candidate-search pool per shard would
+// oversubscribe the machine.
+func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
+	if cfg.BatchWorkers == 0 {
+		cfg.BatchWorkers = 1
+	}
+	r.ingestMu.Lock()
+	if r.closed {
+		r.ingestMu.Unlock()
+		return fmt.Errorf("shard: router is closed")
+	}
+	r.mu.Lock()
+	if _, dup := r.owner[name]; dup {
+		r.mu.Unlock()
+		r.ingestMu.Unlock()
+		return fmt.Errorf("shard: query %q already registered", name)
+	}
+	w := r.workers[0]
+	for _, cand := range r.workers[1:] {
+		if r.owned[cand] < r.owned[w] {
+			w = cand
+		}
+	}
+	rank := r.rank
+	r.rank++
+	// Optimistic: recorded before the shard acks, rolled back on error.
+	r.owner[name] = w
+	r.owned[w]++
+	r.order = append(r.order, name)
+	r.mu.Unlock()
+	reply := make(chan error, 1)
+	w.in <- message{kind: msgRegister, name: name, q: q, cfg: cfg, rank: rank, reply: reply}
+	r.ingestMu.Unlock()
+
+	err := <-reply
+	if err != nil {
+		r.mu.Lock()
+		// A concurrent Unregister may have already removed the
+		// provisional entry; only roll back what is still ours.
+		if r.owner[name] == w {
+			delete(r.owner, name)
+			r.owned[w]--
+			for i, n := range r.order {
+				if n == name {
+					r.order = append(r.order[:i], r.order[i+1:]...)
+					break
+				}
+			}
+		}
+		r.mu.Unlock()
+	}
+	return err
+}
+
+// Unregister removes a query and its partial-match state, blocking
+// until the owning shard has processed the removal.
+func (r *Router) Unregister(name string) {
+	r.ingestMu.Lock()
+	if r.closed {
+		r.ingestMu.Unlock()
+		return
+	}
+	r.mu.Lock()
+	w, ok := r.owner[name]
+	if !ok {
+		r.mu.Unlock()
+		r.ingestMu.Unlock()
+		return
+	}
+	delete(r.owner, name)
+	r.owned[w]--
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+	reply := make(chan error, 1)
+	w.in <- message{kind: msgUnregister, name: name, reply: reply}
+	r.ingestMu.Unlock()
+	<-reply
+}
+
+// Registered returns the registered query names in registration order.
+func (r *Router) Registered() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// Ingest broadcasts one edge to every shard and returns its arrival
+// sequence number. It blocks only when a shard's bounded queue is full
+// (backpressure), never on the searches themselves.
+func (r *Router) Ingest(se stream.Edge) uint64 {
+	return r.IngestBatch([]stream.Edge{se})
+}
+
+// IngestBatch broadcasts a batch to every shard as one queue message
+// (each shard runs its engine's amortized batch pipeline over it) and
+// returns the arrival sequence number of the first edge. The slice
+// must not be mutated afterwards — every shard reads it.
+func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	if r.closed || len(ses) == 0 {
+		return r.seq.Load()
+	}
+	base := r.seq.Load()
+	r.seq.Store(base + uint64(len(ses)))
+	msg := message{kind: msgEdges, edges: ses, baseSeq: base}
+	for _, w := range r.workers {
+		w.edgesRouted.Add(int64(len(ses)))
+		w.in <- msg
+	}
+	return base
+}
+
+// EdgesRouted returns the number of edges admitted so far. Lock-free,
+// so it stays readable while a backpressured ingest is blocked.
+func (r *Router) EdgesRouted() uint64 { return r.seq.Load() }
+
+// Stats snapshots every shard's counters.
+func (r *Router) Stats() []Stats {
+	r.mu.Lock()
+	owned := make(map[*worker]int, len(r.owned))
+	for w, n := range r.owned {
+		owned[w] = n
+	}
+	r.mu.Unlock()
+	out := make([]Stats, len(r.workers))
+	for i, w := range r.workers {
+		out[i] = Stats{
+			Shard:          i,
+			Queries:        owned[w],
+			QueueDepth:     len(w.in),
+			QueueCap:       cap(w.in),
+			EdgesRouted:    w.edgesRouted.Load(),
+			MatchesEmitted: w.matchesEmitted.Load(),
+		}
+	}
+	return out
+}
+
+// Close drains and shuts the runtime down: no further ingests are
+// admitted, every shard finishes its queued work and emits its
+// remaining matches, then the collection channel is closed. A consumer
+// reading Matches until it closes therefore observes every match —
+// none are lost to shutdown (pinned by the package's -race drain
+// test). Matches must keep being consumed while Close runs.
+func (r *Router) Close() {
+	r.ingestMu.Lock()
+	if r.closed {
+		r.ingestMu.Unlock()
+		return
+	}
+	r.closed = true
+	for _, w := range r.workers {
+		close(w.in)
+	}
+	r.ingestMu.Unlock()
+	r.wg.Wait()
+	if r.mergeDone != nil {
+		<-r.mergeDone
+	}
+	close(r.out)
+}
+
+// Drain consumes the collection channel until it closes, invoking fn
+// (may be nil) per match, and returns the match count. Run it on its
+// own goroutine alongside ingestion:
+//
+//	done := make(chan int64, 1)
+//	go func() { done <- r.Drain(fn) }()
+//	... Ingest / IngestBatch ...
+//	r.Close()
+//	total := <-done
+func (r *Router) Drain(fn func(Match)) int64 {
+	var n int64
+	for m := range r.out {
+		n++
+		if fn != nil {
+			fn(m)
+		}
+	}
+	return n
+}
+
+// mergeOrdered is the deterministic collector: every shard emits
+// exactly one bundle per ingested edge in seq order, so reading one
+// bundle from each shard per round yields all matches of one edge;
+// sorting those by registration rank reproduces the serial
+// MultiEngine's output order exactly.
+func (r *Router) mergeOrdered() {
+	defer close(r.mergeDone)
+	var batch []Match
+	for {
+		batch = batch[:0]
+		open := false
+		for _, w := range r.workers {
+			b, ok := <-w.bundles
+			if !ok {
+				continue
+			}
+			open = true
+			batch = append(batch, b.matches...)
+		}
+		if !open {
+			return
+		}
+		sort.SliceStable(batch, func(i, j int) bool { return batch[i].rank < batch[j].rank })
+		for _, m := range batch {
+			r.out <- m
+		}
+	}
+}
+
+func (w *worker) run() {
+	defer w.r.wg.Done()
+	for msg := range w.in {
+		switch msg.kind {
+		case msgEdges:
+			w.processEdges(msg)
+		case msgRegister:
+			err := w.eng.Register(msg.name, msg.q, msg.cfg)
+			if err == nil {
+				w.ranks[msg.name] = msg.rank
+			}
+			msg.reply <- err
+		case msgUnregister:
+			if _, ok := w.ranks[msg.name]; ok {
+				w.eng.Unregister(msg.name)
+				delete(w.ranks, msg.name)
+			}
+			if msg.reply != nil {
+				msg.reply <- nil
+			}
+		}
+	}
+	if w.bundles != nil {
+		close(w.bundles)
+	}
+}
+
+// processEdges folds a broadcast batch into this shard's private
+// engine and emits the completed matches — resolved against the
+// private graph while their edges are certainly still live.
+func (w *worker) processEdges(msg message) {
+	for i, named := range w.eng.ProcessBatchGrouped(msg.edges) {
+		seq := msg.baseSeq + uint64(i)
+		if w.bundles != nil {
+			b := bundle{seq: seq}
+			for _, nm := range named {
+				b.matches = append(b.matches, w.resolve(seq, nm))
+			}
+			w.matchesEmitted.Add(int64(len(b.matches)))
+			w.bundles <- b
+			continue
+		}
+		for _, nm := range named {
+			w.out(w.resolve(seq, nm))
+		}
+	}
+}
+
+func (w *worker) out(m Match) {
+	w.matchesEmitted.Inc()
+	w.r.out <- m
+}
+
+// resolve converts an engine match into the portable form: all IDs are
+// looked up against the shard's private graph now, so the emitted
+// match survives later eviction.
+func (w *worker) resolve(seq uint64, nm core.NamedMatch) Match {
+	eng := w.eng.QueryEngine(nm.Query)
+	g := w.eng.Graph()
+	q := eng.Query()
+	out := Match{
+		Seq: seq, Shard: w.id, Query: nm.Query, rank: w.ranks[nm.Query],
+		FirstTS: nm.Match.MinTS, LastTS: nm.Match.MaxTS,
+	}
+	for qv, dv := range nm.Match.VertexOf {
+		if dv == graph.NoVertex {
+			continue
+		}
+		out.Bindings = append(out.Bindings, Binding{
+			QueryVertex: q.Vertices[qv].Name,
+			DataVertex:  g.VertexName(dv),
+		})
+	}
+	for qe, eid := range nm.Match.EdgeOf {
+		de, ok := g.Edge(eid)
+		if !ok {
+			continue
+		}
+		out.Edges = append(out.Edges, MatchEdge{
+			QueryEdge: qe,
+			Src:       g.VertexName(de.Src),
+			Dst:       g.VertexName(de.Dst),
+			Type:      g.Types().Name(uint32(de.Type)),
+			TS:        de.TS,
+		})
+	}
+	return out
+}

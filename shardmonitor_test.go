@@ -1,0 +1,118 @@
+package streamgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func shardedTestEdges() []Edge {
+	var out []Edge
+	ts := int64(0)
+	e := func(src, dst, tp string) {
+		ts++
+		out = append(out, Edge{Src: src, SrcLabel: "ip", Dst: dst, DstLabel: "ip", Type: tp, TS: ts})
+	}
+	for i := 0; i < 300; i++ {
+		a, b, c := fmt.Sprintf("h%d", i%17), fmt.Sprintf("h%d", (i*7+3)%17), fmt.Sprintf("h%d", (i*11+5)%17)
+		switch i % 3 {
+		case 0:
+			e(a, b, "rdp")
+		case 1:
+			e(b, c, "ftp")
+		default:
+			e(a, c, "ssh")
+		}
+	}
+	return out
+}
+
+func qmSig(qm QueryMatch) string {
+	parts := make([]string, 0, len(qm.Match.Edges))
+	for _, me := range qm.Match.Edges {
+		parts = append(parts, fmt.Sprintf("%d:%s>%s@%d", me.QueryEdge, me.Src, me.Dst, me.TS))
+	}
+	return qm.Query + "|" + strings.Join(parts, ";")
+}
+
+// TestShardedMonitorMatchesMonitor is the facade-level differential:
+// the sharded monitor must report the same per-query match multiset as
+// the synchronous Monitor.
+func TestShardedMonitorMatchesMonitor(t *testing.T) {
+	edges := shardedTestEdges()
+	queries := map[string]*Query{
+		"lateral": PathQuery(Wildcard, "rdp", "ftp"),
+		"hop":     PathQuery(Wildcard, "ftp", "ssh"),
+	}
+	names := []string{"hop", "lateral"}
+
+	mon := NewMonitor(MonitorOptions{Window: 50})
+	for _, name := range names {
+		if err := mon.Register(name, queries[name], SingleLazy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []string
+	for _, se := range edges {
+		for _, qm := range mon.Process(se) {
+			want = append(want, qmSig(qm))
+		}
+	}
+	sort.Strings(want)
+	if len(want) == 0 {
+		t.Fatal("monitor found no matches; differential is vacuous")
+	}
+
+	sm := NewShardedMonitor(ShardedMonitorOptions{Window: 50, Shards: 2})
+	for _, name := range names {
+		if err := sm.Register(name, queries[name], SingleLazy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	var got []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for qm := range sm.Matches() {
+			mu.Lock()
+			got = append(got, qmSig(qm))
+			mu.Unlock()
+		}
+	}()
+	sm.ProcessBatch(edges[:100])
+	for _, se := range edges[100:] {
+		sm.Process(se)
+	}
+	sm.Close()
+	<-done
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("sharded monitor found %d matches, monitor %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match multiset differs at %d:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+
+	st := sm.Stats()
+	if len(st) != 2 {
+		t.Fatalf("got %d shard stats, want 2", len(st))
+	}
+	var emitted int64
+	for _, s := range st {
+		if s.EdgesRouted != int64(len(edges)) {
+			t.Fatalf("shard %d routed %d edges, want %d", s.Shard, s.EdgesRouted, len(edges))
+		}
+		emitted += s.MatchesEmitted
+	}
+	if emitted != int64(len(got)) {
+		t.Fatalf("stats report %d emitted, collected %d", emitted, len(got))
+	}
+	if reg := sm.Registered(); len(reg) != 2 || reg[0] != "hop" {
+		t.Fatalf("Registered() = %v", reg)
+	}
+}
