@@ -247,6 +247,7 @@ func BenchmarkProcessBatch(b *testing.B) {
 				}
 				edges := cyclicStream(nf.Edges, b.N)
 				var matches int64
+				b.ReportAllocs()
 				b.ResetTimer()
 				if batch == 1 {
 					for _, se := range edges {
@@ -291,6 +292,7 @@ func BenchmarkProcessBatchMulti(b *testing.B) {
 				}
 			}
 			edges := cyclicStream(nf.Edges, b.N)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for chunk := range slices.Chunk(edges, batch) {
 				if batch == 1 {

@@ -6,6 +6,7 @@
 //
 //	sgbench -exp all  -scale small
 //	sgbench -exp fig9a -scale medium -seed 7
+//	sgbench -exp batch -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: table1, fig6, fig7, fig9a, fig9b, fig9c, fig9d, fig10,
 // rule, alg5, ablation, planner, sketch, batch, shard, all.
@@ -33,6 +34,7 @@ import (
 	"strings"
 
 	"streamgraph/internal/experiments"
+	"streamgraph/internal/prof"
 	"streamgraph/internal/query"
 )
 
@@ -61,6 +63,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables (runs the throughput experiments: batch, shard)")
 		maxEdges = flag.Int("max-edges", 0, "bound the stream length for the batch/shard experiments (0 = whole dataset)")
 	)
+	profFlags := prof.RegisterFlags()
 	flag.Parse()
 
 	if *batch < 2 && (*exp == "batch" || *exp == "all") {
@@ -78,6 +81,15 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scale)
 	}
+
+	// Start profiling only once the flag validation cannot log.Fatal
+	// anymore (os.Exit would skip the deferred flush and leave a
+	// truncated profile).
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }
 	out := os.Stdout

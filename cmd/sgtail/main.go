@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"streamgraph"
+	"streamgraph/internal/prof"
 	"streamgraph/internal/stream"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		snapPath  = flag.String("snapshot", "", "snapshot file to restore from / save to")
 		showStats = flag.Bool("stats", false, "print engine counters on exit")
 	)
+	profFlags := prof.RegisterFlags()
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("sgtail: ")
@@ -54,6 +56,7 @@ func main() {
 
 	var eng *streamgraph.Engine
 	var pending []streamgraph.Edge
+	var src *stream.Reader
 
 	if *snapPath != "" {
 		if f, err := os.Open(*snapPath); err == nil {
@@ -123,12 +126,21 @@ func main() {
 		pending = nil
 		// Continue with the rest of the stream below using the same
 		// reader.
-		drain(r, eng, *batchSize)
-		finish(eng, *snapPath, *showStats)
-		return
+		src = r
+	}
+	if src == nil {
+		src = stream.NewReader(in)
 	}
 
-	drain(stream.NewReader(in), eng, *batchSize)
+	// Start profiling once setup can no longer log.Fatal (os.Exit would
+	// skip the deferred flush and truncate the profile); the profile
+	// covers the stream loop — the part worth measuring.
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+	drain(src, eng, *batchSize)
 	finish(eng, *snapPath, *showStats)
 }
 

@@ -102,6 +102,7 @@ func (e *Engine) migrate(newLeaves [][]int) error {
 	nt.Dedup = true
 
 	e.tree = nt
+	e.matcher.Pool = nt.Pool()
 	if e.lazy {
 		e.bits = make(map[graph.VertexID]uint64)
 		e.pending = make([][]retroItem, len(newLeaves))
@@ -126,8 +127,13 @@ func (e *Engine) migrate(newLeaves [][]int) error {
 		}
 		return true
 	})
-	// Outside migration, dedup is only needed for lazy strategies.
+	// Outside migration, dedup is only needed for lazy strategies; a
+	// non-lazy engine would never read or clean the migration's
+	// suppression counts, so drop them.
 	nt.Dedup = e.lazy
+	if !nt.Dedup {
+		nt.DropDedupState()
+	}
 	return nil
 }
 

@@ -164,6 +164,14 @@ type Engine struct {
 	curEdge    graph.EdgeID
 	curResults []iso.Match
 
+	// Streaming-merge state for the live leaf search: mergeEmit is the
+	// persistent candidate callback (allocated once, not per search),
+	// parameterized through the cur* fields below.
+	mergeEmit  func(iso.Match) bool
+	curLeaf    int
+	curRequire bool // gate candidates on touching an enabled vertex
+	curFound   int  // candidates emitted by the current leaf search
+
 	chosenKind decompose.Kind
 	relSel     float64
 
@@ -201,6 +209,14 @@ func New(q *query.Graph, cfg Config) (*Engine, error) {
 		g:   graph.New(),
 	}
 	e.matcher = e.newMatcher()
+	e.mergeEmit = func(m iso.Match) bool {
+		e.curFound++
+		e.stats.LeafMatches++
+		if !e.curRequire || e.touchesEnabled(m, e.curLeaf) {
+			e.insert(e.curLeaf, e.matcher.Retain(m))
+		}
+		return e.cfg.MaxMatchesPerSearch <= 0 || e.curFound < e.cfg.MaxMatchesPerSearch
+	}
 	for i := range q.Edges {
 		e.allEdges = append(e.allEdges, i)
 	}
@@ -239,6 +255,11 @@ func New(q *query.Graph, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The merge-path matcher shares the tree's match pool so candidate
+	// clones reuse the arrays of evicted partial matches. Only this
+	// single-threaded matcher gets the pool; the throwaway matchers of
+	// the batch worker fan-out must not share it (see newMatcher).
+	e.matcher.Pool = e.tree.Pool()
 	e.lazy = cfg.Strategy.Lazy()
 	e.tree.Dedup = e.lazy
 	if e.lazy {
@@ -257,7 +278,10 @@ func New(q *query.Graph, cfg Config) (*Engine, error) {
 
 // newMatcher builds a matcher over the engine's current graph with the
 // engine's search limits. ProcessBatch creates one per search worker so
-// the read-only candidate searches can run concurrently.
+// the read-only candidate searches can run concurrently; because those
+// run on concurrent goroutines, newMatcher never wires the tree's
+// single-owner match pool — the engine's own matcher gets it
+// explicitly where it is (re)bound.
 func (e *Engine) newMatcher() *iso.Matcher {
 	m := iso.NewMatcher(e.g, e.q)
 	m.Window = e.cfg.Window
@@ -390,6 +414,14 @@ func (e *Engine) processTree(de graph.Edge) {
 // worker pool; when nil, each non-skipped leaf is searched live on the
 // engine's own matcher (the serial path, and the batch path's
 // single-worker mode where the lazy gate runs before searching).
+//
+// The live path streams candidates straight out of the matcher: each
+// emitted match is gated first and only the survivors are cloned (from
+// the tree's pool) for insertion, so a gated-off candidate costs no
+// allocation at all. Insert order, the MaxMatchesPerSearch cap and all
+// counters match the collect-then-insert form exactly — the search is
+// read-only on the graph, so interleaving tree mutation with the
+// enumeration cannot change which candidates are found.
 func (e *Engine) mergeTree(de graph.Edge, cands [][]iso.Match) {
 	for l := 0; l < e.tree.NumLeaves(); l++ {
 		requireTouch := false
@@ -404,19 +436,23 @@ func (e *Engine) mergeTree(de graph.Edge, cands [][]iso.Match) {
 			}
 		}
 		e.stats.LeafSearches++
-		var matches []iso.Match
 		if cands != nil {
-			matches = cands[l]
-		} else {
-			matches = e.matcher.FindAroundEdge(e.tree.LeafEdges(l), de)
-		}
-		e.stats.LeafMatches += int64(len(matches))
-		for _, m := range matches {
-			if requireTouch && !e.touchesEnabled(m, l) {
-				continue
+			matches := cands[l]
+			e.stats.LeafMatches += int64(len(matches))
+			for _, m := range matches {
+				if requireTouch && !e.touchesEnabled(m, l) {
+					// The candidate is ours alone (a fresh clone);
+					// recycle its arrays instead of leaving them to the
+					// GC.
+					e.tree.Release(m)
+					continue
+				}
+				e.insert(l, m)
 			}
-			e.insert(l, m)
+			continue
 		}
+		e.curLeaf, e.curRequire, e.curFound = l, requireTouch, 0
+		e.matcher.FindAroundEdgeFunc(e.tree.LeafEdges(l), de, e.mergeEmit)
 	}
 }
 
@@ -474,10 +510,12 @@ func (e *Engine) drainRetro(l int, exclude graph.EdgeID) {
 		e.stats.RetroSearches++
 		for _, m := range e.matcher.FindAroundVertex(sub, it.v) {
 			if m.HasEdge(exclude) {
+				e.tree.Release(m)
 				continue
 			}
 			sig := matchSignature(m, sub)
 			if seen[sig] {
+				e.tree.Release(m)
 				continue
 			}
 			seen[sig] = true

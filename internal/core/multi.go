@@ -89,6 +89,9 @@ func (m *MultiEngine) Register(name string, q *query.Graph, cfg Config) error {
 	// lazy repair reaches in the existing neighborhood.
 	eng.g = m.g
 	eng.matcher = eng.newMatcher()
+	if eng.tree != nil {
+		eng.matcher.Pool = eng.tree.Pool()
+	}
 	eng.external = true
 	m.queries[name] = eng
 	m.order = append(m.order, name)

@@ -1,0 +1,50 @@
+package iso
+
+import "streamgraph/internal/graph"
+
+// vertexSet is a dense bitset over the graph's vertex ID space, used by
+// the matcher for O(1) injectivity checks in the inner adjacency loops.
+// Vertex IDs are dense insertion-order indices (they are never
+// recycled), so the set grows monotonically with the graph and is
+// reused across searches: bind/unbind pairs are balanced, leaving the
+// set empty between searches, so no per-search clearing is needed.
+type vertexSet struct {
+	words []uint64
+	size  int
+}
+
+func (s *vertexSet) add(v graph.VertexID) {
+	w := int(v >> 6)
+	if w >= len(s.words) {
+		s.words = append(s.words, make([]uint64, w+1-len(s.words))...)
+	}
+	bit := uint64(1) << (v & 63)
+	if s.words[w]&bit == 0 {
+		s.words[w] |= bit
+		s.size++
+	}
+}
+
+func (s *vertexSet) remove(v graph.VertexID) {
+	w := int(v >> 6)
+	if w >= len(s.words) {
+		return
+	}
+	bit := uint64(1) << (v & 63)
+	if s.words[w]&bit != 0 {
+		s.words[w] &^= bit
+		s.size--
+	}
+}
+
+func (s *vertexSet) has(v graph.VertexID) bool {
+	w := int(v >> 6)
+	return w < len(s.words) && s.words[w]&(1<<(v&63)) != 0
+}
+
+// reset clears every bit, keeping the backing array. Only the defensive
+// slow path in initState calls it; balanced searches never need it.
+func (s *vertexSet) reset() {
+	clear(s.words)
+	s.size = 0
+}

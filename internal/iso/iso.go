@@ -117,6 +117,14 @@ type Matcher struct {
 	// to the serial schedule. Zero disables the bound.
 	MaxSeq uint64
 
+	// Pool, when non-nil, supplies the backing arrays for the clones
+	// FindAroundEdge / FindAroundVertex / FindAll retain. The engine
+	// wires the SJ-Tree's pool here so expired partial matches are
+	// recycled into new candidates. The pool is single-owner: only the
+	// engine's own merge-path matcher gets one, never the throwaway
+	// matchers of a parallel search fan-out.
+	Pool *MatchPool
+
 	st searchState
 }
 
@@ -130,7 +138,7 @@ type searchState struct {
 	isSub     []bool
 	boundCnt  int
 	cur       Match
-	vUsed     map[graph.VertexID]bool
+	vUsed     vertexSet
 	emit      func(Match) bool // returns false to stop
 	stopped   bool
 	calls     int64
@@ -156,11 +164,25 @@ func (m *Matcher) initState(sub []int, emit func(Match) bool) {
 		st.isSub[ei] = true
 	}
 	st.boundCnt = 0
-	st.cur = NewMatch(m.Q)
-	if st.vUsed == nil {
-		st.vUsed = make(map[graph.VertexID]bool, 8)
+	// st.cur's backing arrays are reused across searches: emitted
+	// matches are only valid for the duration of the emit call (callers
+	// clone to retain), so resetting the slots is safe and avoids two
+	// allocations per anchor attempt.
+	if st.cur.VertexOf == nil {
+		st.cur = NewMatch(m.Q)
 	} else {
-		clear(st.vUsed)
+		for i := range st.cur.VertexOf {
+			st.cur.VertexOf[i] = graph.NoVertex
+		}
+		for i := range st.cur.EdgeOf {
+			st.cur.EdgeOf[i] = NoEdge
+		}
+		st.cur.MinTS, st.cur.MaxTS = math.MaxInt64, math.MinInt64
+	}
+	// Balanced bind/unbind pairs leave vUsed empty between searches; the
+	// reset is a defensive slow path that never fires in normal use.
+	if st.vUsed.size != 0 {
+		st.vUsed.reset()
 	}
 	st.emit = emit
 	st.stopped = false
@@ -188,6 +210,17 @@ func (m *Matcher) typeID(qe int) (graph.TypeID, bool) {
 	return graph.TypeID(id), ok
 }
 
+// Retain deep-copies an emitted match, drawing backing arrays from the
+// pool when one is wired. Callers of the streaming Find*Func forms use
+// it to keep a match beyond the emit call without paying a fresh
+// allocation.
+func (m *Matcher) Retain(mt Match) Match {
+	if m.Pool != nil {
+		return m.Pool.Clone(mt)
+	}
+	return mt.Clone()
+}
+
 // FindAroundEdge finds all embeddings of the subquery (the query edges
 // listed in sub, which must induce a weakly connected subgraph) that use
 // data edge e for at least one query edge. Every returned mapping binds
@@ -196,7 +229,7 @@ func (m *Matcher) typeID(qe int) (graph.TypeID, bool) {
 func (m *Matcher) FindAroundEdge(sub []int, e graph.Edge) []Match {
 	var out []Match
 	m.FindAroundEdgeFunc(sub, e, func(mt Match) bool {
-		out = append(out, mt.Clone())
+		out = append(out, m.Retain(mt))
 		return m.MaxMatches <= 0 || len(out) < m.MaxMatches
 	})
 	return out
@@ -234,7 +267,7 @@ func (m *Matcher) FindAroundEdgeFunc(sub []int, e graph.Edge, emit func(Match) b
 func (m *Matcher) FindAroundVertex(sub []int, v graph.VertexID) []Match {
 	var out []Match
 	m.FindAroundVertexFunc(sub, v, func(mt Match) bool {
-		out = append(out, mt.Clone())
+		out = append(out, m.Retain(mt))
 		return m.MaxMatches <= 0 || len(out) < m.MaxMatches
 	})
 	return out
@@ -249,10 +282,10 @@ func (m *Matcher) FindAroundVertexFunc(sub []int, v graph.VertexID, emit func(Ma
 		}
 		m.initState(sub, emit)
 		m.st.cur.VertexOf[qv] = v
-		m.st.vUsed[v] = true
+		m.st.vUsed.add(v)
 		m.extend()
 		m.st.cur.VertexOf[qv] = graph.NoVertex
-		delete(m.st.vUsed, v)
+		m.st.vUsed.remove(v)
 		if m.st.stopped {
 			return
 		}
@@ -265,7 +298,7 @@ func (m *Matcher) FindAroundVertexFunc(sub []int, v graph.VertexID, emit func(Ma
 func (m *Matcher) FindAll(sub []int) []Match {
 	var out []Match
 	m.FindAllFunc(sub, func(mt Match) bool {
-		out = append(out, mt.Clone())
+		out = append(out, m.Retain(mt))
 		return m.MaxMatches <= 0 || len(out) < m.MaxMatches
 	})
 	return out
@@ -315,11 +348,11 @@ func (m *Matcher) bindEdge(qe int, e graph.Edge) {
 	st.boundCnt++
 	if st.cur.VertexOf[q.Src] == graph.NoVertex {
 		st.cur.VertexOf[q.Src] = e.Src
-		st.vUsed[e.Src] = true
+		st.vUsed.add(e.Src)
 	}
 	if st.cur.VertexOf[q.Dst] == graph.NoVertex {
 		st.cur.VertexOf[q.Dst] = e.Dst
-		st.vUsed[e.Dst] = true
+		st.vUsed.add(e.Dst)
 	}
 	if e.TS < st.cur.MinTS {
 		st.cur.MinTS = e.TS
@@ -338,11 +371,11 @@ func (m *Matcher) unbindEdge(qe int, e graph.Edge) {
 	st.boundCnt--
 	if m.vertexFreeable(q.Src, e.Src) {
 		st.cur.VertexOf[q.Src] = graph.NoVertex
-		delete(st.vUsed, e.Src)
+		st.vUsed.remove(e.Src)
 	}
 	if m.vertexFreeable(q.Dst, e.Dst) {
 		st.cur.VertexOf[q.Dst] = graph.NoVertex
-		delete(st.vUsed, e.Dst)
+		st.vUsed.remove(e.Dst)
 	}
 }
 
@@ -444,7 +477,7 @@ func (m *Matcher) extend() {
 			if h.Type != tid {
 				return true
 			}
-			if st.vUsed[h.Peer] {
+			if st.vUsed.has(h.Peer) {
 				return true // injectivity: peer already bound to another query vertex
 			}
 			if !m.labelOK(q.Dst, h.Peer) {
@@ -461,7 +494,7 @@ func (m *Matcher) extend() {
 			if h.Type != tid {
 				return true
 			}
-			if st.vUsed[h.Peer] {
+			if st.vUsed.has(h.Peer) {
 				return true
 			}
 			if !m.labelOK(q.Src, h.Peer) {

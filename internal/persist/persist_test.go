@@ -282,3 +282,49 @@ func TestLoadRejectsCorruptInput(t *testing.T) {
 		}
 	})
 }
+
+// TestRestoredTreeExpiresIncrementally pins the snapshot path against
+// the hashed, time-indexed match-table layout: RestoreStored must
+// rebuild each node's expiry index so that window eviction on the
+// restored engine is incremental (a no-expiry pass scans nothing) and
+// still evicts exactly the restored matches once they age out.
+func TestRestoredTreeExpiresIncrementally(t *testing.T) {
+	edges := testStream(2000)
+	c := stats(edges)
+	q := testQuery(t)
+	eng, err := core.New(q, core.Config{
+		Strategy: core.StrategySingle, Stats: c, Window: 5000, EvictEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(eng, edges)
+	if eng.Tree().StoredMatches() == 0 {
+		t.Fatal("test needs live partial matches before the snapshot")
+	}
+
+	restored, _ := snapshotRoundTrip(t, eng)
+	tree := restored.Tree()
+	stored := tree.StoredMatches()
+	if stored != eng.Tree().StoredMatches() {
+		t.Fatalf("restored %d stored matches, original has %d",
+			stored, eng.Tree().StoredMatches())
+	}
+	// A pass below every restored MinTS must scan no stored match.
+	base := tree.Stats().ExpireScanned
+	if ev := tree.ExpireBefore(0); ev != 0 {
+		t.Fatalf("ExpireBefore(0) evicted %d, want 0", ev)
+	}
+	if got := tree.Stats().ExpireScanned - base; got != 0 {
+		t.Fatalf("no-expiry pass on the restored tree scanned %d matches, want 0", got)
+	}
+	// A pass beyond every timestamp must drain the restored tables via
+	// the rebuilt index.
+	last := restored.Graph().LastTS()
+	if ev := tree.ExpireBefore(last + 1); ev != stored {
+		t.Fatalf("ExpireBefore(max) evicted %d, want all %d restored matches", ev, stored)
+	}
+	if got := tree.StoredMatches(); got != 0 {
+		t.Fatalf("stored = %d after full expiry, want 0", got)
+	}
+}

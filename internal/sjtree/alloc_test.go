@@ -1,0 +1,123 @@
+package sjtree
+
+import (
+	"testing"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+)
+
+// TestInsertHotPathAllocationFree pins the steady-state allocation
+// count of Tree.Insert at zero: once a bucket exists, storing a match
+// must not touch the heap (hashed keys replaced the per-insert string
+// materialization; the PR 2 baseline was 2 allocs/op here, 4 with
+// Dedup). Amortized slice growth rounds to zero over the run.
+func TestInsertHotPathAllocationFree(t *testing.T) {
+	for _, dedup := range []struct {
+		name string
+		on   bool
+	}{{"dedup=off", false}, {"dedup=on", true}} {
+		t.Run(dedup.name, func(t *testing.T) {
+			q := query.NewPath(query.Wildcard, "a", "b")
+			tr, err := Build(q, [][]int{{0}, {1}}, 1<<40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Dedup = dedup.on
+			const runs = 2000
+			ms := make([]iso.Match, 0, runs+8)
+			for i := 0; i < runs+8; i++ {
+				// One shared cut vertex (1): a single hot bucket, every
+				// match distinct (fresh edge + timestamp).
+				ms = append(ms, benchLeafMatch(q, 0, graph.EdgeID(i), 1, 2, int64(i)))
+			}
+			i := 0
+			avg := testing.AllocsPerRun(runs, func() {
+				tr.Insert(0, ms[i], nil, nil)
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("Tree.Insert allocates %.2f allocs/op on the hot path, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestJoinPathReusesPooledMatches pins that a steady-state
+// join-and-store cycle with window expiry running reuses evicted match
+// arrays: the only per-iteration allocations are bucket slices for
+// buckets that expiry fully drained (at most 3 of the 4 appends per
+// iteration). The PR 2 baseline paid 2 allocs per join output alone,
+// plus join keys.
+func TestJoinPathReusesPooledMatches(t *testing.T) {
+	q := query.NewPath(query.Wildcard, "a", "b", "c")
+	tr, err := Build(q, [][]int{{0}, {1}, {2}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 1000
+	const total = runs + 208
+	left := make([]iso.Match, total)
+	right := make([]iso.Match, total)
+	for i := 0; i < total; i++ {
+		cut := graph.VertexID(2)
+		left[i] = benchLeafMatch(q, 0, graph.EdgeID(4*i), 1, cut, int64(i))
+		right[i] = benchLeafMatch(q, 1, graph.EdgeID(4*i+1), cut, 3, int64(i))
+	}
+	// Leaf 0 stores; leaf 1 joins it at the internal node; expiry keeps
+	// a sliding window of stored matches and feeds the pool.
+	step := func(i int) {
+		tr.Insert(0, left[i], nil, nil)
+		tr.Insert(1, right[i], nil, nil)
+		tr.ExpireBefore(int64(i) - 64)
+	}
+	for i := 0; i < 200; i++ {
+		step(i)
+	}
+	i := 200
+	avg := testing.AllocsPerRun(runs, func() {
+		step(i)
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("join+store+expire cycle allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestExpireBeforeIsIncremental pins the O(expired) contract: a pass
+// that expires nothing must not scan any stored match, and a pass that
+// expires k matches held in singleton buckets scans exactly k.
+func TestExpireBeforeIsIncremental(t *testing.T) {
+	q := query.NewPath(query.Wildcard, "a", "b")
+	tr, err := Build(q, [][]int{{0}, {1}}, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		// Distinct cut vertices: one singleton bucket per match.
+		tr.Insert(0, benchLeafMatch(q, 0, graph.EdgeID(i), graph.VertexID(2*i), graph.VertexID(2*i+1), 1000+int64(i)), nil, nil)
+	}
+	if got := tr.Stats().ExpireScanned; got != 0 {
+		t.Fatalf("ExpireScanned = %d before any expiry", got)
+	}
+	// No-expiry pass: nothing may be scanned.
+	if ev := tr.ExpireBefore(1000); ev != 0 {
+		t.Fatalf("ExpireBefore(1000) evicted %d, want 0", ev)
+	}
+	if got := tr.Stats().ExpireScanned; got != 0 {
+		t.Fatalf("no-expiry pass scanned %d stored matches, want 0", got)
+	}
+	// Expire the oldest 100: exactly those may be scanned.
+	ev := tr.ExpireBefore(1100)
+	if ev != 100 {
+		t.Fatalf("ExpireBefore(1100) evicted %d, want 100", ev)
+	}
+	if got := tr.Stats().ExpireScanned; got != 100 {
+		t.Fatalf("expiry scanned %d stored matches, want exactly the 100 expired", got)
+	}
+	if got := tr.StoredMatches(); got != n-100 {
+		t.Fatalf("stored = %d, want %d", got, n-100)
+	}
+}

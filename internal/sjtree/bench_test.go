@@ -1,0 +1,122 @@
+package sjtree
+
+import (
+	"testing"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+)
+
+// benchLeafMatch builds a leaf match for the 2-hop path query binding
+// query edge qe to data edge e with the given endpoint vertices.
+func benchLeafMatch(q *query.Graph, qe int, e graph.EdgeID, s, d graph.VertexID, ts int64) iso.Match {
+	m := iso.NewMatch(q)
+	m.EdgeOf[qe] = e
+	m.VertexOf[q.Edges[qe].Src] = s
+	m.VertexOf[q.Edges[qe].Dst] = d
+	m.MinTS, m.MaxTS = ts, ts
+	return m
+}
+
+// BenchmarkTreeInsertStore measures the pure store path of Algorithm 2:
+// every insert keys a match table bucket and stores, with no sibling
+// matches to probe (the sibling table is empty). This is the per-edge
+// floor every leaf match pays.
+func BenchmarkTreeInsertStore(b *testing.B) {
+	for _, dedup := range []struct {
+		name string
+		on   bool
+	}{{"dedup=off", false}, {"dedup=on", true}} {
+		b.Run(dedup.name, func(b *testing.B) {
+			q := query.NewPath(query.Wildcard, "a", "b")
+			tr, err := Build(q, [][]int{{0}, {1}}, 1<<40)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr.Dedup = dedup.on
+			ms := make([]iso.Match, b.N)
+			for i := range ms {
+				// Distinct cut bindings (vertex v1) spread inserts over
+				// many buckets; distinct edges make every match unique.
+				ms[i] = benchLeafMatch(q, 0, graph.EdgeID(i), graph.VertexID(2*i), graph.VertexID(2*i+1), int64(i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Insert(0, ms[i], nil, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkTreeInsertHotBucket measures repeated inserts that share one
+// cut binding: the bucket and every auxiliary structure already exist,
+// so steady state should not allocate at all.
+func BenchmarkTreeInsertHotBucket(b *testing.B) {
+	q := query.NewPath(query.Wildcard, "a", "b")
+	tr, err := Build(q, [][]int{{0}, {1}}, 1<<40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms := make([]iso.Match, b.N)
+	for i := range ms {
+		ms[i] = benchLeafMatch(q, 0, graph.EdgeID(i), 1, 2, int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(0, ms[i], nil, nil)
+	}
+}
+
+// BenchmarkTreeInsertJoin measures the probe-and-join path: each insert
+// finds one sibling match on the shared cut vertex, joins, and emits at
+// the root.
+func BenchmarkTreeInsertJoin(b *testing.B) {
+	q := query.NewPath(query.Wildcard, "a", "b")
+	tr, err := Build(q, [][]int{{0}, {1}}, 1<<40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms := make([]iso.Match, b.N)
+	for i := range ms {
+		cut := graph.VertexID(3 * i)
+		// One stored sibling (leaf 1) per cut vertex; every timed insert
+		// at leaf 0 joins with exactly one of them.
+		tr.Insert(1, benchLeafMatch(q, 1, graph.EdgeID(2*i), cut, graph.VertexID(3*i+1), int64(i)), nil, nil)
+		ms[i] = benchLeafMatch(q, 0, graph.EdgeID(2*i+1), graph.VertexID(3*i+2), cut, int64(i))
+	}
+	emitted := 0
+	emit := func(iso.Match) { emitted++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(0, ms[i], emit, nil)
+	}
+	b.StopTimer()
+	if emitted != b.N {
+		b.Fatalf("emitted %d of %d expected joins", emitted, b.N)
+	}
+}
+
+// BenchmarkExpireNoOp measures ExpireBefore when nothing is expired —
+// the common steady-state eviction tick, which must not rescan the
+// stored matches.
+func BenchmarkExpireNoOp(b *testing.B) {
+	q := query.NewPath(query.Wildcard, "a", "b")
+	tr, err := Build(q, [][]int{{0}, {1}}, 1<<40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		tr.Insert(0, benchLeafMatch(q, 0, graph.EdgeID(i), graph.VertexID(2*i), graph.VertexID(2*i+1), 100+int64(i)), nil, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.ExpireBefore(50) != 0 {
+			b.Fatal("unexpected eviction")
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package sjtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+)
+
+// refTree is a reference implementation of UPDATE-SJ-TREE (Algorithm 2)
+// with byte-exact string join keys and signatures — the pre-hashing
+// layout. The differential tests drive it in lockstep with the hashed
+// Tree to prove the 64-bit keys plus probe-time equality checks change
+// nothing observable, even when every key is forced to collide.
+type refTree struct {
+	t      *Tree // structure only (nodes, cuts, leaves)
+	window int64
+	dedup  bool
+	tables []map[string][]iso.Match
+	seen   []map[string]bool
+	stored int
+}
+
+func newRefTree(q *query.Graph, leaves [][]int, window int64, dedup bool) (*refTree, error) {
+	t, err := Build(q, leaves, window)
+	if err != nil {
+		return nil, err
+	}
+	r := &refTree{t: t, window: window, dedup: dedup}
+	r.tables = make([]map[string][]iso.Match, len(t.Nodes))
+	r.seen = make([]map[string]bool, len(t.Nodes))
+	for i := range r.tables {
+		r.tables[i] = make(map[string][]iso.Match)
+		r.seen[i] = make(map[string]bool)
+	}
+	return r, nil
+}
+
+func refKey(cut []int, m iso.Match) string {
+	buf := make([]byte, 4*len(cut))
+	for i, qv := range cut {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(m.VertexOf[qv]))
+	}
+	return string(buf)
+}
+
+func refSig(node *Node, m iso.Match) string {
+	buf := make([]byte, 0, 4*len(node.QEdges)+8)
+	for _, qe := range node.QEdges {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(m.EdgeOf[qe]))
+		buf = append(buf, b[:]...)
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(m.MinTS))
+	buf = append(buf, b[:]...)
+	return string(buf)
+}
+
+func (r *refTree) insert(leafPos int, m iso.Match, emit func(iso.Match)) {
+	r.update(r.t.Nodes[r.t.Leaves[leafPos]], m, emit)
+}
+
+func (r *refTree) update(node *Node, m iso.Match, emit func(iso.Match)) {
+	if node.ID == r.t.Root {
+		if emit != nil {
+			emit(m)
+		}
+		return
+	}
+	parent := r.t.Nodes[node.Parent]
+	sibling := r.t.Nodes[node.Sibling]
+	k := refKey(parent.Cut, m)
+	if r.dedup && r.seen[node.ID][refSig(node, m)] {
+		return
+	}
+	for _, ms := range r.tables[sibling.ID][k] {
+		if sup, ok := r.join(m, ms); ok {
+			r.update(parent, sup, emit)
+		}
+	}
+	r.tables[node.ID][k] = append(r.tables[node.ID][k], m)
+	if r.dedup {
+		r.seen[node.ID][refSig(node, m)] = true
+	}
+	r.stored++
+}
+
+// join mirrors Definition 3.1.3 with the original clone-then-check
+// shape.
+func (r *refTree) join(a, b iso.Match) (iso.Match, bool) {
+	if r.window > 0 {
+		lo, hi := a.MinTS, a.MaxTS
+		if b.MinTS < lo {
+			lo = b.MinTS
+		}
+		if b.MaxTS > hi {
+			hi = b.MaxTS
+		}
+		if hi-lo >= r.window {
+			return iso.Match{}, false
+		}
+	}
+	out := a.Clone()
+	for qv, dv := range b.VertexOf {
+		if dv == graph.NoVertex {
+			continue
+		}
+		if cur := out.VertexOf[qv]; cur != graph.NoVertex {
+			if cur != dv {
+				return iso.Match{}, false
+			}
+			continue
+		}
+		for qv2, dv2 := range out.VertexOf {
+			if dv2 == dv && qv2 != qv {
+				return iso.Match{}, false
+			}
+		}
+		out.VertexOf[qv] = dv
+	}
+	for qe, de := range b.EdgeOf {
+		if de == iso.NoEdge {
+			continue
+		}
+		if out.EdgeOf[qe] != iso.NoEdge {
+			return iso.Match{}, false
+		}
+		for _, de2 := range out.EdgeOf {
+			if de2 == de {
+				return iso.Match{}, false
+			}
+		}
+		out.EdgeOf[qe] = de
+	}
+	if b.MinTS < out.MinTS {
+		out.MinTS = b.MinTS
+	}
+	if b.MaxTS > out.MaxTS {
+		out.MaxTS = b.MaxTS
+	}
+	return out, true
+}
+
+func (r *refTree) expireBefore(cutoff int64) int {
+	evicted := 0
+	for id := range r.tables {
+		for k, bucket := range r.tables[id] {
+			kept := bucket[:0]
+			for _, m := range bucket {
+				if m.MinTS < cutoff {
+					evicted++
+					continue
+				}
+				kept = append(kept, m)
+			}
+			if len(kept) == 0 {
+				delete(r.tables[id], k)
+			} else {
+				r.tables[id][k] = kept
+			}
+		}
+		node := r.t.Nodes[id]
+		for sig := range r.seen[id] {
+			// Reconstruct MinTS from the signature suffix.
+			ts := int64(binary.LittleEndian.Uint64([]byte(sig[len(sig)-8:])))
+			_ = node
+			if ts < cutoff {
+				delete(r.seen[id], sig)
+			}
+		}
+	}
+	r.stored -= evicted
+	return evicted
+}
+
+// matchString canonicalizes a match for cross-implementation
+// comparison.
+func matchString(m iso.Match) string {
+	return fmt.Sprintf("v=%v e=%v ts=[%d,%d]", m.VertexOf, m.EdgeOf, m.MinTS, m.MaxTS)
+}
+
+// runDifferential drives the hashed tree (optionally with forced hash
+// collisions) and the string-key reference through an identical insert
+// and expiry schedule, comparing emitted matches (order included) and
+// stored counts after every step.
+func runDifferential(t *testing.T, seed int64, leaves [][]int, dedup, collide bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	q := query.NewPath(query.Wildcard, "a", "b", "c")
+	const window = 200
+
+	tr, err := Build(q, leaves, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Dedup = dedup
+	tr.collide = collide
+	ref, err := newRefTree(q, leaves, window, dedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got, want []string
+	emitGot := func(m iso.Match) { got = append(got, matchString(m)) }
+	emitWant := func(m iso.Match) { want = append(want, matchString(m)) }
+
+	type histItem struct {
+		leaf int
+		m    iso.Match
+	}
+	var history []histItem
+	nextEdge := graph.EdgeID(100)
+	for step := 0; step < 400; step++ {
+		if rng.Intn(12) == 0 {
+			cutoff := int64(rng.Intn(600))
+			ev1 := tr.ExpireBefore(cutoff)
+			ev2 := ref.expireBefore(cutoff)
+			if ev1 != ev2 {
+				t.Fatalf("seed %d step %d: ExpireBefore(%d) evicted %d, reference %d", seed, step, cutoff, ev1, ev2)
+			}
+			continue
+		}
+		var leaf int
+		var m iso.Match
+		if dedup && len(history) > 0 && rng.Intn(5) == 0 {
+			// Replay an earlier leaf match verbatim: Lazy Search's
+			// retrospective repair rediscovers stored matches, and the
+			// replay must be a complete no-op on both implementations.
+			h := history[rng.Intn(len(history))]
+			leaf, m = h.leaf, h.m.Clone()
+		} else {
+			leaf = rng.Intn(len(leaves))
+			m = iso.NewMatch(q)
+			for _, qe := range leaves[leaf] {
+				m.EdgeOf[qe] = nextEdge
+				nextEdge++
+				s := graph.VertexID(rng.Intn(6))
+				d := graph.VertexID(rng.Intn(6) + 6)
+				m.VertexOf[q.Edges[qe].Src] = s
+				m.VertexOf[q.Edges[qe].Dst] = d
+				ts := int64(rng.Intn(500))
+				if ts < m.MinTS {
+					m.MinTS = ts
+				}
+				if ts > m.MaxTS {
+					m.MaxTS = ts
+				}
+			}
+			history = append(history, histItem{leaf: leaf, m: m.Clone()})
+		}
+		got, want = got[:0], want[:0]
+		tr.Insert(leaf, m.Clone(), emitGot, nil)
+		ref.insert(leaf, m, emitWant)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d step %d: emitted %d matches, reference %d", seed, step, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d step %d: match %d = %s, reference %s", seed, step, i, got[i], want[i])
+			}
+		}
+		if int(tr.Stats().Stored) != ref.stored {
+			t.Fatalf("seed %d step %d: stored %d, reference %d", seed, step, tr.Stats().Stored, ref.stored)
+		}
+	}
+}
+
+// TestDifferentialHashedVsStringKeys drives randomized streams through
+// both implementations across decompositions and dedup modes.
+func TestDifferentialHashedVsStringKeys(t *testing.T) {
+	for _, leaves := range [][][]int{{{0}, {1}, {2}}, {{0, 1}, {2}}} {
+		for _, dedup := range []bool{false, true} {
+			for seed := int64(1); seed <= 8; seed++ {
+				runDifferential(t, seed, leaves, dedup, false)
+			}
+		}
+	}
+}
+
+// TestDifferentialForcedCollisions reruns the differential net with the
+// hash hook forcing every cut key and dedup signature onto a single
+// value: the probe-time cut-equality and signature-equality checks must
+// keep results byte-identical to the string-key reference.
+func TestDifferentialForcedCollisions(t *testing.T) {
+	for _, leaves := range [][][]int{{{0}, {1}, {2}}, {{0, 1}, {2}}} {
+		for _, dedup := range []bool{false, true} {
+			for seed := int64(1); seed <= 8; seed++ {
+				runDifferential(t, seed, leaves, dedup, true)
+			}
+		}
+	}
+}
+
+// TestDifferentialFixedScript pins a deterministic scripted sequence —
+// join cascade, duplicate suppression, window rejection, expiry — on
+// both implementations, with and without forced collisions.
+func TestDifferentialFixedScript(t *testing.T) {
+	for _, collide := range []bool{false, true} {
+		q := query.NewPath(query.Wildcard, "a", "b", "c")
+		leaves := [][]int{{0}, {1}, {2}}
+		tr, err := Build(q, leaves, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Dedup = true
+		tr.collide = collide
+		ref, err := newRefTree(q, leaves, 100, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		script := []struct {
+			leaf int
+			e    graph.EdgeID
+			s, d graph.VertexID
+			ts   int64
+		}{
+			{0, 100, 1, 2, 10},
+			{1, 101, 2, 3, 20},
+			{2, 102, 3, 4, 30},  // completes 100-101-102
+			{1, 101, 2, 3, 20},  // duplicate: must be a no-op
+			{2, 103, 3, 5, 200}, // window-rejected against the 10..20 partial
+			{0, 104, 7, 2, 95},  // same cut vertex 2: joins 101
+		}
+		for i, s := range script {
+			m := iso.NewMatch(q)
+			qe := leaves[s.leaf][0]
+			m.EdgeOf[qe] = s.e
+			m.VertexOf[q.Edges[qe].Src] = s.s
+			m.VertexOf[q.Edges[qe].Dst] = s.d
+			m.MinTS, m.MaxTS = s.ts, s.ts
+			var got, want []string
+			tr.Insert(s.leaf, m.Clone(), func(cm iso.Match) { got = append(got, matchString(cm)) }, nil)
+			ref.insert(s.leaf, m, func(cm iso.Match) { want = append(want, matchString(cm)) })
+			if len(got) != len(want) {
+				t.Fatalf("collide=%v step %d: emitted %d, reference %d", collide, i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("collide=%v step %d: %s != %s", collide, i, got[j], want[j])
+				}
+			}
+		}
+		if ev1, ev2 := tr.ExpireBefore(96), ref.expireBefore(96); ev1 != ev2 {
+			t.Fatalf("collide=%v: evicted %d, reference %d", collide, ev1, ev2)
+		}
+		if int(tr.Stats().Stored) != ref.stored {
+			t.Fatalf("collide=%v: stored %d, reference %d", collide, tr.Stats().Stored, ref.stored)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Incremental window expiry for the SJ-Tree match tables.
+//
+// Every stored partial match is indexed by an (MinTS, bucket-key) entry
+// in a per-node binary min-heap ordered by MinTS. ExpireBefore pops
+// entries older than the cutoff and sweeps only the buckets they name,
+// so an eviction pass costs O(expired · log stored) plus the size of
+// the touched buckets — and a pass that expires nothing is a single
+// heap-top comparison per node, never a table scan. The previous
+// implementation rescanned every stored match on every pass
+// (O(stored)), which dominated eviction cost at high edge rates.
+package sjtree
+
+import "slices"
+
+// expEntry indexes one stored match for incremental expiry: the match's
+// MinTS and the hashed cut key of the bucket holding it.
+type expEntry struct {
+	ts  int64
+	key uint64
+}
+
+// heapPush adds e to the min-heap in *h.
+func heapPush(h *[]expEntry, e expEntry) {
+	s := append(*h, e)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].ts <= s[i].ts {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+// heapPop removes and returns the minimum entry. The heap must be
+// non-empty.
+func heapPop(h *[]expEntry) expEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].ts < s[min].ts {
+			min = l
+		}
+		if r < n && s[r].ts < s[min].ts {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// expireNode evicts every stored match at n with MinTS < cutoff,
+// returning the number removed. It pops all expired index entries,
+// then sweeps each distinct named bucket exactly once, preserving the
+// relative order of surviving matches (join probes iterate buckets in
+// insertion order, so order changes would perturb emit order).
+func (t *Tree) expireNode(n *Node, cutoff int64) int {
+	if len(n.exp) == 0 || n.exp[0].ts >= cutoff {
+		return 0
+	}
+	keys := t.scratchKeys[:0]
+	for len(n.exp) > 0 && n.exp[0].ts < cutoff {
+		keys = append(keys, heapPop(&n.exp).key)
+	}
+	slices.Sort(keys)
+	removed := 0
+	for i, k := range keys {
+		if i > 0 && k == keys[i-1] {
+			continue // bucket already swept this pass
+		}
+		bucket, ok := n.table[k]
+		if !ok {
+			continue
+		}
+		kept := bucket[:0]
+		for _, m := range bucket {
+			t.stats.ExpireScanned++
+			if m.MinTS < cutoff {
+				removed++
+				if t.Dedup && n.seen != nil {
+					decSeen(n, t.sigHash(n, m))
+				}
+				// Stored matches are exclusively owned by the table
+				// (Insert transfers ownership), so their backing arrays
+				// are safe to recycle.
+				t.pool.Put(m)
+				continue
+			}
+			kept = append(kept, m)
+		}
+		if len(kept) == 0 {
+			delete(n.table, k)
+		} else {
+			n.table[k] = kept
+		}
+	}
+	t.scratchKeys = keys[:0]
+	return removed
+}

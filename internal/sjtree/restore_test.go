@@ -86,8 +86,10 @@ func TestRestoreStoredDedupBlocksRediscovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The same embedding re-inserted through the live path must be a
-	// complete no-op.
-	n := tree.Insert(0, m0, nil, nil)
+	// complete no-op. (Cloned: Insert takes ownership and may recycle a
+	// suppressed match's arrays, so passing the stored m0 itself would
+	// violate its contract.)
+	n := tree.Insert(0, m0.Clone(), nil, nil)
 	if n != 0 {
 		t.Fatalf("duplicate produced %d completions", n)
 	}

@@ -9,7 +9,6 @@
 package sjtree
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -43,11 +42,22 @@ type Node struct {
 	// 1; for the internal node joining leaves 0..i it is i+1.
 	NextLeaf int
 
-	table map[string][]iso.Match
-	// seen maps binding signatures to the match's MinTS for O(1)
-	// duplicate suppression when the tree's Dedup flag is set (Lazy
-	// Search re-discovers matches); entries expire with the window.
-	seen map[string]int64
+	// table holds the stored partial matches, keyed by a 64-bit hash of
+	// the cut bindings (Property 4's projection Π). Hashing avoids the
+	// per-insert string materialization of a byte-exact key; probes
+	// re-check cut-binding equality explicitly so a hash collision can
+	// only cost a skipped comparison, never a wrong join.
+	table map[uint64][]iso.Match
+	// seen counts live stored matches per binding-signature hash for
+	// O(1) duplicate suppression when the tree's Dedup flag is set
+	// (Lazy Search re-discovers matches). A count hit is verified
+	// against the actual bucket before a match is suppressed, so
+	// signature collisions cannot drop genuine matches. Entries expire
+	// with their matches.
+	seen map[uint64]int32
+	// exp indexes every stored match by MinTS for incremental window
+	// expiry (see expiry.go).
+	exp []expEntry
 }
 
 // Stats counts the work performed by a tree since construction.
@@ -61,6 +71,7 @@ type Stats struct {
 	PeakStored     int64
 	Evicted        int64
 	Shed           int64 // inserts/probes dropped by the work budget
+	ExpireScanned  int64 // stored matches examined by ExpireBefore; stays 0 on no-expiry passes
 }
 
 // Tree is an SJ-Tree bound to a query graph.
@@ -88,6 +99,18 @@ type Tree struct {
 	// combinatorial pressure (hub vertices of unlabeled queries);
 	// Stats.Shed counts the dropped work.
 	Budget *WorkBudget
+
+	// pool recycles the backing arrays of evicted and discarded
+	// matches into join outputs and (via Pool) the engine's candidate
+	// clones, keeping the steady-state insert path allocation-free.
+	pool *iso.MatchPool
+
+	// collide (test hook) forces every cut key and dedup signature to
+	// hash to the same value, so the differential tests can prove the
+	// probe-time equality checks keep results exact under collisions.
+	collide bool
+
+	scratchKeys []uint64 // reusable expiry scratch (see expireNode)
 
 	stats Stats
 }
@@ -127,12 +150,12 @@ func Build(q *query.Graph, leaves [][]int, window int64) (*Tree, error) {
 		}
 	}
 
-	t := &Tree{Query: q, Root: None, Window: window}
+	t := &Tree{Query: q, Root: None, Window: window, pool: iso.NewMatchPool(q)}
 	newNode := func() *Node {
 		n := &Node{
 			ID: len(t.Nodes), Parent: None, Left: None, Right: None,
 			Sibling: None, LeafPos: -1, NextLeaf: -1,
-			table: make(map[string][]iso.Match),
+			table: make(map[uint64][]iso.Match),
 		}
 		t.Nodes = append(t.Nodes, n)
 		return n
@@ -239,19 +262,48 @@ func (t *Tree) NumLeaves() int { return len(t.Leaves) }
 // Stats returns a snapshot of the tree's counters.
 func (t *Tree) Stats() Stats { return t.stats }
 
-// joinKey builds the hash key for a match with respect to a cut: the
-// data vertices bound to the cut's query vertices, in cut order
-// (Property 4's projection Π followed by GET-JOIN-KEY).
-func joinKey(cut []int, m iso.Match) string {
-	if len(cut) == 0 {
-		return ""
+// FNV-1a 64-bit constants, used to hash cut keys and dedup signatures
+// without materializing a byte string.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// joinKey hashes a match's projection onto a cut: the data vertices
+// bound to the cut's query vertices, folded in cut order (Property 4's
+// projection Π followed by GET-JOIN-KEY). Two matches with equal cut
+// bindings always hash equal; unequal bindings may collide, which the
+// probe-time cutEqual check makes harmless.
+func (t *Tree) joinKey(cut []int, m iso.Match) uint64 {
+	if t.collide {
+		return 0
 	}
-	buf := make([]byte, 4*len(cut))
-	for i, qv := range cut {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(m.VertexOf[qv]))
+	h := uint64(fnvOffset64)
+	for _, qv := range cut {
+		h = (h ^ uint64(uint32(m.VertexOf[qv]))) * fnvPrime64
 	}
-	return string(buf)
+	return h
 }
+
+// cutEqual reports whether a and b bind every cut vertex identically —
+// the explicit equality check behind each hashed-key probe.
+func cutEqual(cut []int, a, b iso.Match) bool {
+	for _, qv := range cut {
+		if a.VertexOf[qv] != b.VertexOf[qv] {
+			return false
+		}
+	}
+	return true
+}
+
+// Pool exposes the tree's match pool so the engine can wire it into its
+// merge-path matcher (candidate clones then reuse evicted arrays).
+func (t *Tree) Pool() *iso.MatchPool { return t.pool }
+
+// Release recycles a match the caller discarded without inserting (a
+// lazily gated candidate, an excluded retrospective match). The caller
+// must exclusively own m.
+func (t *Tree) Release(m iso.Match) { t.pool.Put(m) }
 
 // OnStored observes every match newly stored at a node; Lazy Search uses
 // it to enable the next leaf's search around the match's vertices.
@@ -261,6 +313,12 @@ type OnStored func(n *Node, m iso.Match)
 // given leaf. emit receives every completed (root-level) match; onStored
 // (optional) observes every partial match added to a table. It returns
 // the number of complete matches produced.
+//
+// Insert takes ownership of m: its backing arrays may be recycled
+// through the tree's match pool (on eviction, or immediately when the
+// insert is dedup-suppressed), so callers must not reuse m after the
+// call and must not pass a match aliasing an already-stored one — pass
+// a clone to retain or replay one.
 func (t *Tree) Insert(leafPos int, m iso.Match, emit func(iso.Match), onStored OnStored) int {
 	return t.update(t.Nodes[t.Leaves[leafPos]], m, emit, onStored)
 }
@@ -282,15 +340,23 @@ func (t *Tree) update(node *Node, m iso.Match, emit func(iso.Match), onStored On
 	}
 	parent := t.Nodes[node.Parent]
 	sibling := t.Nodes[node.Sibling]
-	k := joinKey(parent.Cut, m)
+	k := t.joinKey(parent.Cut, m)
 
 	// A duplicate insert must be a complete no-op: re-probing the
-	// sibling would re-emit every join this match already produced.
-	var sig string
+	// sibling would re-emit every join this match already produced. A
+	// signature-hash hit alone is not proof — the candidate bucket is
+	// scanned for a byte-equal binding, so a collision cannot suppress
+	// a genuine match. (A true duplicate always lives in bucket k: its
+	// cut bindings are derived from the same data edges.)
+	var sig uint64
 	if t.Dedup {
-		sig = t.signature(node, m)
-		if _, dup := node.seen[sig]; dup {
+		sig = t.sigHash(node, m)
+		if node.seen[sig] > 0 && bucketHasSig(node, node.table[k], m) {
 			t.stats.Deduped++
+			// Ownership of m transferred to the tree and it was not
+			// stored: recycle its arrays (Insert's contract forbids the
+			// caller passing an alias of an already-stored match).
+			t.pool.Put(m)
 			return 0
 		}
 	}
@@ -298,6 +364,9 @@ func (t *Tree) update(node *Node, m iso.Match, emit func(iso.Match), onStored On
 	complete := 0
 	// Probe the sibling's table and push successful joins up the tree.
 	for _, ms := range sibling.table[k] {
+		if !cutEqual(parent.Cut, m, ms) {
+			continue // hash collision: not actually the same join key
+		}
 		if t.Budget != nil {
 			if t.Budget.Remaining <= 0 {
 				t.stats.Shed++
@@ -314,11 +383,9 @@ func (t *Tree) update(node *Node, m iso.Match, emit func(iso.Match), onStored On
 		complete += t.update(parent, sup, emit, onStored)
 	}
 	node.table[k] = append(node.table[k], m)
+	heapPush(&node.exp, expEntry{ts: m.MinTS, key: k})
 	if t.Dedup {
-		if node.seen == nil {
-			node.seen = make(map[string]int64)
-		}
-		node.seen[sig] = m.MinTS
+		incSeen(node, sig)
 	}
 	t.stats.Inserted++
 	t.stats.Stored++
@@ -331,27 +398,71 @@ func (t *Tree) update(node *Node, m iso.Match, emit func(iso.Match), onStored On
 	return complete
 }
 
-// signature canonicalizes a match's binding at a node: the data edge
-// bound to every query edge of the node, plus the match's earliest
-// timestamp (edge IDs are recycled after window eviction; an identical
-// ID+timestamp combination denotes an observably identical edge).
-func (t *Tree) signature(node *Node, m iso.Match) string {
-	buf := make([]byte, 0, 4*len(node.QEdges)+8)
+// sigHash canonicalizes a match's binding at a node into a 64-bit
+// hash: the data edge bound to every query edge of the node, plus the
+// match's earliest timestamp (edge IDs are recycled after window
+// eviction; an identical ID+timestamp combination denotes an
+// observably identical edge).
+func (t *Tree) sigHash(node *Node, m iso.Match) uint64 {
+	if t.collide {
+		return 0
+	}
+	h := uint64(fnvOffset64)
 	for _, qe := range node.QEdges {
-		id := uint32(m.EdgeOf[qe])
-		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		h = (h ^ uint64(uint32(m.EdgeOf[qe]))) * fnvPrime64
 	}
 	ts := uint64(m.MinTS)
-	buf = append(buf, byte(ts), byte(ts>>8), byte(ts>>16), byte(ts>>24),
-		byte(ts>>32), byte(ts>>40), byte(ts>>48), byte(ts>>56))
-	return string(buf)
+	h = (h ^ (ts & 0xffffffff)) * fnvPrime64
+	h = (h ^ (ts >> 32)) * fnvPrime64
+	return h
+}
+
+// bucketHasSig reports whether the bucket holds a match with the exact
+// binding signature of m at node: equal data edges on every query edge
+// of the node and equal MinTS.
+func bucketHasSig(node *Node, bucket []iso.Match, m iso.Match) bool {
+	for _, ms := range bucket {
+		if sigEqual(node, m, ms) {
+			return true
+		}
+	}
+	return false
+}
+
+func sigEqual(node *Node, a, b iso.Match) bool {
+	if a.MinTS != b.MinTS {
+		return false
+	}
+	for _, qe := range node.QEdges {
+		if a.EdgeOf[qe] != b.EdgeOf[qe] {
+			return false
+		}
+	}
+	return true
+}
+
+func incSeen(node *Node, sig uint64) {
+	if node.seen == nil {
+		node.seen = make(map[uint64]int32)
+	}
+	node.seen[sig]++
+}
+
+func decSeen(node *Node, sig uint64) {
+	if c := node.seen[sig]; c > 1 {
+		node.seen[sig] = c - 1
+	} else {
+		delete(node.seen, sig)
+	}
 }
 
 // join merges two sibling matches (Definition 3.1.3): the union of their
-// bindings, provided shared query vertices agree (guaranteed for cut
-// vertices by the hash key, checked for the rest), vertex injectivity
-// holds across the union, data edges are distinct, and the combined
-// τ(g) respects the window.
+// bindings, provided shared query vertices agree (probed via the hashed
+// cut key and re-checked here), vertex injectivity holds across the
+// union, data edges are distinct, and the combined τ(g) respects the
+// window. The merged output draws its arrays from the match pool and is
+// recycled straight back on rejection, so failed joins — the
+// overwhelming majority at hub vertices — cost no heap churn.
 func (t *Tree) join(a, b iso.Match) (iso.Match, bool) {
 	if t.Window > 0 {
 		lo, hi := a.MinTS, a.MaxTS
@@ -365,7 +476,11 @@ func (t *Tree) join(a, b iso.Match) (iso.Match, bool) {
 			return iso.Match{}, false
 		}
 	}
-	out := a.Clone()
+	out := t.pool.Clone(a)
+	reject := func() (iso.Match, bool) {
+		t.pool.Put(out)
+		return iso.Match{}, false
+	}
 	// Vertices: merge with consistency + injectivity checks.
 	for qv, dv := range b.VertexOf {
 		if dv == graph.NoVertex {
@@ -373,14 +488,14 @@ func (t *Tree) join(a, b iso.Match) (iso.Match, bool) {
 		}
 		if cur := out.VertexOf[qv]; cur != graph.NoVertex {
 			if cur != dv {
-				return iso.Match{}, false
+				return reject()
 			}
 			continue
 		}
 		// dv must not already be bound to a different query vertex.
 		for qv2, dv2 := range out.VertexOf {
 			if dv2 == dv && qv2 != qv {
-				return iso.Match{}, false
+				return reject()
 			}
 		}
 		out.VertexOf[qv] = dv
@@ -393,11 +508,11 @@ func (t *Tree) join(a, b iso.Match) (iso.Match, bool) {
 		if out.EdgeOf[qe] != iso.NoEdge {
 			// Leaves are edge-disjoint, so the same query edge can never
 			// be bound on both sides.
-			return iso.Match{}, false
+			return reject()
 		}
 		for _, de2 := range out.EdgeOf {
 			if de2 == de {
-				return iso.Match{}, false
+				return reject()
 			}
 		}
 		out.EdgeOf[qe] = de
@@ -426,13 +541,11 @@ func (t *Tree) RestoreStored(nodeID int, m iso.Match) error {
 		return fmt.Errorf("sjtree: the root stores no matches")
 	}
 	parent := t.Nodes[node.Parent]
-	k := joinKey(parent.Cut, m)
+	k := t.joinKey(parent.Cut, m)
 	node.table[k] = append(node.table[k], m)
+	heapPush(&node.exp, expEntry{ts: m.MinTS, key: k})
 	if t.Dedup {
-		if node.seen == nil {
-			node.seen = make(map[string]int64)
-		}
-		node.seen[t.signature(node, m)] = m.MinTS
+		incSeen(node, t.sigHash(node, m))
 	}
 	t.stats.Stored++
 	if t.stats.Stored > t.stats.PeakStored {
@@ -445,33 +558,30 @@ func (t *Tree) RestoreStored(nodeID int, m iso.Match) error {
 // than cutoff; such matches can no longer complete within the window
 // once the stream has advanced past cutoff + tW. Returns the number of
 // matches evicted.
+//
+// Eviction is incremental: each node's time index (a min-heap over
+// MinTS, see expiry.go) names exactly the buckets holding expired
+// matches, so a pass costs O(expired) plus the touched buckets — and a
+// pass that expires nothing performs no table scans at all
+// (Stats.ExpireScanned pins this).
 func (t *Tree) ExpireBefore(cutoff int64) int {
 	evicted := 0
 	for _, n := range t.Nodes {
-		for k, bucket := range n.table {
-			kept := bucket[:0]
-			for _, m := range bucket {
-				if m.MinTS < cutoff {
-					evicted++
-					continue
-				}
-				kept = append(kept, m)
-			}
-			if len(kept) == 0 {
-				delete(n.table, k)
-			} else {
-				n.table[k] = kept
-			}
-		}
-		for sig, minTS := range n.seen {
-			if minTS < cutoff {
-				delete(n.seen, sig)
-			}
-		}
+		evicted += t.expireNode(n, cutoff)
 	}
 	t.stats.Stored -= int64(evicted)
 	t.stats.Evicted += int64(evicted)
 	return evicted
+}
+
+// DropDedupState releases the duplicate-suppression tables. The
+// adaptive migration path bulk-loads a new tree with Dedup forced on;
+// when the engine then runs non-lazy (Dedup off), the leftover counts
+// would never be read or cleaned, so it drops them.
+func (t *Tree) DropDedupState() {
+	for _, n := range t.Nodes {
+		n.seen = nil
+	}
 }
 
 // StoredMatches returns the number of live partial matches across all
