@@ -16,7 +16,9 @@
 // eviction, parallel candidate search) at -batch as the largest batch
 // size; shard compares the serial multi-query engine, the fork/join
 // ParallelMulti and the sharded runtime (internal/shard) at several
-// shard counts.
+// shard counts, reporting each mode's total replicated edge count —
+// the storage the edge-type-partitioned replicas save versus full
+// per-shard replication — alongside throughput.
 //
 // With -json the throughput experiments (batch, shard) emit one
 // machine-readable JSON document on stdout instead of text tables —

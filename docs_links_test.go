@@ -1,0 +1,56 @@
+package streamgraph
+
+// The docs link check: every intra-repository markdown link in
+// README.md and docs/*.md must resolve to an existing file or
+// directory. Runs as a plain test and in CI's docs job.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocsLinksResolve(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md files found — the architecture docs are missing")
+	}
+	files = append(files, docs...)
+
+	var broken []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := filepath.Dir(file)
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip an intra-file anchor from a relative link.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+				broken = append(broken, file+": "+m[1])
+			}
+		}
+	}
+	if len(broken) > 0 {
+		t.Errorf("%d broken intra-repo links:\n  %s", len(broken), strings.Join(broken, "\n  "))
+	}
+}

@@ -266,22 +266,55 @@ func (m *MultiEngine) ProcessBatch(ses []stream.Edge) []NamedMatch {
 // ProcessBatchGrouped is ProcessBatch with the results grouped by input
 // edge: out[i] holds the matches batch edge i completed, in query
 // registration order. The sharded runtime uses the grouping to tag each
-// match with the arrival sequence of its completing edge.
+// match with the arrival sequence of its completing edge — which is why
+// the result stays aligned with the input slice even under a replica
+// filter: filtered-out edges keep their slot and simply complete
+// nothing.
 func (m *MultiEngine) ProcessBatchGrouped(ses []stream.Edge) [][]NamedMatch {
 	if len(ses) == 0 {
 		return nil
 	}
-	des := m.ingestBatch(ses)
+	kept := ses
+	var keptIdx []int // nil when the filter admits the whole batch
+	if !m.filter.Universal() {
+		// Scan before copying: a batch the filter fully admits — the
+		// common case for a shard whose footprint covers the stream's
+		// hot types — must not allocate on the ingest path.
+		rejects := false
+		for _, se := range ses {
+			if !m.admits(se) {
+				rejects = true
+				break
+			}
+		}
+		if rejects {
+			kept = nil
+			for i, se := range ses {
+				if m.admits(se) {
+					kept = append(kept, se)
+					keptIdx = append(keptIdx, i)
+				}
+			}
+		}
+	}
+	out := make([][]NamedMatch, len(ses))
+	if len(kept) == 0 {
+		return out
+	}
+	des := m.ingestBatch(kept)
 	perQuery := make([][][]iso.Match, len(m.order))
 	for qi, name := range m.order {
 		eng := m.queries[name]
 		perQuery[qi] = eng.searchBatch(des, eng.batchWorkers())
 	}
-	out := make([][]NamedMatch, len(des))
 	for i := range des {
+		pos := i
+		if keptIdx != nil {
+			pos = keptIdx[i]
+		}
 		for qi, name := range m.order {
 			for _, mt := range perQuery[qi][i] {
-				out[i] = append(out[i], NamedMatch{Query: name, Match: mt})
+				out[pos] = append(out[pos], NamedMatch{Query: name, Match: mt})
 			}
 		}
 	}
@@ -296,6 +329,7 @@ func (m *MultiEngine) ingestBatch(ses []stream.Edge) []graph.Edge {
 	m.advanceEvict(len(ses))
 	m.stats.AddAll(ses)
 	m.edgesSeen += int64(len(ses))
+	m.stored += int64(len(ses))
 	des := make([]graph.Edge, len(ses))
 	for i, se := range ses {
 		des[i] = ingestOne(m.g, se)

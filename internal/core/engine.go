@@ -164,6 +164,17 @@ type Engine struct {
 	curEdge    graph.EdgeID
 	curResults []iso.Match
 
+	// Retro-drain dedup state, reused across drains so the hot path
+	// stays allocation-free: retroSeen maps a 64-bit signature hash to
+	// offsets into retroBuf, where the actual edge bindings of already
+	// produced matches are recorded for probe-time verification (a
+	// collision can never suppress a distinct match — the same verified
+	// scheme as the SJ-Tree's dedup tables). retroCollide is the test
+	// hook that forces every signature to hash equal.
+	retroSeen    map[uint64][]int32
+	retroBuf     []graph.EdgeID
+	retroCollide bool
+
 	// Streaming-merge state for the live leaf search: mergeEmit is the
 	// persistent candidate callback (allocated once, not per search),
 	// parameterized through the cur* fields below.
@@ -505,7 +516,12 @@ func (e *Engine) drainRetro(l int, exclude graph.EdgeID) {
 	}
 	e.pending[l] = nil
 	sub := e.tree.LeafEdges(l)
-	seen := make(map[string]bool)
+	if e.retroSeen == nil {
+		e.retroSeen = make(map[uint64][]int32)
+	} else {
+		clear(e.retroSeen)
+	}
+	e.retroBuf = e.retroBuf[:0]
 	for _, it := range items {
 		e.stats.RetroSearches++
 		for _, m := range e.matcher.FindAroundVertex(sub, it.v) {
@@ -513,25 +529,49 @@ func (e *Engine) drainRetro(l int, exclude graph.EdgeID) {
 				e.tree.Release(m)
 				continue
 			}
-			sig := matchSignature(m, sub)
-			if seen[sig] {
+			if e.retroSeenBefore(m, sub) {
 				e.tree.Release(m)
 				continue
 			}
-			seen[sig] = true
 			e.stats.RetroMatches++
 			e.insert(l, m)
 		}
 	}
 }
 
-func matchSignature(m iso.Match, sub []int) string {
-	buf := make([]byte, 0, 4*len(sub))
-	for _, qe := range sub {
-		id := uint32(m.EdgeOf[qe])
-		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+// retroSeenBefore reports whether a match with the same edge bindings
+// was already produced in the current drain, recording the bindings
+// otherwise. The signature is a 64-bit hash of the bound edge IDs
+// (iso's shared FNV-1a scheme, the same one behind the SJ-Tree's
+// hashed match tables); a hash hit is only a duplicate after the
+// recorded bindings compare equal, so a collision costs one
+// comparison, never a lost match.
+func (e *Engine) retroSeenBefore(m iso.Match, sub []int) bool {
+	h := iso.HashStart()
+	if !e.retroCollide {
+		for _, qe := range sub {
+			h = iso.HashMix32(h, uint32(m.EdgeOf[qe]))
+		}
 	}
-	return string(buf)
+	for _, off := range e.retroSeen[h] {
+		rec := e.retroBuf[off : int(off)+len(sub)]
+		equal := true
+		for k, qe := range sub {
+			if rec[k] != m.EdgeOf[qe] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return true
+		}
+	}
+	off := int32(len(e.retroBuf))
+	for _, qe := range sub {
+		e.retroBuf = append(e.retroBuf, m.EdgeOf[qe])
+	}
+	e.retroSeen[h] = append(e.retroSeen[h], off)
+	return false
 }
 
 func (e *Engine) enabled(v graph.VertexID, leaf int) bool {

@@ -29,6 +29,14 @@ type MultiEngine struct {
 	evictEvery int
 	sinceEvict int
 	edgesSeen  int64
+
+	// filter is the replica filter: the set of edge types ingestion
+	// admits, over the shared graph's interner. It defaults to
+	// universal (admit everything); the sharded runtime narrows it to
+	// the union edge-type footprint of the engine's queries, making the
+	// shared graph a filtered replica. See SetReplicaFilter.
+	filter graph.TypeSet
+	stored int64 // cumulative edges admitted into the graph
 }
 
 // MultiConfig parameterizes a MultiEngine.
@@ -56,7 +64,109 @@ func NewMulti(cfg MultiConfig) *MultiEngine {
 		queries:    make(map[string]*Engine),
 		stats:      selectivity.NewCollector(),
 		evictEvery: cfg.EvictEvery,
+		filter:     graph.UniversalTypes(),
 	}
+}
+
+// SetReplicaFilter restricts subsequent ingestion to edges whose type
+// is one of types: everything else is dropped before touching the
+// graph, the statistics, or any query's search — the engine becomes a
+// filtered replica of the stream. universal re-admits every type
+// (types is then ignored). The caller is responsible for only
+// filtering when every registered query's edge-type footprint is
+// covered (see query.Graph.TypeFootprint); the sharded runtime
+// maintains exactly that invariant, backfilling via Backfill when a
+// registration widens the footprint and trimming via TrimReplica when
+// an unregistration narrows it.
+//
+// Match-set exactness under a covering filter follows from the matcher
+// being type-respecting — it can never bind an edge outside a query's
+// footprint — plus the eviction-slack argument of Engine.advanceEvict:
+// a filtered engine processes fewer edges, so it evicts later, which
+// with non-decreasing timestamps only retains extra memory, never
+// changes complete matches. Retrospective (lazy) repairs run at the
+// next admitted edge instead of the next stream edge, which shifts
+// when a match is reported but not whether.
+func (m *MultiEngine) SetReplicaFilter(types []string, universal bool) {
+	if universal {
+		m.filter = graph.UniversalTypes()
+		return
+	}
+	ids := make([]graph.TypeID, len(types))
+	for i, tp := range types {
+		ids[i] = graph.TypeID(m.g.Types().Intern(tp))
+	}
+	m.filter = graph.NewTypeSet(ids...)
+}
+
+// ReplicaView returns the shared graph seen through the replica
+// filter. With a universal filter it is simply the whole graph; with a
+// narrowed filter its edge set is what the replica is contracted to
+// hold.
+func (m *MultiEngine) ReplicaView() graph.View { return m.g.ViewTypes(m.filter) }
+
+// EdgesStored reports the cumulative number of edges admitted into the
+// shared graph (filtered ingest plus backfill) — the replication-cost
+// metric the shard experiment sums across shards.
+func (m *MultiEngine) EdgesStored() int64 { return m.stored }
+
+// admits reports whether the replica filter accepts the edge.
+func (m *MultiEngine) admits(se stream.Edge) bool {
+	if m.filter.Universal() {
+		return true
+	}
+	id, ok := m.g.Types().Lookup(se.Type)
+	return ok && m.filter.Has(graph.TypeID(id))
+}
+
+// Backfill admits edges into the shared graph and statistics without
+// running any query's search, bypassing the replica filter. The
+// sharded runtime replays the shared edge log through it when a
+// registration widens a replica's footprint: the edges existed in the
+// stream's past, so they must exist in the replica, but — exactly as
+// with MultiEngine.Register on a full graph — they are not
+// retroactively searched.
+func (m *MultiEngine) Backfill(ses []stream.Edge) {
+	if len(ses) == 0 {
+		return
+	}
+	for _, se := range ses {
+		m.stats.Add(se)
+		ingestOne(m.g, se)
+		m.stored++
+	}
+	// The backfilled edges are older than what the graph already holds;
+	// put the eviction FIFO back into timestamp order so they expire
+	// when a serial ingest of the same edges would have expired them.
+	m.g.NormalizeEvictionOrder()
+}
+
+// TrimReplica removes every live edge whose type the replica filter no
+// longer admits, returning how many were dropped. The sharded runtime
+// calls it after an unregistration narrows the footprint; the dropped
+// types are disjoint from every remaining query's footprint, so no
+// partial-match state can reference the removed edges.
+func (m *MultiEngine) TrimReplica() int {
+	if m.filter.Universal() {
+		return 0
+	}
+	var drop []graph.EdgeID
+	m.g.EachEdge(func(e graph.Edge) bool {
+		if !m.filter.Has(e.Type) {
+			drop = append(drop, e.ID)
+		}
+		return true
+	})
+	for _, id := range drop {
+		m.g.RemoveEdge(id)
+	}
+	if len(drop) > 0 {
+		// The removals punched holes in the middle of the eviction
+		// FIFO; rebuild it so no stale entry can alias a recycled edge
+		// slot and stall the eviction walk (see NormalizeEvictionOrder).
+		m.g.NormalizeEvictionOrder()
+	}
+	return len(drop)
 }
 
 // Graph exposes the shared data graph (read-only use).
@@ -145,13 +255,19 @@ func (m *MultiEngine) ingest(se stream.Edge) graph.Edge {
 	m.edgesSeen++
 	m.stats.Add(se)
 	de := ingestOne(m.g, se)
+	m.stored++
 	m.maybeEvict()
 	return de
 }
 
 // ProcessEdge ingests one stream edge into the shared graph and runs
-// every registered query's incremental search around it.
+// every registered query's incremental search around it. An edge the
+// replica filter rejects is dropped whole: no graph mutation, no
+// statistics, no search.
 func (m *MultiEngine) ProcessEdge(se stream.Edge) []NamedMatch {
+	if !m.admits(se) {
+		return nil
+	}
 	de := m.ingest(se)
 	var out []NamedMatch
 	for _, name := range m.order {
@@ -192,6 +308,22 @@ func (m *MultiEngine) advanceEvict(n int) {
 			}
 		}
 	}
+}
+
+// FlushPending runs every registered query's queued retrospective
+// (lazy) work now instead of on the next edge arrival, returning the
+// complete matches it produces in registration order. A filtered
+// replica uses it as the drain barrier at register/unregister/close
+// points: the serial schedule drains pending repairs at the next
+// stream edge, which a gated replica may never receive.
+func (m *MultiEngine) FlushPending() []NamedMatch {
+	var out []NamedMatch
+	for _, name := range m.order {
+		for _, mt := range m.queries[name].FlushPending() {
+			out = append(out, NamedMatch{Query: name, Match: mt})
+		}
+	}
+	return out
 }
 
 // MultiStats summarizes the shared engine state.

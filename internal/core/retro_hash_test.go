@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/stream"
+)
+
+// retroRun drives a single lazy engine over edges and returns the
+// per-edge match signatures (in report order) plus the engine stats.
+// collide forces every retro dedup signature onto one hash bucket, so
+// duplicate suppression survives only through the probe-time equality
+// verification.
+func retroRun(t *testing.T, q *query.Graph, strategy Strategy, edges []stream.Edge, window int64, collide bool) ([]string, Stats) {
+	t.Helper()
+	eng, err := New(q, Config{Strategy: strategy, Window: window, Stats: selectivity.NewCollector()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.retroCollide = collide
+	var sigs []string
+	for i, se := range edges {
+		for _, m := range eng.ProcessEdge(se) {
+			sigs = append(sigs, fmt.Sprintf("%d|%s", i, retroMatchSig(m)))
+		}
+	}
+	return sigs, eng.Stats()
+}
+
+// retroMatchSig canonicalizes a match by its bound data-edge IDs (the
+// identity the retro dedup is defined over).
+func retroMatchSig(m iso.Match) string {
+	s := ""
+	for qe, eid := range m.EdgeOf {
+		s += fmt.Sprintf("%d:%d;", qe, eid)
+	}
+	return s
+}
+
+// TestDrainRetroForcedCollision is the fixed-scenario differential for
+// the hashed retro seen map: a parallel-edge query whose second leaf is
+// enabled for both endpoints at once, so the retrospective drain
+// reaches the same embedding from two anchor vertices and must
+// suppress exactly one copy — with the real hash and with every
+// signature forced onto a single colliding bucket.
+func TestDrainRetroForcedCollision(t *testing.T) {
+	q := &query.Graph{
+		Vertices: []query.Vertex{{Name: "u", Label: query.Wildcard}, {Name: "v", Label: query.Wildcard}},
+		Edges:    []query.Edge{{Src: 0, Dst: 1, Type: "A"}, {Src: 0, Dst: 1, Type: "B"}},
+	}
+	edges := []stream.Edge{
+		{Src: "x", SrcLabel: "n", Dst: "y", DstLabel: "n", Type: "B", TS: 1},
+		{Src: "x", SrcLabel: "n", Dst: "y", DstLabel: "n", Type: "A", TS: 2},
+		{Src: "p", SrcLabel: "n", Dst: "q", DstLabel: "n", Type: "C", TS: 3}, // triggers the drain
+	}
+	want, wantStats := retroRun(t, q, StrategySingleLazy, edges, 0, false)
+	if len(want) != 1 {
+		t.Fatalf("scenario produced %d complete matches, want 1", len(want))
+	}
+	if wantStats.RetroMatches != 1 {
+		t.Fatalf("RetroMatches = %d, want exactly 1 (one embedding, two anchors, one suppressed duplicate)",
+			wantStats.RetroMatches)
+	}
+	got, gotStats := retroRun(t, q, StrategySingleLazy, edges, 0, true)
+	if len(got) != len(want) || got[0] != want[0] {
+		t.Fatalf("forced collision changed matches: got %v want %v", got, want)
+	}
+	if gotStats.RetroMatches != wantStats.RetroMatches || gotStats.RetroSearches != wantStats.RetroSearches {
+		t.Fatalf("forced collision changed retro counters: got %+v want %+v", gotStats, wantStats)
+	}
+}
+
+// TestDrainRetroCollisionRandomized drives randomized hub-heavy streams
+// through both lazy strategies with and without forced collisions: the
+// per-edge match sequences and the retro counters must be identical,
+// and the global match multiset must equal the eager (StrategySingle)
+// engine's — the strategy-exactness oracle that needs no reference
+// implementation of the dedup itself.
+func TestDrainRetroCollisionRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	types := []string{"A", "B", "C"}
+	for trial := 0; trial < 6; trial++ {
+		var edges []stream.Edge
+		n := 150 + rng.Intn(150)
+		for i := 0; i < n; i++ {
+			// A small vertex universe concentrates edges on hubs, so
+			// retro drains see the same embedding from several anchors.
+			// No self-loops: the generators never emit them (the
+			// matcher's contract, like the query language's, assumes
+			// distinct endpoints).
+			s, d := rng.Intn(8), rng.Intn(8)
+			if s == d {
+				continue
+			}
+			edges = append(edges, stream.Edge{
+				Src: fmt.Sprintf("h%d", s), SrcLabel: "n",
+				Dst: fmt.Sprintf("h%d", d), DstLabel: "n",
+				Type: types[rng.Intn(len(types))], TS: int64(i + 1),
+			})
+		}
+		q := query.NewPath(query.Wildcard, "A", "B", "C")
+		for _, strategy := range []Strategy{StrategySingleLazy, StrategyPathLazy} {
+			want, wantStats := retroRun(t, q, strategy, edges, 0, false)
+			got, gotStats := retroRun(t, q, strategy, edges, 0, true)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %v: %d matches with collisions, want %d", trial, strategy, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %v: per-edge sequence diverges at %d:\n got %s\nwant %s",
+						trial, strategy, i, got[i], want[i])
+				}
+			}
+			if gotStats.RetroMatches != wantStats.RetroMatches || gotStats.RetroSearches != wantStats.RetroSearches {
+				t.Fatalf("trial %d %v: retro counters diverge: got %+v want %+v", trial, strategy, gotStats, wantStats)
+			}
+			if trial == 0 && wantStats.RetroMatches == 0 {
+				t.Fatalf("%v: no retrospective matches at all; differential is vacuous", strategy)
+			}
+			// Strategy-exactness oracle: complete matches are strategy
+			// independent (unwindowed), only their attribution shifts.
+			eager, _ := retroRun(t, q, StrategySingle, edges, 0, false)
+			lazySet := stripEdgeIndex(want)
+			eagerSet := stripEdgeIndex(eager)
+			if len(lazySet) != len(eagerSet) {
+				t.Fatalf("trial %d %v: lazy found %d matches, eager %d", trial, strategy, len(lazySet), len(eagerSet))
+			}
+			for i := range eagerSet {
+				if lazySet[i] != eagerSet[i] {
+					t.Fatalf("trial %d %v: multiset differs at %d: %s vs %s", trial, strategy, i, lazySet[i], eagerSet[i])
+				}
+			}
+		}
+	}
+}
+
+func stripEdgeIndex(sigs []string) []string {
+	out := make([]string, len(sigs))
+	for i, s := range sigs {
+		for j := 0; j < len(s); j++ {
+			if s[j] == '|' {
+				out[i] = s[j+1:]
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

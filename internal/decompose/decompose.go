@@ -234,6 +234,35 @@ func Auto(q *query.Graph, src selectivity.Source) (leaves [][]int, kind Kind, xi
 	return single, Single, xi, nil
 }
 
+// Footprint returns the edge-type footprint of a decomposition: the
+// sorted distinct set of edge types the SJ-Tree built from leaves can
+// ever join on, plus whether the footprint is exact (see
+// query.Graph.TypeFootprint; wildcard-typed edges make it inexact).
+// Because every valid decomposition covers every query edge, the
+// footprint of any decomposition of q equals the query's own — the
+// property the sharded runtime relies on when it stores, per shard,
+// only the edges routable to the shard's queries. An error is returned
+// if leaves reference an edge index out of range or fail to cover the
+// query, since a partial SJ-Tree's footprint would not be the query's.
+func Footprint(q *query.Graph, leaves [][]int) (types []string, exact bool, err error) {
+	covered := make([]bool, len(q.Edges))
+	for _, leaf := range leaves {
+		for _, ei := range leaf {
+			if ei < 0 || ei >= len(q.Edges) {
+				return nil, false, fmt.Errorf("decompose: leaf edge index %d out of range", ei)
+			}
+			covered[ei] = true
+		}
+	}
+	for ei, ok := range covered {
+		if !ok {
+			return nil, false, fmt.Errorf("decompose: query edge %d not covered by any leaf", ei)
+		}
+	}
+	types, exact = q.TypeFootprint()
+	return types, exact, nil
+}
+
 // Decompose dispatches on kind.
 func Decompose(q *query.Graph, src selectivity.Source, kind Kind) ([][]int, error) {
 	switch kind {

@@ -25,8 +25,21 @@ func TestShardThroughputAgrees(t *testing.T) {
 		if r.EdgesPerSec <= 0 {
 			t.Fatalf("row %d has nonpositive throughput", i)
 		}
+		if r.ReplicaEdges <= 0 {
+			t.Fatalf("row %d (%s) reports no replicated edges", i, r.Mode)
+		}
+		// Edge-type-partitioned replicas: a shard row's total storage
+		// must stay under full replication (shards x edges); the rotating
+		// 2-type queries overlap, so it lands between 1x and shards-x.
+		if r.Mode == "shard" && r.Shards > 1 && r.ReplicaEdges >= int64(r.Shards*r.Edges) {
+			t.Fatalf("row %d: %d shards replicated %d edges — no better than full replication (%d)",
+				i, r.Shards, r.ReplicaEdges, r.Shards*r.Edges)
+		}
 	}
 	if rows[0].Matches == 0 {
 		t.Fatal("workload produced no matches; comparison is vacuous")
+	}
+	if rows[0].ReplicaEdges != int64(rows[0].Edges) {
+		t.Fatalf("serial row replicated %d edges, want exactly %d", rows[0].ReplicaEdges, rows[0].Edges)
 	}
 }

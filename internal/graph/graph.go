@@ -13,6 +13,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // VertexID identifies a vertex within a Graph. IDs are dense and assigned
@@ -94,6 +95,10 @@ type Graph struct {
 	edges     []edgeRec
 	freeEdges []EdgeID
 	liveEdges int
+
+	// liveByType counts live edges per interned type; it makes
+	// View.NumEdges and replica statistics O(types) instead of a scan.
+	liveByType []int
 
 	// fifo holds live edge IDs in arrival order for window eviction.
 	fifo   []EdgeID
@@ -193,6 +198,10 @@ func (g *Graph) AddEdge(src, dst VertexID, etype TypeID, ts int64) EdgeID {
 	dv.in = append(dv.in, adjRec{peer: src, etype: etype, eid: eid, ts: ts})
 	g.fifo = append(g.fifo, eid)
 	g.liveEdges++
+	for int(etype) >= len(g.liveByType) {
+		g.liveByType = append(g.liveByType, 0)
+	}
+	g.liveByType[etype]++
 	if ts > g.lastTS {
 		g.lastTS = ts
 	}
@@ -232,6 +241,16 @@ func (g *Graph) RemoveEdge(id EdgeID) {
 	r.alive = false
 	g.freeEdges = append(g.freeEdges, id)
 	g.liveEdges--
+	g.liveByType[r.etype]--
+}
+
+// EdgesOfType reports the number of live edges with the given interned
+// type.
+func (g *Graph) EdgesOfType(t TypeID) int {
+	if int(t) >= len(g.liveByType) {
+		return 0
+	}
+	return g.liveByType[t]
 }
 
 func (g *Graph) removeAdj(list *[]adjRec, idx int32, isOut bool) {
@@ -276,6 +295,37 @@ func (g *Graph) ExpireBefore(cutoff int64) int {
 		g.fifoLo = 0
 	}
 	return removed
+}
+
+// NormalizeEvictionOrder rebuilds the eviction FIFO in (timestamp,
+// arrival) order from the live arena. The replica-maintenance paths
+// disturb the FIFO's invariants in two ways that would corrupt
+// ExpireBefore's front-stopping walk: a backfill appends edges from
+// the stream's past behind newer ones (shielding them from eviction
+// past their serial expiry point), and a trim removes edges mid-FIFO,
+// leaving stale entries whose arena slots may be recycled by newer
+// edges — an aliased high timestamp early in the walk that blocks
+// eviction of everything behind it. Rebuilding from the arena rather
+// than the old FIFO discards stale entries wholesale and restores the
+// eviction schedule a serial ingest of the same live edges would have
+// produced. Either divergence would let old edges outlive their
+// partial-match dedup state and resurface as duplicate matches.
+func (g *Graph) NormalizeEvictionOrder() {
+	live := make([]EdgeID, 0, g.liveEdges)
+	for i := range g.edges {
+		if g.edges[i].alive {
+			live = append(live, EdgeID(i))
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		a, b := &g.edges[live[i]], &g.edges[live[j]]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		return a.seq < b.seq
+	})
+	g.fifo = live
+	g.fifoLo = 0
 }
 
 // EachOut invokes fn for every outgoing edge at v. Returning false stops

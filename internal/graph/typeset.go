@@ -1,0 +1,77 @@
+package graph
+
+import "math/bits"
+
+// TypeSet is an immutable set of interned edge types, used to describe
+// which part of a stream a filtered replica stores (the edge-type
+// footprint of the queries it serves). The zero value is the empty set.
+//
+// TypeSets are immutable values: the backing bit words are never
+// mutated after construction, so a TypeSet may be copied and handed
+// across goroutines freely, and changing a filter means building a new
+// set and swapping it wholesale — every holder of the old value keeps
+// reading exactly what it held. That is what lets the shard router
+// replace a worker's ingest gate while a reader of the old set is
+// still mid-iteration.
+//
+// A universal TypeSet (see UniversalTypes) contains every type, present
+// and future; it is the footprint of queries that cannot be statically
+// filtered (wildcard edge types) and the gate of an unfiltered replica.
+type TypeSet struct {
+	universal bool
+	words     []uint64 // shared, never mutated after publication
+}
+
+// UniversalTypes returns the TypeSet containing every edge type,
+// including types interned after the call.
+func UniversalTypes() TypeSet { return TypeSet{universal: true} }
+
+// NewTypeSet returns the TypeSet holding exactly the given type IDs.
+func NewTypeSet(ids ...TypeID) TypeSet {
+	var s TypeSet
+	if len(ids) == 0 {
+		return s
+	}
+	max := ids[0]
+	for _, id := range ids[1:] {
+		if id > max {
+			max = id
+		}
+	}
+	s.words = make([]uint64, int(max)/64+1)
+	for _, id := range ids {
+		s.words[int(id)/64] |= 1 << (uint(id) % 64)
+	}
+	return s
+}
+
+// Universal reports whether the set contains every type.
+func (s TypeSet) Universal() bool { return s.universal }
+
+// Has reports whether the set contains t. A universal set contains
+// every type.
+func (s TypeSet) Has(t TypeID) bool {
+	if s.universal {
+		return true
+	}
+	w := int(t) / 64
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<(uint(t)%64)) != 0
+}
+
+// Len reports the number of types in the set; -1 for a universal set.
+func (s TypeSet) Len() int {
+	if s.universal {
+		return -1
+	}
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set contains no type at all.
+func (s TypeSet) Empty() bool { return !s.universal && s.Len() == 0 }

@@ -1,0 +1,102 @@
+package graph
+
+import "testing"
+
+func TestTypeSetBasics(t *testing.T) {
+	var zero TypeSet
+	if !zero.Empty() || zero.Has(0) || zero.Universal() {
+		t.Fatal("zero TypeSet must be empty")
+	}
+	s := NewTypeSet(1, 3, 200)
+	for _, id := range []TypeID{1, 3, 200} {
+		if !s.Has(id) {
+			t.Fatalf("set missing %d", id)
+		}
+	}
+	for _, id := range []TypeID{0, 2, 199, 201, 1000} {
+		if s.Has(id) {
+			t.Fatalf("set wrongly contains %d", id)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	u := UniversalTypes()
+	if !u.Has(0) || !u.Has(99999) || u.Len() != -1 || u.Empty() {
+		t.Fatal("universal set must contain everything")
+	}
+}
+
+func TestTypeSetValuesAreIndependent(t *testing.T) {
+	s := NewTypeSet(2)
+	wider := NewTypeSet(2, 5, 64)
+	if s.Has(5) || s.Has(64) {
+		t.Fatal("building a wider set disturbed an existing value")
+	}
+	if !wider.Has(2) || !wider.Has(5) || !wider.Has(64) {
+		t.Fatal("wider set lost members")
+	}
+	if got := wider.Len(); got != 3 {
+		t.Fatalf("wider.Len = %d, want 3", got)
+	}
+}
+
+func TestViewFiltersEdgesAndCounts(t *testing.T) {
+	g := New()
+	a := g.EnsureVertex("a", "ip")
+	b := g.EnsureVertex("b", "ip")
+	c := g.EnsureVertex("c", "ip")
+	tcp := TypeID(g.Types().Intern("TCP"))
+	udp := TypeID(g.Types().Intern("UDP"))
+	e1 := g.AddEdge(a, b, tcp, 1)
+	e2 := g.AddEdge(b, c, udp, 2)
+	g.AddEdge(a, c, tcp, 3)
+
+	if got := g.EdgesOfType(tcp); got != 2 {
+		t.Fatalf("EdgesOfType(TCP) = %d, want 2", got)
+	}
+	v := g.ViewTypes(NewTypeSet(tcp))
+	if got := v.NumEdges(); got != 2 {
+		t.Fatalf("view.NumEdges = %d, want 2", got)
+	}
+	if _, ok := v.Edge(e2); ok {
+		t.Fatal("view exposed a filtered-out edge")
+	}
+	if _, ok := v.Edge(e1); !ok {
+		t.Fatal("view hid an in-filter edge")
+	}
+	seen := 0
+	v.EachEdge(func(e Edge) bool {
+		if e.Type != tcp {
+			t.Fatalf("EachEdge leaked type %d", e.Type)
+		}
+		seen++
+		return true
+	})
+	if seen != 2 {
+		t.Fatalf("EachEdge visited %d edges, want 2", seen)
+	}
+	outs := 0
+	v.EachOut(a, func(h Half) bool { outs++; return true })
+	if outs != 2 {
+		t.Fatalf("EachOut(a) visited %d, want 2", outs)
+	}
+	ins := 0
+	v.EachIn(c, func(h Half) bool { ins++; return true }) // UDP b->c filtered out
+	if ins != 1 {
+		t.Fatalf("EachIn(c) visited %d, want 1", ins)
+	}
+
+	// Views track live mutation, and per-type counts follow removal.
+	g.RemoveEdge(e1)
+	if got := g.EdgesOfType(tcp); got != 1 {
+		t.Fatalf("EdgesOfType(TCP) after removal = %d, want 1", got)
+	}
+	if got := v.NumEdges(); got != 1 {
+		t.Fatalf("view.NumEdges after removal = %d, want 1", got)
+	}
+	uni := g.ViewTypes(UniversalTypes())
+	if uni.NumEdges() != g.NumEdges() {
+		t.Fatal("universal view must count every live edge")
+	}
+}

@@ -1,0 +1,26 @@
+package iso
+
+// FNV-1a 64-bit mixing, shared by every verified-collision dedup
+// scheme in the engine — the SJ-Tree's hashed join keys and dedup
+// signatures, and the retro drain's per-batch seen set. Centralizing
+// the constants and the mix step keeps the schemes byte-identical:
+// each caller verifies hash hits against the actual bindings, so a
+// collision can never corrupt results, but the "same scheme as the
+// SJ-Tree" contracts in their docs only hold while the mixing does
+// not drift.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashStart returns the FNV-1a offset basis.
+func HashStart() uint64 { return fnvOffset64 }
+
+// HashMix32 folds one 32-bit value into h.
+func HashMix32(h uint64, v uint32) uint64 { return (h ^ uint64(v)) * fnvPrime64 }
+
+// HashMix64 folds one 64-bit value into h, low word first.
+func HashMix64(h uint64, v uint64) uint64 {
+	h = (h ^ (v & 0xffffffff)) * fnvPrime64
+	return (h ^ (v >> 32)) * fnvPrime64
+}

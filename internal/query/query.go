@@ -103,6 +103,31 @@ func (g *Graph) LabelOf(v int) string {
 	return l
 }
 
+// TypeFootprint returns the set of edge types the query can ever match
+// — sorted and distinct — together with whether that footprint is
+// exact. The footprint is inexact when some edge carries the Wildcard
+// type, in which case no static edge-type filter is sound for the
+// query and callers (the sharded runtime's filtered replicas) must
+// fall back to full replication. A matcher for the query only ever
+// binds data edges whose type is in an exact footprint, so a graph
+// restricted to those types yields identical matches.
+func (g *Graph) TypeFootprint() (types []string, exact bool) {
+	exact = true
+	seen := make(map[string]bool, len(g.Edges))
+	for _, e := range g.Edges {
+		if e.Type == Wildcard {
+			exact = false
+			continue
+		}
+		if !seen[e.Type] {
+			seen[e.Type] = true
+			types = append(types, e.Type)
+		}
+	}
+	sort.Strings(types)
+	return types, exact
+}
+
 // IncidentEdges returns the indices of edges incident to vertex v, in
 // edge order.
 func (g *Graph) IncidentEdges(v int) []int {

@@ -25,12 +25,14 @@
 //
 // With Config.Shards > 0 the server runs on the sharded runtime
 // (internal/shard) instead of a single MultiEngine: queries are
-// partitioned across shard workers, ingestion is asynchronous, and
-// matches are buffered server-side. The protocol shifts accordingly:
-// "edge" replies "ok queued <seq>" immediately (no match lines), the
-// "matches" command drains the buffered matches, and "stats" reports
-// one extra line per shard with its queue depth, edges routed and
-// matches emitted.
+// partitioned across shard workers with edge-type-filtered graph
+// replicas, ingestion is asynchronous, and matches are buffered
+// server-side. The protocol shifts accordingly: "edge" replies "ok
+// queued <seq>" immediately (no match lines), the "matches" command
+// drains the buffered matches, and "stats" reports one extra line per
+// shard with its queue depth, edges routed, matches emitted, replica
+// size (live/stored edges) and replica type-filter width ("*" = the
+// shard replicates every type).
 package server
 
 import (
@@ -380,8 +382,13 @@ func (s *Server) handle(conn net.Conn) {
 				ok := reply("ok shards=%d edges=%d queries=%d",
 					len(st), s.router.EdgesRouted(), len(s.router.Registered()))
 				for _, sh := range st {
-					ok = ok && reply("shard %d queries=%d queue=%d/%d routed=%d emitted=%d",
-						sh.Shard, sh.Queries, sh.QueueDepth, sh.QueueCap, sh.EdgesRouted, sh.MatchesEmitted)
+					types := fmt.Sprintf("%d", sh.ReplicaTypes)
+					if sh.ReplicaTypes < 0 {
+						types = "*"
+					}
+					ok = ok && reply("shard %d queries=%d queue=%d/%d routed=%d emitted=%d replica=%d/%d types=%s",
+						sh.Shard, sh.Queries, sh.QueueDepth, sh.QueueCap, sh.EdgesRouted, sh.MatchesEmitted,
+						sh.ReplicaEdges, sh.ReplicaStored, types)
 				}
 				if !ok {
 					return

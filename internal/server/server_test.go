@@ -288,27 +288,36 @@ func TestServerSharded(t *testing.T) {
 	if !strings.Contains(head, "edges=3") || !strings.Contains(head, "queries=2") {
 		t.Fatalf("stats header = %q", head)
 	}
-	var routed, emitted, queries int
+	var routed, emitted, queries, stored int
 	for i := 0; i < 2; i++ {
 		ln := c.expectPrefix(fmt.Sprintf("shard %d ", i))
-		for _, want := range []string{"queries=", "queue=", "routed=", "emitted="} {
+		for _, want := range []string{"queries=", "queue=", "routed=", "emitted=", "replica=", "types="} {
 			if !strings.Contains(ln, want) {
 				t.Fatalf("shard stats line %q missing %q", ln, want)
 			}
 		}
-		var q, qd, qc, r, e int
-		if _, err := fmt.Sscanf(ln, fmt.Sprintf("shard %d queries=%%d queue=%%d/%%d routed=%%d emitted=%%d", i), &q, &qd, &qc, &r, &e); err != nil {
+		var q, qd, qc, r, e, live, st, ty int
+		if _, err := fmt.Sscanf(ln, fmt.Sprintf("shard %d queries=%%d queue=%%d/%%d routed=%%d emitted=%%d replica=%%d/%%d types=%%d", i), &q, &qd, &qc, &r, &e, &live, &st, &ty); err != nil {
 			t.Fatalf("unparseable shard line %q: %v", ln, err)
+		}
+		if ty != 2 {
+			t.Fatalf("shard %d filters %d types, want 2 (each query spans two edge types)", i, ty)
 		}
 		queries += q
 		routed += r
 		emitted += e
+		stored += live
 	}
 	if queries != 2 {
 		t.Fatalf("shard query ownership sums to %d, want 2", queries)
 	}
-	if routed != 6 { // 3 edges broadcast to 2 shards
-		t.Fatalf("routed sums to %d, want 6", routed)
+	// Replicas are edge-type partitioned: each shard receives only the
+	// 2 of 3 edges its query can match, where a broadcast would be 6.
+	if routed != 4 {
+		t.Fatalf("routed sums to %d, want 4 (gated delivery)", routed)
+	}
+	if stored != 4 {
+		t.Fatalf("replica edges sum to %d, want 4", stored)
 	}
 	if emitted != 2 {
 		t.Fatalf("emitted sums to %d, want 2", emitted)

@@ -11,16 +11,36 @@
 // its own shard (and, once that shard's bounded queue fills, the
 // producer: backpressure instead of unbounded buffering). Queries —
 // not graph partitions — remain the unit of parallelism, which keeps
-// exact-match semantics trivially intact: every shard ingests the full
-// edge stream in arrival order, so each query sees exactly the stream
-// a serial core.MultiEngine would have shown it (the package tests
-// enforce per-query match-set equality differentially).
+// exact-match semantics intact: every shard ingests, in arrival
+// order, the slice of the stream its queries can match, so each query
+// sees exactly the stream a serial core.MultiEngine would have shown
+// it (the package tests enforce per-query match-set equality
+// differentially).
 //
-// The cost of the replica-per-shard design is memory: the windowed
-// graph is stored once per shard. That is the standard trade in
-// partitioned multi-query stream engines (cf. "Large-scale continuous
-// subgraph queries on streams"): replicas eliminate cross-shard reads,
-// locks and coordination entirely.
+// Replicas are edge-type partitioned. A query's matcher can only ever
+// bind data edges whose type appears in the query (its edge-type
+// footprint, query.Graph.TypeFootprint), so each shard stores just the
+// edges routable to the queries it owns: the router keeps a per-shard
+// type gate and never even enqueues an edge on a shard with no
+// interest, and the shard's engine filters the remainder
+// (core.MultiEngine's replica filter). Queries that cannot be
+// statically filtered — wildcard edge types — fall back to full
+// replication on their shard. With footprints that partition the type
+// alphabet, total replicated storage is ~1x the input instead of
+// shards-x; replicas still eliminate cross-shard reads, locks and
+// coordination entirely (cf. "Large-scale continuous subgraph queries
+// on streams", which partitions work by query structure the same way).
+//
+// Runtime Register/Unregister keep the replicas exact: the router
+// appends every admitted batch to a shared immutable EdgeLog
+// (replica.go), and a registration that widens a shard's footprint
+// backfills the in-window past of the newly needed types from a
+// lock-free log snapshot — ingestion and the other shards never wait.
+// An unregistration narrows the footprint and trims the replica.
+// Exactness against a serial engine holds for label-consistent
+// streams with non-decreasing timestamps (the generators' contract);
+// the package's differential tests pin it across shard counts, batch
+// splits, and mid-stream register/unregister.
 //
 // Ordering. By default matches arrive on the collection channel in
 // completion order — shards drift apart freely, which is what makes
@@ -39,15 +59,18 @@ package shard
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"streamgraph/internal/core"
+	"streamgraph/internal/decompose"
 	"streamgraph/internal/graph"
 	"streamgraph/internal/metrics"
 	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
 	"streamgraph/internal/stream"
 )
 
@@ -61,13 +84,27 @@ type Config struct {
 	// OutLen buffers the collection channel (default 1024).
 	OutLen int
 	// Window is tW, shared by every registered query (0 = unwindowed).
+	// Unwindowed filtering mode retains the whole stream in the shared
+	// edge log — late registrations are entitled to replay all of it,
+	// just as an unwindowed serial engine's graph retains every edge —
+	// so total memory is one full copy plus the filtered replicas. Set
+	// FullReplicas to drop the log if that trade is wrong for the
+	// deployment.
 	Window int64
 	// EvictEvery forwards to each shard's engine (default 256).
 	EvictEvery int
 	// Ordered enables the deterministic in-seq merge mode: matches are
 	// delivered in (arrival seq, query registration) order, exactly as
-	// a serial core.MultiEngine reports them.
+	// a serial core.MultiEngine reports them. Ordered mode implies
+	// FullReplicas: the merge relies on every shard emitting one bundle
+	// per admitted edge, and full processing keeps even the lazy
+	// strategies' retrospective repairs on the reference schedule.
 	Ordered bool
+	// FullReplicas disables edge-type-partitioned replication: every
+	// shard receives and stores the whole stream, as in the original
+	// runtime. Useful for audits and for measuring what the filtered
+	// replicas save.
+	FullReplicas bool
 }
 
 // Binding is one resolved vertex of a match: query vertex name to data
@@ -135,8 +172,20 @@ type Stats struct {
 	Queries        int   // queries owned by this shard
 	QueueDepth     int   // ingest messages waiting
 	QueueCap       int   // ingest queue capacity
-	EdgesRouted    int64 // edges handed to this shard's queue
+	EdgesRouted    int64 // edges delivered to this shard's queue (post-gate)
 	MatchesEmitted int64 // matches this shard pushed to collection
+
+	// ReplicaEdges is the number of edges currently live in this
+	// shard's filtered graph replica.
+	ReplicaEdges int64
+	// ReplicaStored is the cumulative number of edges ever admitted
+	// into the replica (gated ingest plus backfill); summed across
+	// shards it is the total replication cost of the runtime.
+	ReplicaStored int64
+	// ReplicaTypes is the number of edge types in the shard's
+	// footprint, or -1 when the shard replicates every type (a
+	// wildcard query, FullReplicas, or ordered mode).
+	ReplicaTypes int64
 }
 
 type msgKind int
@@ -160,6 +209,10 @@ type message struct {
 	q       *query.Graph  // msgRegister
 	cfg     core.Config   // msgRegister
 	rank    int           // msgRegister: global registration rank
+	fpTypes []string      // control: the query's edge-type footprint
+	fpExact bool          // control: false forces full replication
+	seq     uint64        // msgRegister: stream position, bounds the backfill
+	minTS   int64         // msgRegister: window floor at registration time
 	reply   chan error    // control ack (buffered, may be nil for unregister)
 }
 
@@ -178,17 +231,33 @@ type bundle struct {
 // Ingest, IngestBatch, Register and Unregister are safe for concurrent
 // use; edges are sequenced in the order the router admits them.
 type Router struct {
-	cfg     Config
-	workers []*worker
-	out     chan Match
+	cfg       Config
+	filtering bool // edge-type-partitioned replicas in effect
+	workers   []*worker
+	out       chan Match
+	log       *EdgeLog // shared immutable edge log (filtering mode)
 
 	// ingestMu orders everything that enters the shard queues — edge
 	// broadcasts, control messages, and the queue close — and is the
 	// only lock held across a (potentially blocking, backpressured)
-	// queue send. Lock order: ingestMu before mu.
-	ingestMu sync.Mutex
-	closed   bool          // guarded by ingestMu
-	seq      atomic.Uint64 // written under ingestMu, read lock-free
+	// queue send. The per-shard gates and the gate interner are also
+	// guarded by it: gate changes are serialized against edge admission
+	// so a registration's backfill bound is gap-free. Lock order:
+	// ingestMu before mu.
+	ingestMu  sync.Mutex
+	closed    bool                   // guarded by ingestMu
+	seq       atomic.Uint64          // written under ingestMu, read lock-free
+	gateTypes *graph.Interner        // router-side type ids (ingestMu)
+	gateIDs   []graph.TypeID         // per-batch scratch (ingestMu)
+	fps       map[string]fprint      // query name -> footprint (ingestMu)
+	stats     *selectivity.Collector // full-stream statistics (ingestMu)
+
+	// floors holds the window floor of every in-flight registration
+	// (ingestMu): the log must not trim past the oldest one, or a
+	// concurrent ingest could drop segments the registration's backfill
+	// is entitled to replay. Keyed by a per-registration token.
+	floors     map[uint64]int64
+	floorToken uint64
 
 	// mu guards the registry metadata only and is never held across a
 	// queue send, so Stats/Registered stay responsive while a
@@ -203,8 +272,15 @@ type Router struct {
 	mergeDone chan struct{}  // non-nil in ordered mode
 }
 
+// fprint is a registered query's edge-type footprint, retained so
+// Unregister can release its gate refcounts.
+type fprint struct {
+	types []string
+	exact bool
+}
+
 // worker is one shard: a goroutine draining its bounded queue into a
-// privately owned MultiEngine.
+// privately owned MultiEngine over a filtered graph replica.
 type worker struct {
 	id      int
 	r       *Router
@@ -213,8 +289,29 @@ type worker struct {
 	eng     *core.MultiEngine
 	ranks   map[string]int // query name -> global registration rank
 
+	// gate is the router-side ingest filter: the edge types this shard
+	// has any interest in. Read and written under r.ingestMu only; the
+	// TypeSet value itself is immutable (copy-on-write), so swapping it
+	// never disturbs a concurrent reader of the old set.
+	gate     graph.TypeSet
+	gateRefs *replicaSet // router-side footprint refcounts (ingestMu)
+
+	// rset is the worker-goroutine-side copy of the footprint, applied
+	// to the engine's replica filter at the queue position where each
+	// control message lands.
+	rset *replicaSet
+	// lastEnd is the arrival seq just past the last edge this shard's
+	// engine admitted — the retro flush barrier: pending lazy repairs
+	// were created at edge lastEnd-1, and the serial schedule drains
+	// them at edge lastEnd, so a control point (register, unregister,
+	// close) at stream position p must flush them iff lastEnd < p.
+	lastEnd uint64
+
 	edgesRouted    metrics.Counter
 	matchesEmitted metrics.Counter
+	replicaLive    atomic.Int64
+	replicaStored  atomic.Int64
+	replicaTypes   atomic.Int64
 }
 
 // New starts a router and its shard workers.
@@ -229,10 +326,18 @@ func New(cfg Config) *Router {
 		cfg.OutLen = 1024
 	}
 	r := &Router{
-		cfg:   cfg,
-		out:   make(chan Match, cfg.OutLen),
-		owner: make(map[string]*worker),
-		owned: make(map[*worker]int),
+		cfg:       cfg,
+		filtering: !cfg.Ordered && !cfg.FullReplicas,
+		out:       make(chan Match, cfg.OutLen),
+		owner:     make(map[string]*worker),
+		owned:     make(map[*worker]int),
+	}
+	if r.filtering {
+		r.log = NewEdgeLog()
+		r.gateTypes = graph.NewInterner()
+		r.fps = make(map[string]fprint)
+		r.stats = selectivity.NewCollector()
+		r.floors = make(map[uint64]int64)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		w := &worker{
@@ -241,6 +346,17 @@ func New(cfg Config) *Router {
 			in:    make(chan message, cfg.QueueLen),
 			eng:   core.NewMulti(core.MultiConfig{Window: cfg.Window, EvictEvery: cfg.EvictEvery}),
 			ranks: make(map[string]int),
+		}
+		if r.filtering {
+			// A shard starts with no queries, hence an empty footprint:
+			// it receives and stores nothing until one is registered.
+			w.gate = graph.NewTypeSet()
+			w.gateRefs = newReplicaSet()
+			w.rset = newReplicaSet()
+			w.eng.SetReplicaFilter(nil, false)
+		} else {
+			w.gate = graph.UniversalTypes()
+			w.replicaTypes.Store(-1)
 		}
 		if cfg.Ordered {
 			w.bundles = make(chan bundle, cfg.QueueLen)
@@ -268,18 +384,58 @@ func (r *Router) Matches() <-chan Match { return r.out }
 // it there, at the current stream position. It blocks until the owning
 // shard has drained its queue up to the registration (so a subsequent
 // Ingest is guaranteed to be seen by the query) and returns the
-// engine's registration error, if any. The engine's BatchWorkers is
-// forced to 1 unless set: the shards themselves are the axis of
+// engine's registration error, if any.
+//
+// In filtering mode the query's edge-type footprint widens the owning
+// shard's ingest gate at the same stream position, and the shard
+// backfills the in-window past of any newly needed types from the
+// shared edge log before acknowledging — so the query observes exactly
+// the graph it would have on a full replica. The engine's BatchWorkers
+// is forced to 1 unless set: the shards themselves are the axis of
 // parallelism, and nesting a candidate-search pool per shard would
 // oversubscribe the machine.
 func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 	if cfg.BatchWorkers == 0 {
 		cfg.BatchWorkers = 1
 	}
+	if cfg.Adaptive != nil && r.filtering {
+		// An adaptive engine re-decomposes from statistics it collects
+		// itself, at a cadence of edges it processes — on a filtered
+		// replica both would reflect only the shard's slice of the
+		// stream, silently diverging from the serial schedule this
+		// runtime is pinned to. Require full replication for it.
+		return fmt.Errorf("shard: adaptive queries require Config.FullReplicas (a filtered replica would re-decompose from filtered statistics)")
+	}
+	fpTypes, fpExact := q.TypeFootprint()
 	r.ingestMu.Lock()
 	if r.closed {
 		r.ingestMu.Unlock()
 		return fmt.Errorf("shard: router is closed")
+	}
+	if r.filtering && cfg.Leaves == nil && cfg.Stats == nil {
+		// Pin the decomposition here, against the router's full-stream
+		// statistics, before the query ever reaches its shard: the
+		// shard's own collector only sees the shard's filtered slice of
+		// the stream, and a lazy query's reachable-match set depends on
+		// its decomposition — decomposing from filtered statistics
+		// would diverge from a serial engine's schedule.
+		leaves, err := r.decompose(q, cfg.Strategy)
+		if err != nil {
+			r.ingestMu.Unlock()
+			return err
+		}
+		cfg.Leaves = leaves
+		if leaves != nil {
+			// The SJ-Tree the shard joins on is this decomposition; its
+			// footprint (validated to cover the query) is what the gate
+			// and replica filter must admit. It equals the query's own
+			// footprint — Footprint checks the coverage that makes that
+			// identity hold.
+			if fpTypes, fpExact, err = decompose.Footprint(q, leaves); err != nil {
+				r.ingestMu.Unlock()
+				return err
+			}
+		}
 	}
 	r.mu.Lock()
 	if _, dup := r.owner[name]; dup {
@@ -300,11 +456,50 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 	r.owned[w]++
 	r.order = append(r.order, name)
 	r.mu.Unlock()
+	var floorToken uint64
+	minTS := int64(math.MinInt64)
+	if r.filtering {
+		// Widen the gate before releasing ingestMu: every edge admitted
+		// after the registration message is already gated by the new
+		// footprint, and everything before it is in the log — no gap.
+		r.fps[name] = fprint{types: fpTypes, exact: fpExact}
+		w.gateRefs.add(fpTypes, fpExact)
+		r.rebuildGate(w)
+		// Capture the window floor NOW, at the registration's stream
+		// position — the backfill is entitled to every logged edge at
+		// or above it, however far the stream advances before the
+		// owning shard executes the backfill — and pin the log against
+		// trimming past it until the shard has acknowledged.
+		if r.cfg.Window > 0 {
+			minTS = r.log.MaxTS() - r.cfg.Window + 1
+		}
+		r.floorToken++
+		floorToken = r.floorToken
+		r.floors[floorToken] = minTS
+	}
 	reply := make(chan error, 1)
-	w.in <- message{kind: msgRegister, name: name, q: q, cfg: cfg, rank: rank, reply: reply}
+	w.in <- message{
+		kind: msgRegister, name: name, q: q, cfg: cfg, rank: rank,
+		fpTypes: fpTypes, fpExact: fpExact, seq: r.seq.Load(), minTS: minTS, reply: reply,
+	}
 	r.ingestMu.Unlock()
 
 	err := <-reply
+	if r.filtering {
+		r.ingestMu.Lock()
+		delete(r.floors, floorToken)
+		if err != nil {
+			// Harmless over-delivery may have happened in the gap; the
+			// worker's engine filter never widened, so those edges were
+			// dropped there.
+			if fp, ok := r.fps[name]; ok {
+				delete(r.fps, name)
+				w.gateRefs.remove(fp.types, fp.exact)
+				r.rebuildGate(w)
+			}
+		}
+		r.ingestMu.Unlock()
+	}
 	if err != nil {
 		r.mu.Lock()
 		// A concurrent Unregister may have already removed the
@@ -324,8 +519,46 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 	return err
 }
 
+// decompose computes the strategy's SJ-Tree leaves from the router's
+// full-stream statistics — the same decomposition a serial MultiEngine
+// registering at this stream position would pick. Baseline strategies
+// need none. Caller holds ingestMu.
+func (r *Router) decompose(q *query.Graph, strategy core.Strategy) ([][]int, error) {
+	switch strategy {
+	case core.StrategyVF2, core.StrategyIncIso:
+		return nil, nil
+	case core.StrategySingle, core.StrategySingleLazy:
+		return decompose.SingleDecompose(q, r.stats)
+	case core.StrategyPath, core.StrategyPathLazy:
+		leaves, _, err := decompose.PathDecompose(q, r.stats)
+		return leaves, err
+	case core.StrategyAuto:
+		leaves, _, _, err := decompose.Auto(q, r.stats)
+		return leaves, err
+	default:
+		return nil, fmt.Errorf("shard: unknown strategy %v", strategy)
+	}
+}
+
+// rebuildGate recomputes a shard's ingest gate from its footprint
+// refcounts. Caller holds ingestMu.
+func (r *Router) rebuildGate(w *worker) {
+	if w.gateRefs.universal() {
+		w.gate = graph.UniversalTypes()
+		return
+	}
+	names := w.gateRefs.typeNames()
+	ids := make([]graph.TypeID, len(names))
+	for i, tp := range names {
+		ids[i] = graph.TypeID(r.gateTypes.Intern(tp))
+	}
+	w.gate = graph.NewTypeSet(ids...)
+}
+
 // Unregister removes a query and its partial-match state, blocking
-// until the owning shard has processed the removal.
+// until the owning shard has processed the removal. In filtering mode
+// the owning shard's gate narrows at the same stream position and the
+// shard trims replica edges no remaining query can reach.
 func (r *Router) Unregister(name string) {
 	r.ingestMu.Lock()
 	if r.closed {
@@ -348,10 +581,16 @@ func (r *Router) Unregister(name string) {
 		}
 	}
 	r.mu.Unlock()
-	reply := make(chan error, 1)
-	w.in <- message{kind: msgUnregister, name: name, reply: reply}
+	msg := message{kind: msgUnregister, name: name, seq: r.seq.Load(), reply: make(chan error, 1)}
+	if fp, tracked := r.fps[name]; tracked {
+		delete(r.fps, name)
+		w.gateRefs.remove(fp.types, fp.exact)
+		r.rebuildGate(w)
+		msg.fpTypes, msg.fpExact = fp.types, fp.exact
+	}
+	w.in <- msg
 	r.ingestMu.Unlock()
-	<-reply
+	<-msg.reply
 }
 
 // Registered returns the registered query names in registration order.
@@ -368,10 +607,14 @@ func (r *Router) Ingest(se stream.Edge) uint64 {
 	return r.IngestBatch([]stream.Edge{se})
 }
 
-// IngestBatch broadcasts a batch to every shard as one queue message
-// (each shard runs its engine's amortized batch pipeline over it) and
-// returns the arrival sequence number of the first edge. The slice
-// must not be mutated afterwards — every shard reads it.
+// IngestBatch routes a batch to every interested shard as one queue
+// message (each shard runs its engine's amortized batch pipeline over
+// it) and returns the arrival sequence number of the first edge. In
+// filtering mode a shard whose gate intersects none of the batch's
+// edge types never receives the message at all; the batch is also
+// appended to the shared edge log so later registrations can backfill
+// it. The slice must not be mutated afterwards — every interested
+// shard and the log read it.
 func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
 	r.ingestMu.Lock()
 	defer r.ingestMu.Unlock()
@@ -380,12 +623,51 @@ func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
 	}
 	base := r.seq.Load()
 	r.seq.Store(base + uint64(len(ses)))
+	if r.filtering {
+		r.log.Append(ses, base)
+		if r.cfg.Window > 0 {
+			// Trim to the window, but never past the floor of an
+			// in-flight registration whose backfill has yet to read its
+			// log snapshot on the owning shard.
+			cutoff := r.log.MaxTS() - r.cfg.Window + 1
+			for _, floor := range r.floors {
+				if floor < cutoff {
+					cutoff = floor
+				}
+			}
+			r.log.TrimBefore(cutoff)
+		}
+		r.stats.AddAll(ses)
+		// Intern each edge type once per batch; the per-shard gate scan
+		// below is then pure bitset probes.
+		r.gateIDs = r.gateIDs[:0]
+		for _, se := range ses {
+			r.gateIDs = append(r.gateIDs, graph.TypeID(r.gateTypes.Intern(se.Type)))
+		}
+	}
 	msg := message{kind: msgEdges, edges: ses, baseSeq: base}
 	for _, w := range r.workers {
+		if r.filtering && !r.gateAdmits(w) {
+			continue
+		}
 		w.edgesRouted.Add(int64(len(ses)))
 		w.in <- msg
 	}
 	return base
+}
+
+// gateAdmits reports whether any edge of the current batch (interned
+// in gateIDs) passes the shard's gate. Caller holds ingestMu.
+func (r *Router) gateAdmits(w *worker) bool {
+	if w.gate.Universal() {
+		return true
+	}
+	for _, id := range r.gateIDs {
+		if w.gate.Has(id) {
+			return true
+		}
+	}
+	return false
 }
 
 // EdgesRouted returns the number of edges admitted so far. Lock-free,
@@ -409,6 +691,9 @@ func (r *Router) Stats() []Stats {
 			QueueCap:       cap(w.in),
 			EdgesRouted:    w.edgesRouted.Load(),
 			MatchesEmitted: w.matchesEmitted.Load(),
+			ReplicaEdges:   w.replicaLive.Load(),
+			ReplicaStored:  w.replicaStored.Load(),
+			ReplicaTypes:   w.replicaTypes.Load(),
 		}
 	}
 	return out
@@ -494,30 +779,150 @@ func (w *worker) run() {
 		case msgEdges:
 			w.processEdges(msg)
 		case msgRegister:
+			w.flushRetro(msg.seq)
 			err := w.eng.Register(msg.name, msg.q, msg.cfg)
 			if err == nil {
 				w.ranks[msg.name] = msg.rank
+				if w.r.filtering {
+					w.widenReplica(msg)
+				}
 			}
+			w.publishReplicaStats()
 			msg.reply <- err
 		case msgUnregister:
 			if _, ok := w.ranks[msg.name]; ok {
+				w.flushRetro(msg.seq)
 				w.eng.Unregister(msg.name)
 				delete(w.ranks, msg.name)
+				if w.r.filtering {
+					w.narrowReplica(msg.fpTypes, msg.fpExact)
+				}
 			}
+			w.publishReplicaStats()
 			if msg.reply != nil {
 				msg.reply <- nil
 			}
 		}
 	}
+	// The stream is over; drain any repairs the serial schedule would
+	// have drained at an edge this shard never received.
+	w.flushRetro(w.r.seq.Load())
 	if w.bundles != nil {
 		close(w.bundles)
 	}
 }
 
-// processEdges folds a broadcast batch into this shard's private
-// engine and emits the completed matches — resolved against the
-// private graph while their edges are certainly still live.
+// flushRetro runs the engine's queued retrospective repairs when the
+// stream has moved past this shard's last admitted edge — the point
+// where a serial engine would already have drained them (it drains at
+// the next stream edge; a gated shard may never receive one). Pending
+// work only ever stems from the most recent admitted edge (lastEnd-1):
+// anything older was drained when a later edge was admitted. When
+// lastEnd == p the serial schedule has not drained either, and the
+// repairs stay queued (or die with the stream), exactly as they would
+// serially.
+func (w *worker) flushRetro(p uint64) {
+	if !w.r.filtering || w.lastEnd == 0 || w.lastEnd >= p {
+		return
+	}
+	for _, nm := range w.eng.FlushPending() {
+		w.out(w.resolve(w.lastEnd, nm))
+	}
+}
+
+// widenReplica applies a successful registration's footprint: widen
+// the engine's replica filter and backfill the in-window past of the
+// newly needed types from the shared edge log. The backfill runs on
+// this worker's goroutine against a lock-free log snapshot, so the
+// router and the other shards proceed unimpeded; this shard's own
+// queue waits, which is exactly the Register barrier semantics.
+func (w *worker) widenReplica(msg message) {
+	var need func(string) bool
+	switch {
+	case w.rset.universal():
+		// Already a full replica; nothing new can be needed.
+	case !msg.fpExact:
+		// Going universal: everything not already held is needed.
+		held := make(map[string]bool, len(w.rset.refs))
+		for tp := range w.rset.refs {
+			held[tp] = true
+		}
+		need = func(tp string) bool { return !held[tp] }
+	default:
+		added := make(map[string]bool)
+		for _, tp := range msg.fpTypes {
+			if !w.rset.has(tp) {
+				added[tp] = true
+			}
+		}
+		if len(added) > 0 {
+			need = func(tp string) bool { return added[tp] }
+		}
+	}
+	w.rset.add(msg.fpTypes, msg.fpExact)
+	w.syncEngineFilter()
+	if need == nil {
+		return
+	}
+	// The window floor was captured at the registration's stream
+	// position (msg.minTS) — computing it here from the log's current
+	// MaxTS would race with concurrent ingest and skip edges that were
+	// in-window when the registration was admitted. The router pins
+	// the log against trimming past this floor until we acknowledge.
+	var missed []stream.Edge
+	w.r.log.Replay(msg.seq, msg.minTS, func(se stream.Edge, _ uint64) bool {
+		if need(se.Type) {
+			missed = append(missed, se)
+		}
+		return true
+	})
+	w.eng.Backfill(missed)
+}
+
+// narrowReplica applies an unregistration's footprint release: narrow
+// the engine's replica filter and trim the edges no remaining query
+// can reach.
+func (w *worker) narrowReplica(types []string, exact bool) {
+	w.rset.remove(types, exact)
+	w.syncEngineFilter()
+	w.eng.TrimReplica()
+}
+
+// syncEngineFilter pushes the worker's current footprint into the
+// engine's replica filter.
+func (w *worker) syncEngineFilter() {
+	w.eng.SetReplicaFilter(w.rset.typeNames(), w.rset.universal())
+}
+
+// publishReplicaStats exposes the worker-owned replica gauges to the
+// lock-free Stats reader.
+func (w *worker) publishReplicaStats() {
+	w.replicaLive.Store(int64(w.eng.Graph().NumEdges()))
+	w.replicaStored.Store(w.eng.EdgesStored())
+	if w.r.filtering && !w.rset.universal() {
+		w.replicaTypes.Store(int64(len(w.rset.refs)))
+	} else {
+		w.replicaTypes.Store(-1)
+	}
+}
+
+// processEdges folds a routed batch into this shard's private engine
+// and emits the completed matches — resolved against the private graph
+// while their edges are certainly still live. The engine's replica
+// filter skips the batch edges outside this shard's footprint; the
+// grouped result stays aligned with the batch, so arrival seqs are
+// global regardless of what was admitted.
 func (w *worker) processEdges(msg message) {
+	if w.r.filtering {
+		// Advance the retro flush barrier to just past the last edge
+		// the engine will admit from this batch.
+		for i := len(msg.edges) - 1; i >= 0; i-- {
+			if w.rset.has(msg.edges[i].Type) {
+				w.lastEnd = msg.baseSeq + uint64(i) + 1
+				break
+			}
+		}
+	}
 	for i, named := range w.eng.ProcessBatchGrouped(msg.edges) {
 		seq := msg.baseSeq + uint64(i)
 		if w.bundles != nil {
@@ -533,6 +938,7 @@ func (w *worker) processEdges(msg message) {
 			w.out(w.resolve(seq, nm))
 		}
 	}
+	w.publishReplicaStats()
 }
 
 func (w *worker) out(m Match) {

@@ -402,12 +402,14 @@ func TestRegisterUnregisterMidStream(t *testing.T) {
 	}
 }
 
-// TestStatsCounters checks per-shard accounting: every shard routes
-// every edge, queue capacity is reported, query ownership sums to the
-// registered count, and emitted matches sum to the collected total.
+// TestStatsCounters checks per-shard accounting under full
+// replication: every shard routes every edge, queue capacity is
+// reported, query ownership sums to the registered count, and emitted
+// matches sum to the collected total. (Gated-routing accounting is
+// covered by the replica tests.)
 func TestStatsCounters(t *testing.T) {
 	edges := testStream(600)
-	r := New(Config{Shards: 3, Window: 400, QueueLen: 8})
+	r := New(Config{Shards: 3, Window: 400, QueueLen: 8, FullReplicas: true})
 	queries, strategies := testQueries(), testStrategies()
 	for _, name := range sortedNames(queries) {
 		if err := r.Register(name, queries[name], core.Config{Strategy: strategies[name]}); err != nil {

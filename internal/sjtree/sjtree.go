@@ -262,25 +262,19 @@ func (t *Tree) NumLeaves() int { return len(t.Leaves) }
 // Stats returns a snapshot of the tree's counters.
 func (t *Tree) Stats() Stats { return t.stats }
 
-// FNV-1a 64-bit constants, used to hash cut keys and dedup signatures
-// without materializing a byte string.
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
-
 // joinKey hashes a match's projection onto a cut: the data vertices
 // bound to the cut's query vertices, folded in cut order (Property 4's
-// projection Π followed by GET-JOIN-KEY). Two matches with equal cut
-// bindings always hash equal; unequal bindings may collide, which the
-// probe-time cutEqual check makes harmless.
+// projection Π followed by GET-JOIN-KEY) with iso's shared FNV-1a
+// scheme. Two matches with equal cut bindings always hash equal;
+// unequal bindings may collide, which the probe-time cutEqual check
+// makes harmless.
 func (t *Tree) joinKey(cut []int, m iso.Match) uint64 {
 	if t.collide {
 		return 0
 	}
-	h := uint64(fnvOffset64)
+	h := iso.HashStart()
 	for _, qv := range cut {
-		h = (h ^ uint64(uint32(m.VertexOf[qv]))) * fnvPrime64
+		h = iso.HashMix32(h, uint32(m.VertexOf[qv]))
 	}
 	return h
 }
@@ -407,14 +401,11 @@ func (t *Tree) sigHash(node *Node, m iso.Match) uint64 {
 	if t.collide {
 		return 0
 	}
-	h := uint64(fnvOffset64)
+	h := iso.HashStart()
 	for _, qe := range node.QEdges {
-		h = (h ^ uint64(uint32(m.EdgeOf[qe]))) * fnvPrime64
+		h = iso.HashMix32(h, uint32(m.EdgeOf[qe]))
 	}
-	ts := uint64(m.MinTS)
-	h = (h ^ (ts & 0xffffffff)) * fnvPrime64
-	h = (h ^ (ts >> 32)) * fnvPrime64
-	return h
+	return iso.HashMix64(h, uint64(m.MinTS))
 }
 
 // bucketHasSig reports whether the bucket holds a match with the exact

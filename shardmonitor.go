@@ -7,17 +7,20 @@ import (
 
 // ShardedMonitor mirrors Monitor on the sharded runtime: registered
 // queries are partitioned across shard workers, each owning a private
-// windowed graph replica, and edges flow through per-shard bounded
-// queues instead of a per-edge fork/join. Ingestion is asynchronous —
-// Process and ProcessBatch return as soon as the edge is queued on
-// every shard — and completed matches arrive on the Matches channel.
+// windowed graph replica filtered to the edge types its queries can
+// match, and edges flow through per-shard bounded queues instead of a
+// per-edge fork/join. Ingestion is asynchronous — Process and
+// ProcessBatch return as soon as the edge is queued on every
+// interested shard — and completed matches arrive on the Matches
+// channel.
 //
 // Choose ShardedMonitor over Monitor when many queries share one
 // high-rate stream on a multi-core host and per-edge latency coupling
 // between queries matters: a slow query stalls only its own shard.
-// Choose Monitor when matches must be returned synchronously with the
-// edge that produced them, or when memory is tight (each shard holds a
-// full graph replica).
+// Replica memory scales with the queries' edge-type footprints, not
+// with the shard count — only wildcard-typed queries force a full
+// replica on their shard. Choose Monitor when matches must be
+// returned synchronously with the edge that produced them.
 //
 // The Matches channel MUST be consumed concurrently with ingestion;
 // every queue in the pipeline is bounded, so an unread match
@@ -50,6 +53,14 @@ type ShardStats struct {
 	QueueCap       int
 	EdgesRouted    int64
 	MatchesEmitted int64
+
+	// ReplicaEdges is the number of edges currently live in the
+	// shard's filtered graph replica, ReplicaStored the cumulative
+	// count ever admitted into it, and ReplicaTypes the number of edge
+	// types the replica is filtered to (-1 = replicating every type).
+	ReplicaEdges  int64
+	ReplicaStored int64
+	ReplicaTypes  int64
 }
 
 // NewShardedMonitor starts an empty sharded monitor.
@@ -124,6 +135,8 @@ func (m *ShardedMonitor) Stats() []ShardStats {
 			Shard: s.Shard, Queries: s.Queries,
 			QueueDepth: s.QueueDepth, QueueCap: s.QueueCap,
 			EdgesRouted: s.EdgesRouted, MatchesEmitted: s.MatchesEmitted,
+			ReplicaEdges: s.ReplicaEdges, ReplicaStored: s.ReplicaStored,
+			ReplicaTypes: s.ReplicaTypes,
 		}
 	}
 	return out

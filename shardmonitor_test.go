@@ -102,12 +102,29 @@ func TestShardedMonitorMatchesMonitor(t *testing.T) {
 	if len(st) != 2 {
 		t.Fatalf("got %d shard stats, want 2", len(st))
 	}
-	var emitted int64
+	var emitted, stored int64
 	for _, s := range st {
-		if s.EdgesRouted != int64(len(edges)) {
-			t.Fatalf("shard %d routed %d edges, want %d", s.Shard, s.EdgesRouted, len(edges))
+		// Replicas are edge-type partitioned: a shard only receives the
+		// edges its queries can match, so it routes at most the stream
+		// and stores at most what it routed.
+		if s.EdgesRouted > int64(len(edges)) {
+			t.Fatalf("shard %d routed %d edges, stream has %d", s.Shard, s.EdgesRouted, len(edges))
+		}
+		if s.ReplicaStored > s.EdgesRouted {
+			t.Fatalf("shard %d stored %d edges but only %d were routed to it", s.Shard, s.ReplicaStored, s.EdgesRouted)
+		}
+		if s.ReplicaTypes != 2 {
+			t.Fatalf("shard %d filters %d types, want 2 (one 2-type query each)", s.Shard, s.ReplicaTypes)
 		}
 		emitted += s.MatchesEmitted
+		stored += s.ReplicaStored
+	}
+	// Each query touches 2 of the 3 edge types, so the two replicas
+	// together hold 4/3 of the stream — strictly less than the 2x of
+	// full replication.
+	if stored >= 2*int64(len(edges)) {
+		t.Fatalf("replicas stored %d edges total; full replication would be %d — filtering saved nothing",
+			stored, 2*len(edges))
 	}
 	if emitted != int64(len(got)) {
 		t.Fatalf("stats report %d emitted, collected %d", emitted, len(got))
