@@ -9,20 +9,24 @@
 //	sgbench -exp batch -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: table1, fig6, fig7, fig9a, fig9b, fig9c, fig9d, fig10,
-// rule, alg5, ablation, planner, sketch, batch, shard, all.
+// rule, alg5, ablation, planner, sketch, batch, shard, dshard, all.
 //
-// The batch and shard experiments go beyond the paper: batch compares
-// edge-at-a-time ingestion with the batch pipeline (amortized
+// The batch, shard and dshard experiments go beyond the paper: batch
+// compares edge-at-a-time ingestion with the batch pipeline (amortized
 // eviction, parallel candidate search) at -batch as the largest batch
 // size; shard compares the serial multi-query engine, the fork/join
 // ParallelMulti and the sharded runtime (internal/shard) at several
 // shard counts, reporting each mode's total replicated edge count —
 // the storage the edge-type-partitioned replicas save versus full
-// per-shard replication — alongside throughput.
+// per-shard replication — alongside throughput; dshard compares the
+// in-process shard runtime with all-remote and mixed local/remote
+// topologies whose slots are loopback-TCP sgshard workers
+// (internal/dshard), reporting wire traffic alongside throughput —
+// match counts must be identical across every row of every mode.
 //
-// With -json the throughput experiments (batch, shard) emit one
-// machine-readable JSON document on stdout instead of text tables —
-// the format CI archives as BENCH_PR2.json to track the perf
+// With -json the throughput experiments (batch, shard, dshard) emit
+// one machine-readable JSON document on stdout instead of text tables
+// — the format CI archives as BENCH_PR5.json to track the perf
 // trajectory across PRs.
 package main
 
@@ -58,7 +62,7 @@ type benchReport struct {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1, fig6, fig7, fig9a-d, fig10, rule, alg5, ablation, planner, sketch, batch, shard, all)")
+		exp      = flag.String("exp", "all", "experiment id (table1, fig6, fig7, fig9a-d, fig10, rule, alg5, ablation, planner, sketch, batch, shard, dshard, all)")
 		scale    = flag.String("scale", "small", "dataset scale: small | medium | large")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		batch    = flag.Int("batch", 1024, "largest batch size for the batch ingestion experiment")
@@ -136,8 +140,15 @@ func main() {
 			rows := experiments.ShardThroughput(experiments.ShardConfig{Dataset: nf, MaxEdges: *maxEdges})
 			report.Experiments = append(report.Experiments, expReport{ID: "shard", Dataset: nf.Name, Rows: rows})
 		}
+		if want("dshard") {
+			rows, err := experiments.DshardThroughput(experiments.DshardConfig{Dataset: nf, MaxEdges: *maxEdges})
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Experiments = append(report.Experiments, expReport{ID: "dshard", Dataset: nf.Name, Rows: rows})
+		}
 		if len(report.Experiments) == 0 {
-			log.Fatalf("-json supports the throughput experiments (batch, shard); got -exp %s", *exp)
+			log.Fatalf("-json supports the throughput experiments (batch, shard, dshard); got -exp %s", *exp)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -260,6 +271,15 @@ func main() {
 		nf := getNF()
 		rows := experiments.ShardThroughput(experiments.ShardConfig{Dataset: nf, MaxEdges: *maxEdges})
 		experiments.PrintShard(out, nf.Name, rows)
+		fmt.Fprintln(out)
+	}
+	if want("dshard") {
+		nf := getNF()
+		rows, err := experiments.DshardThroughput(experiments.DshardConfig{Dataset: nf, MaxEdges: *maxEdges})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintDshard(out, nf.Name, rows)
 		fmt.Fprintln(out)
 	}
 }

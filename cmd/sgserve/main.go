@@ -20,12 +20,18 @@
 // immediately, completed matches are drained with the "matches"
 // command, and "stats" reports per-shard queue depth, edges routed and
 // matches emitted.
+//
+// With -remote host:port,... some (or all) of those shard slots live
+// in remote sgshard processes: the server routes each slot's slice of
+// the stream over the internal/dshard protocol and transparently
+// replays after a remote reconnect. See docs/DISTRIBUTED.md.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"strings"
 
 	"streamgraph/internal/server"
 )
@@ -36,24 +42,38 @@ func main() {
 		window     = flag.Int64("window", 0, "time window tW shared by all queries (0 = unwindowed)")
 		evictEvery = flag.Int("evict-every", 256, "eviction cadence in edges")
 		shards     = flag.Int("shards", 0, "run on the sharded runtime with this many shard workers (0 = single engine); edge ingestion becomes asynchronous, matches are drained with the 'matches' command and 'stats' reports per-shard counters")
-		shardQueue = flag.Int("shard-queue", 256, "per-shard ingest queue capacity (with -shards)")
+		shardQueue = flag.Int("shard-queue", 256, "per-shard ingest queue capacity (with -shards/-remote)")
+		remote     = flag.String("remote", "", "comma-separated remote shard worker addresses (sgshard processes); each becomes one shard slot alongside the -shards local workers and selects the sharded runtime even with -shards 0")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("sgserve: ")
 
+	var remotes []string
+	if *remote != "" {
+		for _, a := range strings.Split(*remote, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				remotes = append(remotes, a)
+			}
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *shards > 0 {
+	switch {
+	case len(remotes) > 0:
+		log.Printf("listening on %s (window=%d, %d local + %d remote shards: %s)",
+			ln.Addr(), *window, *shards, len(remotes), strings.Join(remotes, ","))
+	case *shards > 0:
 		log.Printf("listening on %s (window=%d, %d shards)", ln.Addr(), *window, *shards)
-	} else {
+	default:
 		log.Printf("listening on %s (window=%d)", ln.Addr(), *window)
 	}
 	srv := server.New(server.Config{
 		Window: *window, EvictEvery: *evictEvery,
-		Shards: *shards, ShardQueue: *shardQueue,
+		Shards: *shards, Remotes: remotes, ShardQueue: *shardQueue,
 	})
 	if err := srv.Serve(ln); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,50 @@
+// Command sgshard runs a remote shard worker: one process-boundary
+// slot of the sharded continuous-pattern-detection runtime. A router
+// (sgserve -remote, or any program embedding internal/shard with
+// Config.Remotes) connects over TCP, registers the queries it assigns
+// to this slot, streams admitted edge batches, and receives every
+// completed match back — the internal/dshard protocol.
+//
+// The worker is deliberately stateless across connections: if the
+// connection (or this process) dies, the router reconnects and rebuilds
+// the worker's engine by replaying its control events and the shared
+// edge log. Running it is therefore as boring as it should be:
+//
+//	sgshard -addr :7700
+//
+// and on the serving side:
+//
+//	sgserve -shards 2 -remote shardhost:7700 -window 3600
+//
+// One sgshard process can host many slots (each connection gets its own
+// engine), so a small deployment can point several routers — or several
+// slots of one router — at a single worker process.
+//
+// See docs/DISTRIBUTED.md for the protocol specification, deployment
+// topologies and failure modes.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"streamgraph/internal/dshard"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7700", "listen address for router connections")
+		quiet = flag.Bool("quiet", false, "suppress per-connection log lines")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("sgshard: ")
+
+	srv := dshard.NewServer()
+	if !*quiet {
+		srv.Logf = log.Printf
+	}
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

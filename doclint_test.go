@@ -1,33 +1,49 @@
 package streamgraph
 
 // The doc-comment lint: every exported identifier in the packages
-// listed below must carry a godoc comment. It runs as a plain test
-// (and in CI's docs job) so the repo needs no external linter — the
-// stdlib go/ast is the whole toolchain. The scope is the packages the
-// PR-4 documentation pass pinned: the root facade, the sharded
-// runtime, and the SJ-Tree.
+// listed below must carry a godoc comment, and every package (library
+// or command) a package doc comment. It runs as a plain test (and in
+// CI's docs job) so the repo needs no external linter — the stdlib
+// go/ast is the whole toolchain. Since the PR-5 documentation pass the
+// scope is the entire repository: the root facade, every internal
+// package, and every command main.
 
 import (
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
 
-// doclintPackages are the directories (relative to the repo root,
+// doclintPackages returns the directories (relative to the repo root,
 // where `go test` runs this package) whose exported surface must be
-// fully documented.
-var doclintPackages = []string{
-	".",
-	"internal/shard",
-	"internal/sjtree",
+// fully documented: the facade, all of internal/, and all of cmd/.
+func doclintPackages(t *testing.T) []string {
+	t.Helper()
+	dirs := []string{"."}
+	for _, parent := range []string{"internal", "cmd"} {
+		entries, err := os.ReadDir(parent)
+		if err != nil {
+			t.Fatalf("read %s: %v", parent, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				dirs = append(dirs, filepath.Join(parent, e.Name()))
+			}
+		}
+	}
+	sort.Strings(dirs)
+	return dirs
 }
 
 func TestExportedIdentifiersDocumented(t *testing.T) {
 	var missing []string
-	for _, dir := range doclintPackages {
+	for _, dir := range doclintPackages(t) {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
 		if err != nil {

@@ -2,9 +2,11 @@ package streamgraph
 
 // The docs link check: every intra-repository markdown link in
 // README.md and docs/*.md must resolve to an existing file or
-// directory. Runs as a plain test and in CI's docs job.
+// directory, and docs/CLI.md must document every cmd/* tool. Runs as
+// a plain test and in CI's docs job.
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -52,5 +54,31 @@ func TestDocsLinksResolve(t *testing.T) {
 	}
 	if len(broken) > 0 {
 		t.Errorf("%d broken intra-repo links:\n  %s", len(broken), strings.Join(broken, "\n  "))
+	}
+}
+
+// TestCLIDocCoversAllCommands requires docs/CLI.md to carry a
+// "## <name> — ..." section for every directory under cmd/, so a new
+// tool cannot land undocumented.
+func TestCLIDocCoversAllCommands(t *testing.T) {
+	data, err := os.ReadFile("docs/CLI.md")
+	if err != nil {
+		t.Fatalf("docs/CLI.md missing: %v", err)
+	}
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(string(data), fmt.Sprintf("## %s ", e.Name())) {
+			missing = append(missing, e.Name())
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("docs/CLI.md lacks a section for: %s", strings.Join(missing, ", "))
 	}
 }

@@ -63,6 +63,8 @@ var strategyNames = map[Strategy]string{
 	StrategyAuto:       "Auto",
 }
 
+// String renders the strategy's canonical name (as used in the
+// paper's plots and the CLI flags).
 func (s Strategy) String() string {
 	if n, ok := strategyNames[s]; ok {
 		return n

@@ -249,6 +249,51 @@ func (m *MultiEngine) Registered() []string {
 // QueryEngine returns the per-query engine (for stats inspection).
 func (m *MultiEngine) QueryEngine(name string) *Engine { return m.queries[name] }
 
+// PortableBinding is one resolved vertex of a portable match: query
+// vertex name to data vertex name.
+type PortableBinding struct {
+	QueryVertex, DataVertex string
+}
+
+// PortableMatchEdge is one resolved edge of a portable match.
+type PortableMatchEdge struct {
+	QueryEdge      int // index into the query's edge list
+	Src, Dst, Type string
+	TS             int64
+}
+
+// ResolveMatch resolves an engine match into portable name-based form
+// against the shared graph now, while the bound edges are certainly
+// still live. Both the local shard worker and the remote dshard worker
+// emit matches through this one definition — sharing it is part of
+// what keeps match output byte-identical across topologies.
+func (m *MultiEngine) ResolveMatch(nm NamedMatch) (bindings []PortableBinding, edges []PortableMatchEdge) {
+	q := m.queries[nm.Query].Query()
+	for qv, dv := range nm.Match.VertexOf {
+		if dv == graph.NoVertex {
+			continue
+		}
+		bindings = append(bindings, PortableBinding{
+			QueryVertex: q.Vertices[qv].Name,
+			DataVertex:  m.g.VertexName(dv),
+		})
+	}
+	for qe, eid := range nm.Match.EdgeOf {
+		de, ok := m.g.Edge(eid)
+		if !ok {
+			continue
+		}
+		edges = append(edges, PortableMatchEdge{
+			QueryEdge: qe,
+			Src:       m.g.VertexName(de.Src),
+			Dst:       m.g.VertexName(de.Dst),
+			Type:      m.g.Types().Name(uint32(de.Type)),
+			TS:        de.TS,
+		})
+	}
+	return bindings, edges
+}
+
 // ingest adds one stream edge to the shared graph, updates the rolling
 // statistics and runs eviction, returning the materialized edge.
 func (m *MultiEngine) ingest(se stream.Edge) graph.Edge {

@@ -28,6 +28,7 @@ const (
 	Path
 )
 
+// String renders the decomposition kind ("single" or "path").
 func (k Kind) String() string {
 	if k == Path {
 		return "path"

@@ -1,0 +1,370 @@
+package dshard
+
+// The remote shard worker: one listener, one fresh engine per
+// connection. A connection IS a shard's lifetime — the router rebuilds
+// a reconnecting shard by replaying its control events and the shared
+// edge log, so the worker keeps no state across connections and
+// crash-recovery needs no persistence layer here.
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/query"
+)
+
+// Server accepts remote-shard connections and hosts one shard engine
+// per connection.
+type Server struct {
+	// Logf, when non-nil, receives one line per connection open/close
+	// (log.Printf signature).
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns an idle server.
+func NewServer() *Server {
+	return &Server{conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close, hosting each on its own
+// goroutine. It returns the accept error that ended the loop
+// (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("dshard: server is closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		// Registered under the same critical section that Close's
+		// closed-check observes, so Close's Wait can never pass before a
+		// just-accepted handler is counted.
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(c)
+		}()
+	}
+}
+
+// Kick severs every live connection without stopping the listener: the
+// routers on the other end observe a broken connection and rebuild
+// over a fresh one. It exists for failover drills and tests.
+func (s *Server) Kick() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// Close stops accepting, severs live connections and waits for their
+// handlers to return.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	cn := NewConn(c)
+	if err := (&host{cn: cn}).run(); err != nil {
+		s.logf("dshard: %s: %v", c.RemoteAddr(), err)
+	}
+}
+
+// ListenAndServe listens on addr and serves until the process exits;
+// the convenience entry point cmd/sgshard wraps.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("dshard: listening on %s", ln.Addr())
+	return s.Serve(ln)
+}
+
+// host is the engine side of one connection: the exact remote
+// counterpart of internal/shard's local worker goroutine.
+type host struct {
+	cn  *Conn
+	eng *core.MultiEngine
+
+	// admit mirrors the engine's replica filter by type name, for the
+	// lastEnd (flush-barrier) bookkeeping.
+	admit     map[string]bool
+	universal bool
+	types     int64 // gauge: filter width, -1 when universal
+
+	// ranks maps registered query names to their global registration
+	// rank, echoed on match frames.
+	ranks map[string]int
+
+	// lastEnd is the arrival seq just past the last edge this engine
+	// admitted — the retrospective-repair flush barrier, with exactly
+	// the semantics of the local worker's field: a control point at
+	// stream position p flushes pending lazy repairs iff lastEnd < p
+	// (the serial schedule drained them at an edge this shard's filter
+	// skipped).
+	lastEnd uint64
+}
+
+func (h *host) run() error {
+	typ, body, err := h.cn.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if typ != FrameHello {
+		return fmt.Errorf("expected hello, got frame 0x%02x", typ)
+	}
+	hello, err := DecodeHello(body)
+	if err != nil {
+		return err
+	}
+	if hello.Version != ProtocolVersion {
+		return fmt.Errorf("protocol version %d, want %d", hello.Version, ProtocolVersion)
+	}
+	h.eng = core.NewMulti(core.MultiConfig{Window: hello.Window, EvictEvery: hello.EvictEvery})
+	h.ranks = make(map[string]int)
+	h.universal = hello.UniversalFilter
+	if h.universal {
+		h.types = -1
+	} else {
+		h.eng.SetReplicaFilter(nil, false)
+		h.admit = map[string]bool{}
+	}
+	for {
+		typ, body, err := h.cn.ReadFrame()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case FrameEdges:
+			m, err := DecodeEdges(body)
+			if err != nil {
+				return err
+			}
+			if err := h.handleEdges(m); err != nil {
+				return err
+			}
+		case FrameRegister:
+			m, err := DecodeRegister(body)
+			if err != nil {
+				return err
+			}
+			if err := h.handleRegister(m); err != nil {
+				return err
+			}
+		case FrameBackfill:
+			m, err := DecodeBackfill(body)
+			if err != nil {
+				return err
+			}
+			// Continuation of a register frame's backfill; ignored when
+			// the register itself errored (the query never took effect,
+			// so neither may its backfill).
+			if _, ok := h.ranks[m.Name]; ok {
+				h.eng.Backfill(m.Edges)
+			}
+			if err := h.done(m.Frame, nil); err != nil {
+				return err
+			}
+		case FrameUnregister:
+			m, err := DecodeUnregister(body)
+			if err != nil {
+				return err
+			}
+			if err := h.handleUnregister(m); err != nil {
+				return err
+			}
+		case FrameClose:
+			m, err := DecodeCloseStream(body)
+			if err != nil {
+				return err
+			}
+			if err := h.flushRetro(m.Frame, m.FinalSeq, false); err != nil {
+				return err
+			}
+			return h.done(m.Frame, nil)
+		default:
+			return fmt.Errorf("unexpected frame 0x%02x", typ)
+		}
+	}
+}
+
+func (h *host) handleEdges(m Edges) error {
+	if h.universal {
+		h.lastEnd = m.BaseSeq + uint64(len(m.Edges))
+	} else {
+		for i := len(m.Edges) - 1; i >= 0; i-- {
+			if h.admit[m.Edges[i].Type] {
+				h.lastEnd = m.BaseSeq + uint64(i) + 1
+				break
+			}
+		}
+	}
+	for i, named := range h.eng.ProcessBatchGrouped(m.Edges) {
+		if m.Suppress {
+			continue
+		}
+		seq := m.BaseSeq + uint64(i)
+		for _, nm := range named {
+			if err := h.match(m.Frame, seq, nm); err != nil {
+				return err
+			}
+		}
+	}
+	return h.done(m.Frame, nil)
+}
+
+func (h *host) handleRegister(m Register) error {
+	if err := h.flushRetro(m.Frame, m.Seq, m.Suppress); err != nil {
+		return err
+	}
+	q, err := query.Parse(m.Query)
+	if err == nil {
+		cfg := core.Config{
+			Strategy:            core.Strategy(m.Strategy),
+			MaxMatchesPerSearch: m.MaxMatches,
+			MaxWorkPerEdge:      m.MaxWork,
+			MaxStepsPerSearch:   m.MaxSteps,
+			BatchWorkers:        m.Workers,
+		}
+		if cfg.BatchWorkers <= 0 {
+			cfg.BatchWorkers = 1
+		}
+		if m.HasLeaves {
+			cfg.Leaves = m.Leaves
+		}
+		err = h.eng.Register(m.Name, q, cfg)
+	}
+	if err == nil {
+		h.ranks[m.Name] = m.Rank
+		h.setFilter(m.FilterUniversal, m.FilterTypes)
+		h.eng.Backfill(m.Backfill)
+	}
+	return h.done(m.Frame, err)
+}
+
+func (h *host) handleUnregister(m Unregister) error {
+	if _, ok := h.ranks[m.Name]; ok {
+		if err := h.flushRetro(m.Frame, m.Seq, m.Suppress); err != nil {
+			return err
+		}
+		h.eng.Unregister(m.Name)
+		delete(h.ranks, m.Name)
+		h.setFilter(m.FilterUniversal, m.FilterTypes)
+		h.eng.TrimReplica()
+	}
+	return h.done(m.Frame, nil)
+}
+
+// flushRetro runs the engine's queued retrospective repairs when the
+// stream has moved past this shard's last admitted edge; see the local
+// worker's flushRetro for the schedule argument. With a universal
+// filter the shard receives every edge, lastEnd always equals p, and
+// this never fires — matching the local full-replica worker.
+func (h *host) flushRetro(frame, p uint64, suppress bool) error {
+	if h.lastEnd == 0 || h.lastEnd >= p {
+		return nil
+	}
+	for _, nm := range h.eng.FlushPending() {
+		if suppress {
+			continue
+		}
+		if err := h.match(frame, h.lastEnd, nm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *host) setFilter(universal bool, types []string) {
+	h.universal = universal
+	if universal {
+		h.admit = nil
+		h.types = -1
+		h.eng.SetReplicaFilter(nil, true)
+		return
+	}
+	h.admit = make(map[string]bool, len(types))
+	for _, tp := range types {
+		h.admit[tp] = true
+	}
+	h.types = int64(len(types))
+	h.eng.SetReplicaFilter(types, false)
+}
+
+// match resolves one engine match into portable name-based form (the
+// shared core.MultiEngine.ResolveMatch walk, identical to the local
+// worker's) and streams it; resolution happens here, while the bound
+// edges are certainly still live in the replica.
+func (h *host) match(frame, seq uint64, nm core.NamedMatch) error {
+	out := Match{
+		Frame: frame, Query: nm.Query, Rank: h.ranks[nm.Query], Seq: seq,
+		FirstTS: nm.Match.MinTS, LastTS: nm.Match.MaxTS,
+	}
+	bindings, edges := h.eng.ResolveMatch(nm)
+	for _, b := range bindings {
+		out.Bindings = append(out.Bindings, Binding(b))
+	}
+	for _, e := range edges {
+		out.Edges = append(out.Edges, MatchEdge(e))
+	}
+	return h.cn.WriteMatch(out)
+}
+
+func (h *host) done(frame uint64, engErr error) error {
+	d := Done{
+		Frame:  frame,
+		Live:   int64(h.eng.Graph().NumEdges()),
+		Stored: h.eng.EdgesStored(),
+		Types:  h.types,
+	}
+	if engErr != nil {
+		d.Err = engErr.Error()
+	}
+	return h.cn.WriteDone(d)
+}

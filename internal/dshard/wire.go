@@ -1,0 +1,488 @@
+package dshard
+
+// Frame and payload codecs. A frame is a 4-byte big-endian payload
+// length followed by the payload; payload[0] is the frame type byte.
+// Integers are varints (unsigned for seqs/counts, zigzag for
+// timestamps), strings are uvarint-length-prefixed bytes. Encoding is
+// append-style into a reused scratch buffer, so the steady-state hot
+// path (edge batches, match streams) performs no per-frame
+// allocations beyond the strings themselves on decode.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"streamgraph/internal/stream"
+)
+
+// Conn wraps one protocol connection: buffered frame IO over a
+// net.Conn (or any ReadWriteCloser). It is not safe for concurrent
+// writers or concurrent readers; the protocol's single-writer /
+// single-reader split (one goroutine sending, one receiving) is the
+// intended use.
+type Conn struct {
+	rwc io.ReadWriteCloser
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	// Write-side and read-side scratch are separate: the intended use
+	// runs one sending and one receiving goroutine per connection, and
+	// they must never share a buffer.
+	wbuf []byte
+	whdr [4]byte
+	rbuf []byte
+	rhdr [4]byte
+}
+
+// NewConn wraps an established connection.
+func NewConn(rwc io.ReadWriteCloser) *Conn {
+	return &Conn{
+		rwc: rwc,
+		br:  bufio.NewReaderSize(rwc, 64<<10),
+		bw:  bufio.NewWriterSize(rwc, 64<<10),
+	}
+}
+
+// Dial connects to a remote shard worker.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Close closes the underlying connection.
+func (cn *Conn) Close() error { return cn.rwc.Close() }
+
+// writeFrame sends one framed payload and flushes.
+func (cn *Conn) writeFrame(payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("dshard: frame of %d bytes exceeds MaxFrame", len(payload))
+	}
+	binary.BigEndian.PutUint32(cn.whdr[:], uint32(len(payload)))
+	if _, err := cn.bw.Write(cn.whdr[:]); err != nil {
+		return err
+	}
+	if _, err := cn.bw.Write(payload); err != nil {
+		return err
+	}
+	return cn.bw.Flush()
+}
+
+// ReadFrame reads one frame and returns its type byte and payload
+// body (the payload minus the type byte). The body aliases an
+// internal buffer valid until the next ReadFrame.
+func (cn *Conn) ReadFrame() (byte, []byte, error) {
+	if _, err := io.ReadFull(cn.br, cn.rhdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(cn.rhdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("dshard: bad frame length %d", n)
+	}
+	if cap(cn.rbuf) < int(n) {
+		cn.rbuf = make([]byte, n)
+	}
+	b := cn.rbuf[:n]
+	if _, err := io.ReadFull(cn.br, b); err != nil {
+		return 0, nil, err
+	}
+	return b[0], b[1:], nil
+}
+
+// ---- primitive append/decode helpers ----
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendEdge(b []byte, e stream.Edge) []byte {
+	b = appendString(b, e.Src)
+	b = appendString(b, e.SrcLabel)
+	b = appendString(b, e.Dst)
+	b = appendString(b, e.DstLabel)
+	b = appendString(b, e.Type)
+	return binary.AppendVarint(b, e.TS)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// dec is a cursor over one payload; the first decode error sticks and
+// every subsequent read returns zero values.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("dshard: truncated or corrupt %s", what)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) bool_() bool { return d.uvarint() != 0 }
+
+func (d *dec) string_() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// count decodes a list length and rejects any count that could not
+// possibly fit in the remaining payload given the element type's
+// minimum encoded size — so a hostile count prefix can never drive an
+// allocation larger than (frame size / minSize) elements. The bound is
+// computed by division so a huge count cannot overflow it.
+func (d *dec) count(what string, minSize uint64) int {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.b))/minSize {
+		d.fail(what + " count")
+	}
+	return int(n)
+}
+
+// Minimum encoded element sizes for count bounds: an edge is five
+// length-prefixed strings plus a timestamp varint; a binding is two
+// strings; a match edge is an index, three strings and a timestamp; a
+// string and a leaf are at least their own length prefix.
+const (
+	minEdgeSize      = 6
+	minStringSize    = 1
+	minLeafSize      = 1
+	minBindingSize   = 2
+	minMatchEdgeSize = 5
+)
+
+func (d *dec) edge() stream.Edge {
+	return stream.Edge{
+		Src: d.string_(), SrcLabel: d.string_(),
+		Dst: d.string_(), DstLabel: d.string_(),
+		Type: d.string_(), TS: d.varint(),
+	}
+}
+
+func (d *dec) strings() []string {
+	n := d.count("string list", minStringSize)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.string_()
+	}
+	return out
+}
+
+func (d *dec) edges() []stream.Edge {
+	n := d.count("edge list", minEdgeSize)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]stream.Edge, n)
+	for i := range out {
+		out[i] = d.edge()
+	}
+	return out
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func appendEdges(b []byte, es []stream.Edge) []byte {
+	b = binary.AppendUvarint(b, uint64(len(es)))
+	for _, e := range es {
+		b = appendEdge(b, e)
+	}
+	return b
+}
+
+// ---- message writers ----
+
+// WriteHello sends the connection-opening frame.
+func (cn *Conn) WriteHello(h Hello) error {
+	b := append(cn.wbuf[:0], FrameHello)
+	b = binary.AppendUvarint(b, h.Version)
+	b = binary.AppendUvarint(b, uint64(h.Slot))
+	b = binary.AppendVarint(b, h.Window)
+	b = binary.AppendUvarint(b, uint64(h.EvictEvery))
+	b = appendBool(b, h.UniversalFilter)
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// WriteEdges sends one admitted batch.
+func (cn *Conn) WriteEdges(m Edges) error {
+	b := append(cn.wbuf[:0], FrameEdges)
+	b = binary.AppendUvarint(b, m.Frame)
+	b = appendBool(b, m.Suppress)
+	b = binary.AppendUvarint(b, m.BaseSeq)
+	b = appendEdges(b, m.Edges)
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// WriteRegister sends one registration control frame.
+func (cn *Conn) WriteRegister(m Register) error {
+	b := append(cn.wbuf[:0], FrameRegister)
+	b = binary.AppendUvarint(b, m.Frame)
+	b = appendBool(b, m.Suppress)
+	b = appendString(b, m.Name)
+	b = binary.AppendUvarint(b, m.Seq)
+	b = binary.AppendUvarint(b, uint64(m.Rank))
+	b = appendString(b, m.Query)
+	b = binary.AppendUvarint(b, uint64(m.Strategy))
+	b = appendBool(b, m.HasLeaves)
+	b = binary.AppendUvarint(b, uint64(len(m.Leaves)))
+	for _, leaf := range m.Leaves {
+		b = binary.AppendUvarint(b, uint64(len(leaf)))
+		for _, idx := range leaf {
+			b = binary.AppendUvarint(b, uint64(idx))
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(m.MaxMatches))
+	b = binary.AppendVarint(b, m.MaxWork)
+	b = binary.AppendVarint(b, m.MaxSteps)
+	b = binary.AppendUvarint(b, uint64(m.Workers))
+	b = appendBool(b, m.FilterUniversal)
+	b = appendStrings(b, m.FilterTypes)
+	b = appendEdges(b, m.Backfill)
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// WriteBackfill sends one backfill continuation chunk.
+func (cn *Conn) WriteBackfill(m BackfillChunk) error {
+	b := append(cn.wbuf[:0], FrameBackfill)
+	b = binary.AppendUvarint(b, m.Frame)
+	b = appendString(b, m.Name)
+	b = appendEdges(b, m.Edges)
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// WriteUnregister sends one removal control frame.
+func (cn *Conn) WriteUnregister(m Unregister) error {
+	b := append(cn.wbuf[:0], FrameUnregister)
+	b = binary.AppendUvarint(b, m.Frame)
+	b = appendBool(b, m.Suppress)
+	b = appendString(b, m.Name)
+	b = binary.AppendUvarint(b, m.Seq)
+	b = appendBool(b, m.FilterUniversal)
+	b = appendStrings(b, m.FilterTypes)
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// WriteCloseStream sends the end-of-stream frame.
+func (cn *Conn) WriteCloseStream(m CloseStream) error {
+	b := append(cn.wbuf[:0], FrameClose)
+	b = binary.AppendUvarint(b, m.Frame)
+	b = binary.AppendUvarint(b, m.FinalSeq)
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// WriteMatch streams one completed match (server side).
+func (cn *Conn) WriteMatch(m Match) error {
+	b := append(cn.wbuf[:0], FrameMatch)
+	b = binary.AppendUvarint(b, m.Frame)
+	b = appendString(b, m.Query)
+	b = binary.AppendUvarint(b, uint64(m.Rank))
+	b = binary.AppendUvarint(b, m.Seq)
+	b = binary.AppendVarint(b, m.FirstTS)
+	b = binary.AppendVarint(b, m.LastTS)
+	b = binary.AppendUvarint(b, uint64(len(m.Bindings)))
+	for _, bd := range m.Bindings {
+		b = appendString(b, bd.QueryVertex)
+		b = appendString(b, bd.DataVertex)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Edges)))
+	for _, e := range m.Edges {
+		b = binary.AppendUvarint(b, uint64(e.QueryEdge))
+		b = appendString(b, e.Src)
+		b = appendString(b, e.Dst)
+		b = appendString(b, e.Type)
+		b = binary.AppendVarint(b, e.TS)
+	}
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// WriteDone acknowledges one client frame (server side).
+func (cn *Conn) WriteDone(m Done) error {
+	b := append(cn.wbuf[:0], FrameDone)
+	b = binary.AppendUvarint(b, m.Frame)
+	b = appendString(b, m.Err)
+	b = binary.AppendVarint(b, m.Live)
+	b = binary.AppendVarint(b, m.Stored)
+	b = binary.AppendVarint(b, m.Types)
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// ---- message decoders (payload body, i.e. frame minus type byte) ----
+
+// DecodeHello parses a FrameHello body.
+func DecodeHello(body []byte) (Hello, error) {
+	d := dec{b: body}
+	h := Hello{
+		Version:    d.uvarint(),
+		Slot:       int(d.uvarint()),
+		Window:     d.varint(),
+		EvictEvery: int(d.uvarint()),
+	}
+	h.UniversalFilter = d.bool_()
+	return h, d.err
+}
+
+// DecodeEdges parses a FrameEdges body.
+func DecodeEdges(body []byte) (Edges, error) {
+	d := dec{b: body}
+	m := Edges{Frame: d.uvarint(), Suppress: d.bool_(), BaseSeq: d.uvarint()}
+	m.Edges = d.edges()
+	return m, d.err
+}
+
+// DecodeRegister parses a FrameRegister body.
+func DecodeRegister(body []byte) (Register, error) {
+	d := dec{b: body}
+	m := Register{
+		Frame: d.uvarint(), Suppress: d.bool_(),
+		Name: d.string_(), Seq: d.uvarint(), Rank: int(d.uvarint()),
+		Query: d.string_(), Strategy: int(d.uvarint()),
+	}
+	m.HasLeaves = d.bool_()
+	nl := d.count("leaf", minLeafSize)
+	if d.err == nil && nl > 0 {
+		m.Leaves = make([][]int, nl)
+		for i := range m.Leaves {
+			ne := d.count("leaf edge", minLeafSize)
+			if d.err != nil {
+				break
+			}
+			m.Leaves[i] = make([]int, ne)
+			for j := range m.Leaves[i] {
+				m.Leaves[i][j] = int(d.uvarint())
+			}
+		}
+	}
+	m.MaxMatches = int(d.uvarint())
+	m.MaxWork = d.varint()
+	m.MaxSteps = d.varint()
+	m.Workers = int(d.uvarint())
+	m.FilterUniversal = d.bool_()
+	m.FilterTypes = d.strings()
+	m.Backfill = d.edges()
+	return m, d.err
+}
+
+// DecodeBackfill parses a FrameBackfill body.
+func DecodeBackfill(body []byte) (BackfillChunk, error) {
+	d := dec{b: body}
+	m := BackfillChunk{Frame: d.uvarint(), Name: d.string_()}
+	m.Edges = d.edges()
+	return m, d.err
+}
+
+// DecodeUnregister parses a FrameUnregister body.
+func DecodeUnregister(body []byte) (Unregister, error) {
+	d := dec{b: body}
+	m := Unregister{
+		Frame: d.uvarint(), Suppress: d.bool_(),
+		Name: d.string_(), Seq: d.uvarint(),
+	}
+	m.FilterUniversal = d.bool_()
+	m.FilterTypes = d.strings()
+	return m, d.err
+}
+
+// DecodeCloseStream parses a FrameClose body.
+func DecodeCloseStream(body []byte) (CloseStream, error) {
+	d := dec{b: body}
+	m := CloseStream{Frame: d.uvarint(), FinalSeq: d.uvarint()}
+	return m, d.err
+}
+
+// DecodeMatch parses a FrameMatch body.
+func DecodeMatch(body []byte) (Match, error) {
+	d := dec{b: body}
+	m := Match{
+		Frame: d.uvarint(), Query: d.string_(), Rank: int(d.uvarint()),
+		Seq: d.uvarint(), FirstTS: d.varint(), LastTS: d.varint(),
+	}
+	nb := d.count("binding", minBindingSize)
+	if d.err == nil && nb > 0 {
+		m.Bindings = make([]Binding, nb)
+		for i := range m.Bindings {
+			m.Bindings[i] = Binding{QueryVertex: d.string_(), DataVertex: d.string_()}
+		}
+	}
+	ne := d.count("match edge", minMatchEdgeSize)
+	if d.err == nil && ne > 0 {
+		m.Edges = make([]MatchEdge, ne)
+		for i := range m.Edges {
+			m.Edges[i] = MatchEdge{
+				QueryEdge: int(d.uvarint()),
+				Src:       d.string_(), Dst: d.string_(), Type: d.string_(),
+				TS: d.varint(),
+			}
+		}
+	}
+	return m, d.err
+}
+
+// DecodeDone parses a FrameDone body.
+func DecodeDone(body []byte) (Done, error) {
+	d := dec{b: body}
+	m := Done{Frame: d.uvarint(), Err: d.string_(), Live: d.varint(), Stored: d.varint(), Types: d.varint()}
+	return m, d.err
+}

@@ -30,6 +30,7 @@ const (
 	In Dir = 1
 )
 
+// String renders the edge direction ("in" or "out").
 func (d Dir) String() string {
 	if d == In {
 		return "in"

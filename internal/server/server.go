@@ -64,6 +64,11 @@ type Config struct {
 	// partitioned across Shards workers, asynchronous match delivery
 	// via the "matches" command.
 	Shards int
+	// Remotes lists remote shard worker addresses (sgshard processes);
+	// each becomes one shard slot alongside the Shards local workers.
+	// Setting Remotes selects the sharded runtime even with Shards ==
+	// 0 (an all-remote topology). See shard.Config.Remotes.
+	Remotes []string
 	// ShardQueue bounds each shard's ingest queue (default 256).
 	ShardQueue int
 	// MatchBuffer bounds the server-side buffer of undelivered
@@ -77,7 +82,7 @@ type Server struct {
 	cfg   Config
 	multi *core.MultiEngine // nil in sharded mode
 
-	router        *shard.Router // nil unless cfg.Shards > 0
+	router        *shard.Router // nil unless cfg.Shards > 0 or cfg.Remotes set
 	buf           *matchLog
 	collectorDone chan struct{}
 
@@ -105,9 +110,10 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		conns: make(map[net.Conn]bool),
 	}
-	if cfg.Shards > 0 {
+	if cfg.Shards > 0 || len(cfg.Remotes) > 0 {
 		s.router = shard.New(shard.Config{
 			Shards:     cfg.Shards,
+			Remotes:    cfg.Remotes,
 			QueueLen:   cfg.ShardQueue,
 			Window:     cfg.Window,
 			EvictEvery: cfg.EvictEvery,

@@ -1,0 +1,830 @@
+// Remote shard slots. A Router slot normally runs as a local worker
+// goroutine; with Config.Remotes it can instead be a TCP connection to
+// a remote shard worker process (cmd/sgshard) speaking the
+// internal/dshard protocol. This file is the router side of that
+// split: a proxy that feeds the slot's bounded queue over the wire,
+// buffers each frame's matches until its acknowledgment (so delivery
+// is atomic per frame), and rebuilds the remote engine after a
+// disconnect by replaying the slot's control events interleaved with
+// the shared EdgeLog.
+//
+// Exactly-once across reconnects. The remote worker keeps no state
+// between connections. On every new connection the proxy replays, in
+// arrival-seq order, every retained log batch and every non-retired
+// control event; frames whose matches were already delivered are
+// marked suppress — the worker processes them fully (rebuilding graph,
+// filter and partial-match state) but emits no matches. A frame's
+// matches are only delivered to the collection channel when its done
+// frame arrives, so a connection dying mid-frame loses nothing (the
+// frame replays unsuppressed) and duplicates nothing (delivered frames
+// replay suppressed). The EdgeLog is pinned against trimming below
+// each live remote registration's window floor and below the oldest
+// unacknowledged batch, which is exactly the replay entitlement.
+package shard
+
+import (
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamgraph/internal/dshard"
+	"streamgraph/internal/stream"
+)
+
+const (
+	remoteDialTimeout = 5 * time.Second
+	remoteRedialMin   = 50 * time.Millisecond
+	remoteRedialMax   = time.Second
+	remoteRecvBuffer  = 256
+)
+
+// remoteChunkBytes bounds the estimated payload of one edge-carrying
+// frame (edge batches and register backfills split into continuation
+// frames beyond it), keeping every frame far from the protocol's
+// MaxFrame limit no matter how large an ingest batch or a
+// re-registration backfill grows. A single edge cannot be split, so
+// edges whose strings approach MaxFrame (64 MiB) are unsendable — no
+// ingestion surface can produce one (stream.Reader caps lines at
+// 4 MiB, the TCP server at 1 MiB); library callers ingesting
+// synthetic edges of that size would stall the slot. Variable so
+// tests can force heavy chunking on small workloads.
+var remoteChunkBytes = 16 << 20
+
+// splitEdgesForWire cuts edges into chunks whose estimated encoded
+// size stays under remoteChunkBytes. The 40-byte per-edge allowance
+// covers the worst-case framing overhead (five uvarint length
+// prefixes up to 5 bytes each plus a 10-byte zigzag timestamp);
+// exactness never depends on chunk boundaries — the batch pipeline's
+// per-edge results are split-invariant.
+func splitEdgesForWire(edges []stream.Edge) [][]stream.Edge {
+	var chunks [][]stream.Edge
+	start, size := 0, 0
+	for i, e := range edges {
+		size += len(e.Src) + len(e.SrcLabel) + len(e.Dst) + len(e.DstLabel) + len(e.Type) + 40
+		if size >= remoteChunkBytes {
+			chunks = append(chunks, edges[start:i+1])
+			start, size = i+1, 0
+		}
+	}
+	if start < len(edges) {
+		chunks = append(chunks, edges[start:])
+	}
+	return chunks
+}
+
+// remoteEvent is one admitted control message (register/unregister)
+// destined for a remote slot, retained until it can never be needed by
+// a reconnect replay again.
+type remoteEvent struct {
+	seq  uint64
+	kind msgKind
+	msg  message
+	reg  *remoteEvent // unregister: the registration it retires
+
+	acked   bool // done received; its matches were delivered
+	sent    bool // sent on the current connection
+	replied bool // reply channel satisfied
+}
+
+// remoteSpan tracks one edge batch enqueued to the slot and not yet
+// acknowledged; its minTS pins the EdgeLog for replay.
+type remoteSpan struct {
+	base  uint64
+	end   uint64
+	minTS int64
+}
+
+// inflightFrame is one frame sent on the current connection whose done
+// has not arrived; matches buffer here until it does.
+type inflightFrame struct {
+	id        uint64
+	kind      msgKind
+	ev        *remoteEvent
+	base, end uint64 // msgEdges
+	suppress  bool
+	closing   bool
+	matches   []Match
+}
+
+// remoteSlot is the router-side proxy for one remote shard slot.
+type remoteSlot struct {
+	w          *worker
+	addr       string
+	pendingCap int
+
+	// pin caches pinFloorLocked so the router's ingest path reads it
+	// with one atomic load instead of taking mu and scanning events on
+	// every windowed batch; recomputed whenever events or the span head
+	// change (control admissions, retirements, acknowledgments).
+	pin atomic.Int64
+
+	mu           sync.Mutex
+	frameID      uint64
+	events       []*remoteEvent          // admitted, non-retired, seq order
+	regs         map[string]*remoteEvent // live registration by name
+	liveRegs     int
+	spans        []remoteSpan
+	deliveredEnd uint64
+	inflight     []inflightFrame
+}
+
+func newRemoteSlot(w *worker, addr string, pendingCap int) *remoteSlot {
+	rs := &remoteSlot{w: w, addr: addr, pendingCap: pendingCap, regs: make(map[string]*remoteEvent)}
+	rs.pin.Store(math.MaxInt64)
+	return rs
+}
+
+// noteRegister records an admitted registration event. Called under
+// the router's ingestMu, before the message is enqueued, so a
+// concurrent rebuild can never miss an admitted event.
+func (rs *remoteSlot) noteRegister(msg *message) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	ev := &remoteEvent{seq: msg.seq, kind: msgRegister, msg: *msg}
+	msg.revent = ev
+	ev.msg.revent = ev
+	rs.events = append(rs.events, ev)
+	rs.regs[msg.name] = ev
+	rs.liveRegs++
+	rs.recomputePinLocked()
+}
+
+// noteUnregister records an admitted removal event (same contract as
+// noteRegister).
+func (rs *remoteSlot) noteUnregister(msg *message) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	ev := &remoteEvent{seq: msg.seq, kind: msgUnregister, msg: *msg}
+	msg.revent = ev
+	ev.msg.revent = ev
+	rs.events = append(rs.events, ev)
+	// The registration may already be gone: its register frame can have
+	// errored (and been retired) while this Unregister raced the
+	// Register's reply. Only a live entry pairs and decrements.
+	if reg, ok := rs.regs[msg.name]; ok {
+		ev.reg = reg
+		delete(rs.regs, msg.name)
+		rs.liveRegs--
+	}
+}
+
+// noteEnqueuedEdges records an admitted edge batch (under ingestMu,
+// before the enqueue).
+func (rs *remoteSlot) noteEnqueuedEdges(base, end uint64, minTS int64) {
+	rs.mu.Lock()
+	rs.spans = append(rs.spans, remoteSpan{base: base, end: end, minTS: minTS})
+	if len(rs.spans) == 1 {
+		// Appending behind an existing head leaves the floor unchanged;
+		// only a new head can lower it. Keeps the per-batch ingest cost
+		// O(1) instead of O(live registrations).
+		rs.recomputePinLocked()
+	}
+	rs.mu.Unlock()
+}
+
+// pinFloor reports the oldest timestamp the EdgeLog must retain for
+// this slot: the window floor of every live registration (a reconnect
+// re-backfills from the registration floor) and the oldest
+// unacknowledged batch. MaxInt64 when nothing is pinned. Lock-free —
+// the router calls it on every windowed ingest.
+func (rs *remoteSlot) pinFloor() int64 { return rs.pin.Load() }
+
+// recomputePinLocked refreshes the cached pin floor. Caller holds
+// rs.mu.
+func (rs *remoteSlot) recomputePinLocked() {
+	floor := int64(math.MaxInt64)
+	for _, ev := range rs.events {
+		if ev.kind == msgRegister && ev.msg.minTS < floor {
+			floor = ev.msg.minTS
+		}
+	}
+	if len(rs.spans) > 0 && rs.spans[0].minTS < floor {
+		floor = rs.spans[0].minTS
+	}
+	rs.pin.Store(floor)
+}
+
+func (rs *remoteSlot) pendingSpans() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.spans)
+}
+
+// retire removes an event (and, for an acknowledged unregister, its
+// paired registration) from the replay set. Caller holds rs.mu.
+func (rs *remoteSlot) retireLocked(ev *remoteEvent) {
+	drop := func(target *remoteEvent) {
+		for i, e := range rs.events {
+			if e == target {
+				rs.events = append(rs.events[:i], rs.events[i+1:]...)
+				return
+			}
+		}
+	}
+	drop(ev)
+	if ev.kind == msgUnregister && ev.reg != nil {
+		drop(ev.reg)
+	}
+	if ev.kind == msgRegister {
+		// A failed registration: it never took effect remotely.
+		if rs.regs[ev.msg.name] == ev {
+			delete(rs.regs, ev.msg.name)
+			rs.liveRegs--
+		}
+	}
+	rs.recomputePinLocked()
+}
+
+// recvMsg carries one server frame from the reader goroutine.
+type recvMsg struct {
+	match *dshard.Match
+	done  *dshard.Done
+}
+
+// rebuildResult reports a finished rebuild: the log position replay
+// covered (resuming live sends skip anything at or below it).
+type rebuildResult struct {
+	sentEnd uint64
+	err     error
+}
+
+// run is the proxy's slot goroutine: the remote counterpart of
+// worker.run.
+func (rs *remoteSlot) run() {
+	w := rs.w
+	defer w.r.wg.Done()
+	var (
+		conn        *dshard.Conn
+		recv        chan recvMsg
+		redial      <-chan time.Time = time.After(0)
+		backoff                      = remoteRedialMin
+		rebuilding  bool
+		rebuildDone chan rebuildResult
+		sentEnd     uint64
+		inClosed    bool
+		closeSent   bool
+	)
+	drop := func() {
+		if conn != nil {
+			conn.Close()
+			conn = nil
+		}
+		if rebuilding {
+			// The rebuild goroutine aborts promptly now that the
+			// connection is closed; wait for it so no stale frame can
+			// land in the inflight FIFO after connLost clears it.
+			<-rebuildDone
+			rebuilding = false
+		}
+		if recv != nil {
+			// The reader exits on the closed connection; drain whatever
+			// it has buffered (or is blocked sending) so it can.
+			go func(ch chan recvMsg) {
+				for range ch {
+				}
+			}(recv)
+			recv = nil
+		}
+		closeSent = false
+		rs.connLost()
+		redial = time.After(backoff)
+		if backoff *= 2; backoff > remoteRedialMax {
+			backoff = remoteRedialMax
+		}
+	}
+	for {
+		// Admit new input only when connected-and-settled and under the
+		// pending cap; a full slot queue then backpressures the router,
+		// exactly like a slow local shard.
+		var inCh chan message
+		if !inClosed && !rebuilding && rs.pendingSpans() < rs.pendingCap {
+			inCh = w.in
+		}
+		if inClosed && conn != nil && !rebuilding && !closeSent && rs.drained() {
+			id := rs.pushInflight(inflightFrame{kind: msgEdges, closing: true})
+			if err := conn.WriteCloseStream(dshard.CloseStream{Frame: id, FinalSeq: w.r.seq.Load()}); err != nil {
+				drop()
+				continue
+			}
+			closeSent = true
+		}
+		if inClosed && conn == nil && rs.drained() && rs.idle() {
+			// Nothing was ever entrusted to the remote that still
+			// matters; no need to reconnect just to say goodbye.
+			rs.finish(nil)
+			return
+		}
+
+		select {
+		case msg, ok := <-inCh:
+			if !ok {
+				inClosed = true
+				continue
+			}
+			if !rs.sendLive(conn, msg, &sentEnd) {
+				drop()
+			}
+		case rm, ok := <-recv:
+			if !ok {
+				drop()
+				continue
+			}
+			fin, ok := rs.handleRecv(rm)
+			if !ok {
+				drop()
+				continue
+			}
+			if fin {
+				rs.finish(conn)
+				return
+			}
+		case res := <-rebuildDone:
+			rebuilding = false
+			if res.err != nil {
+				drop()
+				continue
+			}
+			sentEnd = res.sentEnd
+		case <-redial:
+			redial = nil
+			c, err := rs.connect()
+			if err != nil {
+				redial = time.After(backoff)
+				if backoff *= 2; backoff > remoteRedialMax {
+					backoff = remoteRedialMax
+				}
+				continue
+			}
+			backoff = remoteRedialMin
+			conn = c
+			recv = make(chan recvMsg, remoteRecvBuffer)
+			go rs.reader(conn, recv)
+			rebuilding = true
+			rebuildDone = make(chan rebuildResult, 1)
+			go rs.rebuild(conn, rebuildDone)
+		}
+	}
+}
+
+// finish closes the slot down after the close barrier (or when no
+// remote state exists): bundles close so an ordered merge completes.
+func (rs *remoteSlot) finish(conn *dshard.Conn) {
+	if rs.w.bundles != nil {
+		close(rs.w.bundles)
+	}
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// drained reports whether every admitted message has been acknowledged.
+func (rs *remoteSlot) drained() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.spans) > 0 || len(rs.inflight) > 0 {
+		return false
+	}
+	for _, ev := range rs.events {
+		if !ev.acked {
+			return false
+		}
+	}
+	return true
+}
+
+// idle reports whether the remote holds no state worth a final close
+// barrier: no live registrations means no queries, hence no pending
+// repairs and no matches to flush.
+func (rs *remoteSlot) idle() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.liveRegs == 0
+}
+
+// connLost resets per-connection state: unacknowledged frames are
+// forgotten (their buffered matches with them — they will be
+// regenerated by the replay) and every event becomes resendable.
+func (rs *remoteSlot) connLost() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.inflight = rs.inflight[:0]
+	for _, ev := range rs.events {
+		ev.sent = false
+	}
+}
+
+// connect dials and sends the hello frame.
+func (rs *remoteSlot) connect() (*dshard.Conn, error) {
+	c, err := net.DialTimeout("tcp", rs.addr, remoteDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cn := dshard.NewConn(c)
+	w := rs.w
+	err = cn.WriteHello(dshard.Hello{
+		Version:         dshard.ProtocolVersion,
+		Slot:            w.id,
+		Window:          w.r.cfg.Window,
+		EvictEvery:      w.r.cfg.EvictEvery,
+		UniversalFilter: !w.r.filtering,
+	})
+	if err != nil {
+		cn.Close()
+		return nil, err
+	}
+	return cn, nil
+}
+
+// reader pumps server frames into recv until the connection dies.
+func (rs *remoteSlot) reader(conn *dshard.Conn, recv chan recvMsg) {
+	defer close(recv)
+	for {
+		typ, body, err := conn.ReadFrame()
+		if err != nil {
+			return
+		}
+		switch typ {
+		case dshard.FrameMatch:
+			m, err := dshard.DecodeMatch(body)
+			if err != nil {
+				return
+			}
+			recv <- recvMsg{match: &m}
+		case dshard.FrameDone:
+			d, err := dshard.DecodeDone(body)
+			if err != nil {
+				return
+			}
+			recv <- recvMsg{done: &d}
+		default:
+			return
+		}
+	}
+}
+
+func (rs *remoteSlot) pushInflight(f inflightFrame) uint64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.frameID++
+	f.id = rs.frameID
+	rs.inflight = append(rs.inflight, f)
+	return f.id
+}
+
+// sendLive translates one queue message into a frame on the current
+// connection. Messages already covered by the rebuild replay (or
+// consumed while disconnected — the log retains them for the next
+// rebuild) are skipped. Returns false when the connection broke.
+func (rs *remoteSlot) sendLive(conn *dshard.Conn, msg message, sentEnd *uint64) bool {
+	switch msg.kind {
+	case msgEdges:
+		end := msg.baseSeq + uint64(len(msg.edges))
+		if conn == nil || end <= *sentEnd {
+			return true
+		}
+		*sentEnd = end
+		return rs.sendEdges(conn, msg.baseSeq, msg.edges, 0)
+	case msgRegister, msgUnregister:
+		ev := msg.revent
+		rs.mu.Lock()
+		skip := conn == nil || ev.sent || ev.acked
+		if !skip {
+			ev.sent = true
+		}
+		rs.mu.Unlock()
+		if skip {
+			return true
+		}
+		return rs.sendEvent(conn, ev, false)
+	}
+	return true
+}
+
+// sendEdges writes one admitted (or replayed) batch as one or more
+// edge frames, each under the chunk-size bound, with per-chunk
+// delivery state: chunks ending at or below delivered are suppressed
+// (their matches were already delivered on an earlier connection).
+func (rs *remoteSlot) sendEdges(conn *dshard.Conn, base uint64, edges []stream.Edge, delivered uint64) bool {
+	for _, chunk := range splitEdgesForWire(edges) {
+		end := base + uint64(len(chunk))
+		suppress := end <= delivered
+		id := rs.pushInflight(inflightFrame{kind: msgEdges, base: base, end: end, suppress: suppress})
+		if conn.WriteEdges(dshard.Edges{Frame: id, Suppress: suppress, BaseSeq: base, Edges: chunk}) != nil {
+			return false
+		}
+		base = end
+	}
+	return true
+}
+
+// sendEvent writes one control frame; suppress marks a replayed event
+// whose matches were already delivered. A register whose backfill
+// exceeds the chunk bound is split: the register frame carries the
+// first chunk, continuation frames the rest, back-to-back before any
+// other traffic.
+func (rs *remoteSlot) sendEvent(conn *dshard.Conn, ev *remoteEvent, suppress bool) bool {
+	if ev.kind == msgRegister {
+		wr := rs.wireRegister(ev, suppress)
+		var rest [][]stream.Edge
+		if chunks := splitEdgesForWire(wr.Backfill); len(chunks) > 1 {
+			wr.Backfill, rest = chunks[0], chunks[1:]
+		}
+		wr.Frame = rs.pushInflight(inflightFrame{kind: msgRegister, ev: ev, suppress: suppress})
+		if conn.WriteRegister(wr) != nil {
+			return false
+		}
+		for _, chunk := range rest {
+			id := rs.pushInflight(inflightFrame{kind: msgBackfill})
+			if conn.WriteBackfill(dshard.BackfillChunk{Frame: id, Name: ev.msg.name, Edges: chunk}) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	id := rs.pushInflight(inflightFrame{kind: msgUnregister, ev: ev, suppress: suppress})
+	m := ev.msg
+	return conn.WriteUnregister(dshard.Unregister{
+		Frame: id, Suppress: suppress, Name: m.name, Seq: m.seq,
+		FilterUniversal: m.postUniversal, FilterTypes: m.postTypes,
+	}) == nil
+}
+
+// wireRegister builds the register frame (frame id assigned by the
+// caller), recomputing the backfill payload from the current log
+// snapshot: every logged edge before the registration, at or above its
+// window floor, whose type the registration newly needs. The log is
+// pinned at the registration floor for as long as the registration
+// lives, so a reconnect replay finds the same edges.
+func (rs *remoteSlot) wireRegister(ev *remoteEvent, suppress bool) dshard.Register {
+	m := ev.msg
+	out := dshard.Register{
+		Suppress: suppress, Name: m.name, Seq: m.seq, Rank: m.rank,
+		Query: m.q.String(), Strategy: int(m.cfg.Strategy),
+		HasLeaves: m.cfg.Leaves != nil, Leaves: m.cfg.Leaves,
+		MaxMatches: m.cfg.MaxMatchesPerSearch, MaxWork: m.cfg.MaxWorkPerEdge,
+		MaxSteps: m.cfg.MaxStepsPerSearch, Workers: m.cfg.BatchWorkers,
+		FilterUniversal: m.postUniversal, FilterTypes: m.postTypes,
+	}
+	var need func(string) bool
+	switch {
+	case m.needAll:
+		held := make(map[string]bool, len(m.heldTypes))
+		for _, tp := range m.heldTypes {
+			held[tp] = true
+		}
+		need = func(tp string) bool { return !held[tp] }
+	case len(m.needTypes) > 0:
+		added := make(map[string]bool, len(m.needTypes))
+		for _, tp := range m.needTypes {
+			added[tp] = true
+		}
+		need = func(tp string) bool { return added[tp] }
+	}
+	if need != nil {
+		rs.w.r.log.Replay(m.seq, m.minTS, func(se stream.Edge, _ uint64) bool {
+			if need(se.Type) {
+				out.Backfill = append(out.Backfill, se)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// rebuild replays the slot's whole retained entitlement — control
+// events interleaved with EdgeLog batches in arrival-seq order — onto
+// a fresh connection, reconstructing the remote engine's state
+// exactly. Runs on its own goroutine so acknowledgments and matches
+// stream back concurrently; the main loop does not send live traffic
+// until it finishes.
+func (rs *remoteSlot) rebuild(conn *dshard.Conn, done chan rebuildResult) {
+	// replayAdmit over-approximates every replica-filter state the
+	// replay passes through: each retained control event carries a full
+	// post-change filter snapshot, every live registration is retained,
+	// and retained register events precede their unregisters — so the
+	// union of the events' post-filters (plus the current gate, for the
+	// universal modes) admits every edge any replayed filter state
+	// would. Segments admitting nothing under it are skipped, keeping
+	// reconnect traffic footprint-proportional, exactly like the
+	// router-side gate on the live path: the worker's evolving filter
+	// would drop every edge of such a segment anyway, and a skipped
+	// segment advances no flush barrier (no admitted edges).
+	//
+	// The events clone and the log view must form one consistent cut:
+	// both are read inside one rs.mu section, and every admission
+	// publishes its log append (an atomic view store, under the
+	// router's ingest lock) before its note* call takes rs.mu — so if
+	// the clone contains an event at seq p, the view contains every
+	// segment below p, and any segment or event this cut misses is
+	// delivered afterwards, in admission order, by the live queue
+	// (sendLive skips exactly what the cut covered).
+	rs.mu.Lock()
+	events := append([]*remoteEvent(nil), rs.events...)
+	spans := append([]remoteSpan(nil), rs.spans...)
+	delivered := rs.deliveredEnd
+	var segs []logBatch
+	var logEnd uint64
+	rs.w.r.log.EachSegment(func(edges []stream.Edge, base uint64) bool {
+		segs = append(segs, logBatch{edges: edges, base: base})
+		logEnd = base + uint64(len(edges))
+		return true
+	})
+	rs.mu.Unlock()
+
+	replayUniversal := !rs.w.r.filtering
+	replayTypes := make(map[string]bool)
+	for _, ev := range events {
+		if ev.msg.postUniversal {
+			replayUniversal = true
+			break
+		}
+		for _, tp := range ev.msg.postTypes {
+			replayTypes[tp] = true
+		}
+	}
+	// Everything from the oldest unacknowledged span onward replays
+	// unconditionally: a span MUST eventually be acknowledged (it holds
+	// the close barrier open and pins the log), and its admitting gate
+	// state can have vanished from the retained events — a registration
+	// that widened the gate, admitted a batch in its reply gap, and
+	// then errored remotely leaves a span no retained filter covers.
+	// The tail is bounded by Config.RemotePending, so the unfiltered
+	// replay cost is bounded too.
+	unackedBase := uint64(math.MaxUint64)
+	if len(spans) > 0 {
+		unackedBase = spans[0].base
+	}
+	admits := func(seg logBatch) bool {
+		if replayUniversal || seg.base+uint64(len(seg.edges)) > unackedBase {
+			return true
+		}
+		for _, se := range seg.edges {
+			if replayTypes[se.Type] {
+				return true
+			}
+		}
+		return false
+	}
+
+	fail := func(err error) { done <- rebuildResult{err: err} }
+	si := 0
+	for _, ev := range events {
+		for si < len(segs) && segs[si].base < ev.seq {
+			if admits(segs[si]) && !rs.sendSegment(conn, segs[si], delivered) {
+				fail(net.ErrClosed)
+				return
+			}
+			si++
+		}
+		rs.mu.Lock()
+		suppress := ev.acked
+		ev.sent = true
+		rs.mu.Unlock()
+		if !rs.sendEvent(conn, ev, suppress) {
+			fail(net.ErrClosed)
+			return
+		}
+	}
+	for ; si < len(segs); si++ {
+		if admits(segs[si]) && !rs.sendSegment(conn, segs[si], delivered) {
+			fail(net.ErrClosed)
+			return
+		}
+	}
+	done <- rebuildResult{sentEnd: logEnd}
+}
+
+// logBatch is one EdgeLog segment snapshotted for replay.
+type logBatch struct {
+	edges []stream.Edge
+	base  uint64
+}
+
+func (rs *remoteSlot) sendSegment(conn *dshard.Conn, seg logBatch, delivered uint64) bool {
+	return rs.sendEdges(conn, seg.base, seg.edges, delivered)
+}
+
+// handleRecv dispatches one server frame. It returns (finished,
+// ok): finished when the close barrier was acknowledged, !ok on a
+// protocol violation (the connection is dropped and rebuilt).
+func (rs *remoteSlot) handleRecv(rm recvMsg) (finished, ok bool) {
+	w := rs.w
+	if rm.match != nil {
+		rs.mu.Lock()
+		if len(rs.inflight) == 0 || rs.inflight[0].id != rm.match.Frame {
+			rs.mu.Unlock()
+			return false, false
+		}
+		rs.inflight[0].matches = append(rs.inflight[0].matches, fromWire(w.id, *rm.match))
+		rs.mu.Unlock()
+		return false, true
+	}
+	d := rm.done
+	rs.mu.Lock()
+	if len(rs.inflight) == 0 || rs.inflight[0].id != d.Frame {
+		rs.mu.Unlock()
+		return false, false
+	}
+	f := rs.inflight[0]
+	rs.inflight = rs.inflight[1:]
+	switch {
+	case f.closing:
+		rs.mu.Unlock()
+	case f.kind == msgBackfill:
+		// A backfill continuation: no matches, no stream position.
+		rs.mu.Unlock()
+	case f.kind == msgEdges:
+		if f.end > rs.deliveredEnd {
+			rs.deliveredEnd = f.end
+		}
+		for len(rs.spans) > 0 && rs.spans[0].end <= f.end {
+			rs.spans = rs.spans[1:]
+		}
+		rs.recomputePinLocked()
+		rs.mu.Unlock()
+	default: // control frame
+		ev := f.ev
+		first := !ev.acked
+		ev.acked = true
+		if first {
+			if ev.kind == msgUnregister || d.Err != "" {
+				rs.retireLocked(ev)
+			}
+		}
+		replied := ev.replied
+		ev.replied = true
+		rs.mu.Unlock()
+		if !replied && ev.msg.reply != nil {
+			var err error
+			if d.Err != "" {
+				err = remoteRegisterError(d.Err)
+			}
+			ev.msg.reply <- err
+		}
+		if !first {
+			f.matches = nil // matches of an already-delivered event were suppressed
+		}
+	}
+	w.replicaLive.Store(d.Live)
+	w.replicaStored.Store(d.Stored)
+	w.replicaTypes.Store(d.Types)
+
+	// Deliver outside the lock: a full collection channel must
+	// backpressure ingest, not deadlock Stats readers.
+	if !f.suppress {
+		rs.deliver(f)
+	}
+	return f.closing, true
+}
+
+// deliver forwards one acknowledged frame's matches: per-seq bundles
+// in ordered mode, the collection channel otherwise.
+func (rs *remoteSlot) deliver(f inflightFrame) {
+	w := rs.w
+	if w.bundles != nil && f.kind == msgEdges && !f.closing {
+		idx := 0
+		for seq := f.base; seq < f.end; seq++ {
+			b := bundle{seq: seq}
+			for idx < len(f.matches) && f.matches[idx].Seq == seq {
+				b.matches = append(b.matches, f.matches[idx])
+				idx++
+			}
+			w.matchesEmitted.Add(int64(len(b.matches)))
+			w.bundles <- b
+		}
+		return
+	}
+	for _, m := range f.matches {
+		w.matchesEmitted.Inc()
+		w.r.out <- m
+	}
+}
+
+// fromWire converts a protocol match into the runtime's portable form.
+func fromWire(shardID int, m dshard.Match) Match {
+	out := Match{
+		Seq: m.Seq, Shard: shardID, Query: m.Query, rank: m.Rank,
+		FirstTS: m.FirstTS, LastTS: m.LastTS,
+	}
+	if len(m.Bindings) > 0 {
+		out.Bindings = make([]Binding, len(m.Bindings))
+		for i, b := range m.Bindings {
+			out.Bindings[i] = Binding{QueryVertex: b.QueryVertex, DataVertex: b.DataVertex}
+		}
+	}
+	if len(m.Edges) > 0 {
+		out.Edges = make([]MatchEdge, len(m.Edges))
+		for i, e := range m.Edges {
+			out.Edges[i] = MatchEdge{QueryEdge: e.QueryEdge, Src: e.Src, Dst: e.Dst, Type: e.Type, TS: e.TS}
+		}
+	}
+	return out
+}
+
+// remoteRegisterError wraps an engine error string reported by the
+// remote worker.
+type remoteRegisterError string
+
+func (e remoteRegisterError) Error() string { return string(e) }

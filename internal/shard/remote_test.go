@@ -1,0 +1,471 @@
+package shard
+
+// Distributed-runtime differentials: remote and mixed topologies over
+// loopback TCP must be byte-identical (as match multisets, and in
+// ordered mode as exact sequences) to the serial MultiEngine and the
+// in-process runtime — including across mid-stream disconnects, where
+// the reconnect replay must lose and duplicate nothing.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/dshard"
+	"streamgraph/internal/query"
+	"streamgraph/internal/stream"
+)
+
+// startRemoteWorker serves the dshard protocol on loopback and returns
+// the address plus the server (for Kick-based failure injection).
+func startRemoteWorker(t *testing.T) (string, *dshard.Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := dshard.NewServer()
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return ln.Addr().String(), srv
+}
+
+// TestRemoteMatchesSerial is the cross-topology differential: per-query
+// match multisets from all-remote and mixed local/remote topologies
+// must equal the serial MultiEngine on the same stream.
+func TestRemoteMatchesSerial(t *testing.T) {
+	edges := testStream(1500)
+	const window = 400
+	want := append([]string(nil), runSerial(t, edges, window)...)
+	sort.Strings(want)
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; differential is vacuous")
+	}
+	addr1, _ := startRemoteWorker(t)
+	addr2, _ := startRemoteWorker(t)
+	topologies := []struct {
+		name string
+		cfg  Config
+	}{
+		{"all-remote-1", Config{Shards: 0, Remotes: []string{addr1}}},
+		{"all-remote-2", Config{Shards: 0, Remotes: []string{addr1, addr2}}},
+		{"mixed-1-1", Config{Shards: 1, Remotes: []string{addr1}}},
+		{"mixed-2-2", Config{Shards: 2, Remotes: []string{addr1, addr2}}},
+	}
+	for _, tp := range topologies {
+		for _, batch := range []int{1, 64, 257} {
+			cfg := tp.cfg
+			cfg.Window = window
+			cfg.EvictEvery = 7
+			got := runSharded(t, edges, cfg, batch)
+			sort.Strings(got)
+			if !equalStrings(got, want) {
+				t.Fatalf("%s batch=%d: %d matches, want %d (multiset differs)",
+					tp.name, batch, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestRemoteOrderedDeterministic requires ordered mode to reproduce the
+// batch reference's exact output sequence over remote and mixed
+// topologies, just as it does in-process.
+func TestRemoteOrderedDeterministic(t *testing.T) {
+	edges := testStream(1200)
+	const window = 400
+	addr1, _ := startRemoteWorker(t)
+	addr2, _ := startRemoteWorker(t)
+	for _, batch := range []int{1, 100} {
+		want := runGroupedReference(t, edges, window, batch)
+		if len(want) == 0 {
+			t.Fatal("reference produced no matches")
+		}
+		for _, tp := range []struct {
+			name string
+			cfg  Config
+		}{
+			{"all-remote", Config{Shards: 0, Remotes: []string{addr1, addr2}}},
+			{"mixed", Config{Shards: 2, Remotes: []string{addr1}}},
+		} {
+			cfg := tp.cfg
+			cfg.Window = window
+			cfg.EvictEvery = 7
+			cfg.Ordered = true
+			got := runSharded(t, edges, cfg, batch)
+			if len(got) != len(want) {
+				t.Fatalf("%s batch=%d: %d matches, want %d", tp.name, batch, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s batch=%d: delivery order diverges at %d:\n got %s\nwant %s",
+						tp.name, batch, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRemoteDisconnectReconnect is the failure-path differential: the
+// remote worker's connections are severed repeatedly mid-stream, the
+// proxy reconnects and replays, and the delivered match multiset must
+// still equal the serial engine exactly — no duplicates, no losses.
+func TestRemoteDisconnectReconnect(t *testing.T) {
+	edges := testStream(1500)
+	const window = 400
+	want := append([]string(nil), runSerial(t, edges, window)...)
+	sort.Strings(want)
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; differential is vacuous")
+	}
+	addr, srv := startRemoteWorker(t)
+	for _, batch := range []int{33, 128} {
+		r := New(Config{Shards: 1, Remotes: []string{addr}, Window: window, EvictEvery: 7})
+		queries, strategies := testQueries(), testStrategies()
+		for _, name := range sortedNames(queries) {
+			if err := r.Register(name, queries[name], core.Config{Strategy: strategies[name]}); err != nil {
+				t.Fatalf("register %s: %v", name, err)
+			}
+		}
+		var mu sync.Mutex
+		var got []string
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			r.Drain(func(m Match) {
+				mu.Lock()
+				got = append(got, matchSig(m))
+				mu.Unlock()
+			})
+		}()
+		kicks := 0
+		for lo := 0; lo < len(edges); lo += batch {
+			hi := lo + batch
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			r.IngestBatch(edges[lo:hi])
+			// Sever every connection at several points mid-stream: the
+			// proxy must reconnect and rebuild the remote engine by
+			// replaying its entitlement from the shared edge log.
+			if lo > 0 && lo/batch%4 == 0 {
+				srv.Kick()
+				kicks++
+			}
+		}
+		if kicks == 0 {
+			t.Fatal("stream too short to exercise any disconnect")
+		}
+		r.Close()
+		<-done
+		sort.Strings(got)
+		if !equalStrings(got, want) {
+			t.Fatalf("batch=%d after %d kicks: %d matches, want %d (multiset differs)",
+				batch, kicks, len(got), len(want))
+		}
+	}
+}
+
+// TestRemoteRegisterUnregisterMidStream exercises runtime registration
+// changes on a mixed topology, interleaved with disconnects: a query
+// registered mid-stream backfills its window over the wire, an
+// unregistered one narrows the remote replica, and the survivors'
+// match sets stay exact.
+func TestRemoteRegisterUnregisterMidStream(t *testing.T) {
+	edges := testStream(1400)
+	const window = 300
+	const batch = 50
+	// Serial oracle with the same schedule: q extra registered after
+	// the first third, unregistered after the second third.
+	third := len(edges) / 3
+
+	queries, strategies := testQueries(), testStrategies()
+	names := sortedNames(queries)
+	extra := queries["gre-tcp"].Clone()
+
+	serial := func() []string {
+		m := core.NewMulti(core.MultiConfig{Window: window, EvictEvery: 7})
+		for _, name := range names {
+			if err := m.Register(name, queries[name], core.Config{Strategy: strategies[name]}); err != nil {
+				t.Fatalf("register %s: %v", name, err)
+			}
+		}
+		var sigs []string
+		record := func(nms []core.NamedMatch) {
+			for _, nm := range nms {
+				if nm.Query == "extra" {
+					continue // mid-stream lifecycle; only survivors compared
+				}
+				sigs = append(sigs, serialSig(m, nm))
+			}
+		}
+		for i, se := range edges {
+			if i == third {
+				if err := m.Register("extra", extra, core.Config{Strategy: core.StrategySingleLazy}); err != nil {
+					t.Fatalf("register extra: %v", err)
+				}
+			}
+			if i == 2*third {
+				m.Unregister("extra")
+			}
+			record(m.ProcessEdge(se))
+		}
+		return sigs
+	}()
+	sort.Strings(serial)
+	if len(serial) == 0 {
+		t.Fatal("no matches; differential is vacuous")
+	}
+
+	addr, srv := startRemoteWorker(t)
+	r := New(Config{Shards: 1, Remotes: []string{addr}, Window: window, EvictEvery: 7})
+	for _, name := range names {
+		if err := r.Register(name, queries[name], core.Config{Strategy: strategies[name]}); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	var mu sync.Mutex
+	var got []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Drain(func(m Match) {
+			if m.Query == "extra" {
+				return
+			}
+			mu.Lock()
+			got = append(got, matchSig(m))
+			mu.Unlock()
+		})
+	}()
+	for lo := 0; lo < len(edges); lo += batch {
+		hi := lo + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if lo <= third && third < hi {
+			r.IngestBatch(edges[lo:third])
+			if err := r.Register("extra", extra, core.Config{Strategy: core.StrategySingleLazy}); err != nil {
+				t.Fatalf("register extra: %v", err)
+			}
+			srv.Kick() // the freshly backfilled registration must survive a reconnect
+			r.IngestBatch(edges[third:hi])
+			continue
+		}
+		if lo <= 2*third && 2*third < hi {
+			r.IngestBatch(edges[lo : 2*third])
+			r.Unregister("extra")
+			r.IngestBatch(edges[2*third : hi])
+			srv.Kick()
+			continue
+		}
+		r.IngestBatch(edges[lo:hi])
+	}
+	r.Close()
+	<-done
+	sort.Strings(got)
+	if !equalStrings(got, serial) {
+		t.Fatalf("survivor multiset differs: %d matches, want %d", len(got), len(serial))
+	}
+}
+
+// TestRemoteDisconnectReconnectRandomized drives randomized streams,
+// batch splits, kick points and registration churn against the serial
+// oracle.
+func TestRemoteDisconnectReconnectRandomized(t *testing.T) {
+	addr, srv := startRemoteWorker(t)
+	rng := rand.New(rand.NewSource(777))
+	types := []string{"GRE", "TCP", "UDP", "ICMP"}
+	for trial := 0; trial < 4; trial++ {
+		nEdges := 400 + rng.Intn(400)
+		var edges []stream.Edge
+		for i := 0; i < nEdges; i++ {
+			edges = append(edges, stream.Edge{
+				Src: fmt.Sprintf("n%d", rng.Intn(50)), SrcLabel: "ip",
+				Dst: fmt.Sprintf("n%d", rng.Intn(50)), DstLabel: "ip",
+				Type: types[rng.Intn(len(types))], TS: int64(i + 1),
+			})
+		}
+		window := int64(100 + rng.Intn(300))
+		want := append([]string(nil), runSerial(t, edges, window)...)
+		sort.Strings(want)
+
+		cfg := Config{Window: window, EvictEvery: 1 + rng.Intn(10)}
+		if rng.Intn(2) == 0 {
+			cfg.Shards, cfg.Remotes = 1+rng.Intn(2), []string{addr}
+		} else {
+			cfg.Shards, cfg.Remotes = 0, []string{addr, addr} // two slots, one process
+		}
+		r := New(cfg)
+		queries, strategies := testQueries(), testStrategies()
+		for _, name := range sortedNames(queries) {
+			if err := r.Register(name, queries[name], core.Config{Strategy: strategies[name]}); err != nil {
+				t.Fatalf("register %s: %v", name, err)
+			}
+		}
+		var mu sync.Mutex
+		var got []string
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			r.Drain(func(m Match) {
+				mu.Lock()
+				got = append(got, matchSig(m))
+				mu.Unlock()
+			})
+		}()
+		for lo := 0; lo < len(edges); {
+			hi := lo + 1 + rng.Intn(120)
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			r.IngestBatch(edges[lo:hi])
+			if rng.Intn(5) == 0 {
+				srv.Kick()
+			}
+			lo = hi
+		}
+		r.Close()
+		<-done
+		sort.Strings(got)
+		if !equalStrings(got, want) {
+			t.Fatalf("trial %d (%+v): %d matches, want %d (multiset differs)",
+				trial, cfg, len(got), len(want))
+		}
+	}
+}
+
+// TestRemoteChunkedFrames forces the wire-chunking path (tiny chunk
+// bound, so every batch and every registration backfill splits into
+// many frames) through the full differential, disconnects included:
+// chunk boundaries must never affect match sets.
+func TestRemoteChunkedFrames(t *testing.T) {
+	old := remoteChunkBytes
+	remoteChunkBytes = 512 // a few edges per frame
+	defer func() { remoteChunkBytes = old }()
+
+	edges := testStream(1200)
+	const window = 400
+	const batch = 97
+	want := append([]string(nil), runSerial(t, edges, window)...)
+	sort.Strings(want)
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; differential is vacuous")
+	}
+	addr, srv := startRemoteWorker(t)
+	r := New(Config{Shards: 1, Remotes: []string{addr}, Window: window, EvictEvery: 7})
+	queries, strategies := testQueries(), testStrategies()
+	names := sortedNames(queries)
+	// Register all but one up front; the last one mid-stream, so its
+	// (chunked) backfill payload is exercised too.
+	last := names[len(names)-1]
+	for _, name := range names[:len(names)-1] {
+		if err := r.Register(name, queries[name], core.Config{Strategy: strategies[name]}); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	var mu sync.Mutex
+	var got []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Drain(func(m Match) {
+			if m.Query == last {
+				return // registered later than the serial oracle's schedule
+			}
+			mu.Lock()
+			got = append(got, matchSig(m))
+			mu.Unlock()
+		})
+	}()
+	for lo := 0; lo < len(edges); lo += batch {
+		hi := lo + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		r.IngestBatch(edges[lo:hi])
+		if lo/batch == 4 {
+			if err := r.Register(last, queries[last].Clone(), core.Config{Strategy: strategies[last]}); err != nil {
+				t.Fatalf("register %s: %v", last, err)
+			}
+			r.Unregister(last)
+		}
+		if lo/batch%3 == 2 {
+			srv.Kick()
+		}
+	}
+	r.Close()
+	<-done
+	// The serial oracle registered every query from the start, so drop
+	// `last` there too.
+	want = want[:0]
+	for _, s := range runSerial(t, edges, window) {
+		if !strings.HasPrefix(s, last+"|") {
+			want = append(want, s)
+		}
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	if !equalStrings(got, want) {
+		t.Fatalf("chunked frames: %d matches, want %d (multiset differs)", len(got), len(want))
+	}
+}
+
+// TestRemoteWireSafeQueryValidation pins the register-time guard: a
+// programmatically built query whose names would tokenize differently
+// after the wire's print/parse round trip must be rejected in a remote
+// topology instead of silently diverging from a local slot.
+func TestRemoteWireSafeQueryValidation(t *testing.T) {
+	addr, _ := startRemoteWorker(t)
+	r := New(Config{Shards: 0, Remotes: []string{addr}})
+	done := make(chan int64, 1)
+	go func() { done <- r.Drain(nil) }()
+	bad := &query.Graph{
+		Vertices: []query.Vertex{{Name: "host a", Label: "ip"}, {Name: "b", Label: "ip"}},
+		Edges:    []query.Edge{{Src: 0, Dst: 1, Type: "TCP"}},
+	}
+	if err := r.Register("bad", bad, core.Config{Strategy: core.StrategyVF2}); err == nil {
+		t.Fatal("whitespace vertex name registered on a remote topology")
+	}
+	good := query.NewPath("ip", "TCP")
+	if err := r.Register("good", good, core.Config{Strategy: core.StrategyVF2}); err != nil {
+		t.Fatalf("wire-safe query rejected: %v", err)
+	}
+	r.Close()
+	<-done
+}
+
+// TestRemoteStatsGauges checks the replica gauges round-trip from the
+// remote worker (piggybacked on acknowledgments).
+func TestRemoteStatsGauges(t *testing.T) {
+	addr, _ := startRemoteWorker(t)
+	edges := testStream(600)
+	r := New(Config{Shards: 0, Remotes: []string{addr}, Window: 400})
+	queries, strategies := testQueries(), testStrategies()
+	for _, name := range sortedNames(queries) {
+		if err := r.Register(name, queries[name], core.Config{Strategy: strategies[name]}); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	done := make(chan int64, 1)
+	go func() { done <- r.Drain(nil) }()
+	r.IngestBatch(edges)
+	r.Close()
+	if n := <-done; n == 0 {
+		t.Fatal("no matches drained")
+	}
+	st := r.Stats()[0]
+	if st.ReplicaStored == 0 || st.ReplicaEdges == 0 {
+		t.Fatalf("replica gauges not populated: %+v", st)
+	}
+	if st.ReplicaTypes < 0 {
+		t.Fatalf("filtered remote replica reports universal types: %+v", st)
+	}
+	if st.MatchesEmitted == 0 || st.EdgesRouted == 0 {
+		t.Fatalf("counters not populated: %+v", st)
+	}
+}

@@ -48,8 +48,13 @@ type logView struct {
 // publication. There is a single appender (the router, under its
 // ingest lock); any number of readers take Snapshot-consistent views
 // lock-free, so a backfilling shard never contends with the ingest hot
-// path. Memory is bounded by the window: TrimBefore drops leading
-// segments wholesale once every timestamp in them has expired.
+// path. Memory is bounded by the window — TrimBefore drops leading
+// segments wholesale once every timestamp in them has expired — except
+// for what remote slots pin: a live remote registration holds the log
+// from its registration-time floor onward (the reconnect replay
+// entitlement, see remote.go's pinFloor and docs/DISTRIBUTED.md's
+// failure table), so long-lived remote registrations trade log growth
+// for exact crash recovery.
 type EdgeLog struct {
 	view    atomic.Pointer[logView]
 	segs    []logSegment // appender-owned backing; views alias prefixes of it
@@ -147,6 +152,21 @@ func (l *EdgeLog) Replay(beforeSeq uint64, minTS int64, fn func(se stream.Edge, 
 	}
 }
 
+// EachSegment invokes fn for every retained batch — the shared
+// read-only edge slice and the arrival seq of its first edge, in
+// arrival order — against one consistent snapshot of the log.
+// Returning false stops the walk. The remote-slot reconnect replay
+// iterates the log at batch granularity through it (batch boundaries
+// are frame boundaries on the wire). Safe to call concurrently with
+// Append and TrimBefore.
+func (l *EdgeLog) EachSegment(fn func(edges []stream.Edge, baseSeq uint64) bool) {
+	for _, seg := range l.view.Load().segs {
+		if !fn(seg.edges, seg.baseSeq) {
+			return
+		}
+	}
+}
+
 // replicaSet refcounts the edge-type footprint of the queries assigned
 // to one shard. Types are tracked by name (both the router's gate
 // interner and the engine's graph interner derive their own IDs from
@@ -187,6 +207,29 @@ func (s *replicaSet) remove(types []string, exact bool) {
 		if s.refs[tp]--; s.refs[tp] <= 0 {
 			delete(s.refs, tp)
 		}
+	}
+}
+
+// newlyNeeded reports the backfill entitlement a registration with the
+// given footprint adds relative to the current refcounts, BEFORE add
+// folds it in: needAll (an inexact footprint going universal) with the
+// types already held, or the exact list of added types. Nothing is
+// needed when the set is already universal. Both the local worker's
+// widenReplica and the router's remote register path derive their
+// backfill sets from this one definition.
+func (s *replicaSet) newlyNeeded(types []string, exact bool) (needAll bool, held, added []string) {
+	switch {
+	case s.universal():
+		return false, nil, nil
+	case !exact:
+		return true, s.typeNames(), nil
+	default:
+		for _, tp := range types {
+			if !s.has(tp) {
+				added = append(added, tp)
+			}
+		}
+		return false, nil, added
 	}
 }
 

@@ -105,6 +105,24 @@ type Config struct {
 	// runtime. Useful for audits and for measuring what the filtered
 	// replicas save.
 	FullReplicas bool
+	// Remotes lists remote shard worker addresses (host:port, each a
+	// cmd/sgshard process speaking the internal/dshard protocol). Every
+	// address becomes one shard slot in addition to the Shards local
+	// workers; with Remotes set, Shards <= 0 selects zero local workers
+	// (an all-remote topology) instead of GOMAXPROCS. Remote slots hold
+	// exactly the semantics of local ones — the differential tests pin
+	// match sets byte-identical across local, remote and mixed
+	// topologies — at the cost of the wire: ingest latency, and a
+	// reconnect replay after a connection drop (see internal/dshard and
+	// docs/DISTRIBUTED.md).
+	Remotes []string
+	// RemotePending bounds each remote slot's admitted-but-
+	// unacknowledged edge-batch backlog (default 1024). While a remote
+	// is disconnected the router keeps admitting up to this many
+	// batches (the shared EdgeLog retains them for the reconnect
+	// replay); beyond it the slot's queue backpressures ingestion,
+	// exactly like a slow local shard.
+	RemotePending int
 }
 
 // Binding is one resolved vertex of a match: query vertex name to data
@@ -194,6 +212,9 @@ const (
 	msgEdges msgKind = iota
 	msgRegister
 	msgUnregister
+	// msgBackfill never rides the queues; it tags a remote slot's
+	// in-flight backfill-continuation frames (remote.go).
+	msgBackfill
 )
 
 // message is one entry of a shard's ingest queue: a broadcast edge
@@ -211,9 +232,20 @@ type message struct {
 	rank    int           // msgRegister: global registration rank
 	fpTypes []string      // control: the query's edge-type footprint
 	fpExact bool          // control: false forces full replication
-	seq     uint64        // msgRegister: stream position, bounds the backfill
+	seq     uint64        // control: stream position (bounds the backfill)
 	minTS   int64         // msgRegister: window floor at registration time
 	reply   chan error    // control ack (buffered, may be nil for unregister)
+
+	// Remote-slot fields, computed router-side under ingestMu at the
+	// message's admission so a reconnect replay can reproduce the
+	// control point exactly (the remote worker cannot read the
+	// router's refcounts or log).
+	needAll       bool         // msgRegister: backfill everything not in heldTypes
+	needTypes     []string     // msgRegister: backfill exactly these types
+	heldTypes     []string     // msgRegister: types already replicated (needAll)
+	postUniversal bool         // control: replica filter after this point
+	postTypes     []string     // control: replica filter after this point
+	revent        *remoteEvent // the proxy's retained event record
 }
 
 // bundle is one edge's worth of matches from one shard (ordered mode
@@ -233,9 +265,10 @@ type bundle struct {
 type Router struct {
 	cfg       Config
 	filtering bool // edge-type-partitioned replicas in effect
+	hasRemote bool // at least one remote slot in the topology
 	workers   []*worker
 	out       chan Match
-	log       *EdgeLog // shared immutable edge log (filtering mode)
+	log       *EdgeLog // shared immutable edge log (filtering mode or remotes)
 
 	// ingestMu orders everything that enters the shard queues — edge
 	// broadcasts, control messages, and the queue close — and is the
@@ -279,8 +312,12 @@ type fprint struct {
 	exact bool
 }
 
-// worker is one shard: a goroutine draining its bounded queue into a
-// privately owned MultiEngine over a filtered graph replica.
+// worker is one shard slot. A local slot is a goroutine draining its
+// bounded queue into a privately owned MultiEngine over a filtered
+// graph replica; a remote slot drains the same queue over a TCP
+// connection to a remote shard worker (remote.go), leaving eng nil.
+// Either way, the router-side state — the ingest gate, the footprint
+// refcounts, the queue, the counters — lives here.
 type worker struct {
 	id      int
 	r       *Router
@@ -288,6 +325,10 @@ type worker struct {
 	bundles chan bundle // ordered mode only
 	eng     *core.MultiEngine
 	ranks   map[string]int // query name -> global registration rank
+
+	// remote, when non-nil, makes this slot a proxy to a remote shard
+	// worker; the engine-side fields (eng, rset, lastEnd) are unused.
+	remote *remoteSlot
 
 	// gate is the router-side ingest filter: the edge types this shard
 	// has any interest in. Read and written under r.ingestMu only; the
@@ -314,10 +355,15 @@ type worker struct {
 	replicaTypes   atomic.Int64
 }
 
-// New starts a router and its shard workers.
+// New starts a router and its shard workers (local goroutines for the
+// first Config.Shards slots, remote proxies for Config.Remotes).
 func New(cfg Config) *Router {
 	if cfg.Shards <= 0 {
-		cfg.Shards = runtime.GOMAXPROCS(0)
+		if len(cfg.Remotes) > 0 {
+			cfg.Shards = 0 // all-remote topology
+		} else {
+			cfg.Shards = runtime.GOMAXPROCS(0)
+		}
 	}
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 256
@@ -325,35 +371,52 @@ func New(cfg Config) *Router {
 	if cfg.OutLen <= 0 {
 		cfg.OutLen = 1024
 	}
+	if cfg.RemotePending <= 0 {
+		cfg.RemotePending = 1024
+	}
 	r := &Router{
 		cfg:       cfg,
 		filtering: !cfg.Ordered && !cfg.FullReplicas,
+		hasRemote: len(cfg.Remotes) > 0,
 		out:       make(chan Match, cfg.OutLen),
 		owner:     make(map[string]*worker),
 		owned:     make(map[*worker]int),
 	}
-	if r.filtering {
+	if r.filtering || r.hasRemote {
+		// The log is what a late registration backfills from and what a
+		// remote slot replays after a reconnect; the full-stream
+		// statistics pin decompositions router-side (a shard's own
+		// slice of the stream must never drive one). Both are needed
+		// whenever replicas are filtered or any slot is remote.
 		r.log = NewEdgeLog()
-		r.gateTypes = graph.NewInterner()
-		r.fps = make(map[string]fprint)
 		r.stats = selectivity.NewCollector()
 		r.floors = make(map[uint64]int64)
 	}
-	for i := 0; i < cfg.Shards; i++ {
+	if r.filtering {
+		r.gateTypes = graph.NewInterner()
+		r.fps = make(map[string]fprint)
+	}
+	for i := 0; i < cfg.Shards+len(cfg.Remotes); i++ {
 		w := &worker{
 			id:    i,
 			r:     r,
 			in:    make(chan message, cfg.QueueLen),
-			eng:   core.NewMulti(core.MultiConfig{Window: cfg.Window, EvictEvery: cfg.EvictEvery}),
 			ranks: make(map[string]int),
+		}
+		if i < cfg.Shards {
+			w.eng = core.NewMulti(core.MultiConfig{Window: cfg.Window, EvictEvery: cfg.EvictEvery})
+		} else {
+			w.remote = newRemoteSlot(w, cfg.Remotes[i-cfg.Shards], cfg.RemotePending)
 		}
 		if r.filtering {
 			// A shard starts with no queries, hence an empty footprint:
 			// it receives and stores nothing until one is registered.
 			w.gate = graph.NewTypeSet()
 			w.gateRefs = newReplicaSet()
-			w.rset = newReplicaSet()
-			w.eng.SetReplicaFilter(nil, false)
+			if w.eng != nil {
+				w.rset = newReplicaSet()
+				w.eng.SetReplicaFilter(nil, false)
+			}
 		} else {
 			w.gate = graph.UniversalTypes()
 			w.replicaTypes.Store(-1)
@@ -363,7 +426,11 @@ func New(cfg Config) *Router {
 		}
 		r.workers = append(r.workers, w)
 		r.wg.Add(1)
-		go w.run()
+		if w.remote != nil {
+			go w.remote.run()
+		} else {
+			go w.run()
+		}
 	}
 	if cfg.Ordered {
 		r.mergeDone = make(chan struct{})
@@ -371,6 +438,9 @@ func New(cfg Config) *Router {
 	}
 	return r
 }
+
+// isRemote reports whether the slot proxies a remote shard worker.
+func (w *worker) isRemote() bool { return w.remote != nil }
 
 // NumShards returns the worker count.
 func (r *Router) NumShards() int { return len(r.workers) }
@@ -398,13 +468,27 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 	if cfg.BatchWorkers == 0 {
 		cfg.BatchWorkers = 1
 	}
-	if cfg.Adaptive != nil && r.filtering {
+	if cfg.Adaptive != nil && (r.filtering || r.hasRemote) {
 		// An adaptive engine re-decomposes from statistics it collects
 		// itself, at a cadence of edges it processes — on a filtered
 		// replica both would reflect only the shard's slice of the
 		// stream, silently diverging from the serial schedule this
-		// runtime is pinned to. Require full replication for it.
-		return fmt.Errorf("shard: adaptive queries require Config.FullReplicas (a filtered replica would re-decompose from filtered statistics)")
+		// runtime is pinned to; a remote slot additionally resets those
+		// counters on every reconnect replay. Require full replication
+		// on a local-only topology for it.
+		return fmt.Errorf("shard: adaptive queries require Config.FullReplicas on a local-only topology (a filtered or remote replica would re-decompose from divergent statistics)")
+	}
+	if r.hasRemote {
+		// A remote-destined query crosses the wire as its textual form
+		// and is reparsed by the worker; names, labels and types
+		// containing whitespace would tokenize differently there than a
+		// local engine binds them. Reject them up front — the slot is
+		// chosen by load, so any registration in a remote topology must
+		// be wire-safe — using the parser's own print/parse fixed point
+		// as the test.
+		if rt, err := query.Parse(q.String()); err != nil || rt.String() != q.String() {
+			return fmt.Errorf("shard: query %q is not wire-safe: vertex names, labels and edge types must be whitespace-free tokens in a remote topology", name)
+		}
 	}
 	fpTypes, fpExact := q.TypeFootprint()
 	r.ingestMu.Lock()
@@ -412,14 +496,21 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 		r.ingestMu.Unlock()
 		return fmt.Errorf("shard: router is closed")
 	}
-	if r.filtering && cfg.Leaves == nil && cfg.Stats == nil {
-		// Pin the decomposition here, against the router's full-stream
-		// statistics, before the query ever reaches its shard: the
-		// shard's own collector only sees the shard's filtered slice of
-		// the stream, and a lazy query's reachable-match set depends on
-		// its decomposition — decomposing from filtered statistics
-		// would diverge from a serial engine's schedule.
-		leaves, err := r.decompose(q, cfg.Strategy)
+	if (r.filtering || r.hasRemote) && cfg.Leaves == nil {
+		// Pin the decomposition here, against full-stream statistics,
+		// before the query ever reaches its shard: a filtered shard's
+		// own collector only sees the shard's slice of the stream, a
+		// remote shard cannot be shipped a live collector at all, and a
+		// lazy query's reachable-match set depends on its decomposition
+		// — decomposing from divergent statistics would diverge from a
+		// serial engine's schedule. Caller-provided statistics are used
+		// when given (the same collector a serial engine would have
+		// decomposed from); the router's collector otherwise.
+		stats := cfg.Stats
+		if stats == nil {
+			stats = r.stats
+		}
+		leaves, err := r.decompose(q, cfg.Strategy, stats)
 		if err != nil {
 			r.ingestMu.Unlock()
 			return err
@@ -458,18 +549,37 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 	r.mu.Unlock()
 	var floorToken uint64
 	minTS := int64(math.MinInt64)
+	trackFloor := r.filtering || w.isRemote()
+	msg := message{
+		kind: msgRegister, name: name, q: q, cfg: cfg, rank: rank,
+		fpTypes: fpTypes, fpExact: fpExact, postUniversal: true,
+	}
 	if r.filtering {
 		// Widen the gate before releasing ingestMu: every edge admitted
 		// after the registration message is already gated by the new
 		// footprint, and everything before it is in the log — no gap.
 		r.fps[name] = fprint{types: fpTypes, exact: fpExact}
+		if w.isRemote() {
+			// The remote worker cannot read the router's refcounts, so
+			// the backfill set ("newly needed" relative to the pre-add
+			// footprint) and the post-add filter ride the message.
+			msg.needAll, msg.heldTypes, msg.needTypes = w.gateRefs.newlyNeeded(fpTypes, fpExact)
+		}
 		w.gateRefs.add(fpTypes, fpExact)
 		r.rebuildGate(w)
+		if w.isRemote() && !w.gateRefs.universal() {
+			msg.postUniversal = false
+			msg.postTypes = w.gateRefs.typeNames()
+		}
+	}
+	if trackFloor {
 		// Capture the window floor NOW, at the registration's stream
 		// position — the backfill is entitled to every logged edge at
 		// or above it, however far the stream advances before the
 		// owning shard executes the backfill — and pin the log against
-		// trimming past it until the shard has acknowledged.
+		// trimming past it until the shard has acknowledged. (A remote
+		// slot then keeps its own pin at this floor for the life of the
+		// registration: a reconnect replay re-backfills from it.)
 		if r.cfg.Window > 0 {
 			minTS = r.log.MaxTS() - r.cfg.Window + 1
 		}
@@ -478,17 +588,20 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 		r.floors[floorToken] = minTS
 	}
 	reply := make(chan error, 1)
-	w.in <- message{
-		kind: msgRegister, name: name, q: q, cfg: cfg, rank: rank,
-		fpTypes: fpTypes, fpExact: fpExact, seq: r.seq.Load(), minTS: minTS, reply: reply,
+	msg.seq = r.seq.Load()
+	msg.minTS = minTS
+	msg.reply = reply
+	if w.isRemote() {
+		w.remote.noteRegister(&msg)
 	}
+	w.in <- msg
 	r.ingestMu.Unlock()
 
 	err := <-reply
-	if r.filtering {
+	if trackFloor {
 		r.ingestMu.Lock()
 		delete(r.floors, floorToken)
-		if err != nil {
+		if err != nil && r.filtering {
 			// Harmless over-delivery may have happened in the gap; the
 			// worker's engine filter never widened, so those edges were
 			// dropped there.
@@ -519,21 +632,22 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 	return err
 }
 
-// decompose computes the strategy's SJ-Tree leaves from the router's
-// full-stream statistics — the same decomposition a serial MultiEngine
-// registering at this stream position would pick. Baseline strategies
-// need none. Caller holds ingestMu.
-func (r *Router) decompose(q *query.Graph, strategy core.Strategy) ([][]int, error) {
+// decompose computes the strategy's SJ-Tree leaves from the given
+// statistics (the router's full-stream collector, or the caller's) —
+// the same decomposition a serial MultiEngine registering at this
+// stream position would pick. Baseline strategies need none. Caller
+// holds ingestMu.
+func (r *Router) decompose(q *query.Graph, strategy core.Strategy, stats *selectivity.Collector) ([][]int, error) {
 	switch strategy {
 	case core.StrategyVF2, core.StrategyIncIso:
 		return nil, nil
 	case core.StrategySingle, core.StrategySingleLazy:
-		return decompose.SingleDecompose(q, r.stats)
+		return decompose.SingleDecompose(q, stats)
 	case core.StrategyPath, core.StrategyPathLazy:
-		leaves, _, err := decompose.PathDecompose(q, r.stats)
+		leaves, _, err := decompose.PathDecompose(q, stats)
 		return leaves, err
 	case core.StrategyAuto:
-		leaves, _, _, err := decompose.Auto(q, r.stats)
+		leaves, _, _, err := decompose.Auto(q, stats)
 		return leaves, err
 	default:
 		return nil, fmt.Errorf("shard: unknown strategy %v", strategy)
@@ -581,12 +695,19 @@ func (r *Router) Unregister(name string) {
 		}
 	}
 	r.mu.Unlock()
-	msg := message{kind: msgUnregister, name: name, seq: r.seq.Load(), reply: make(chan error, 1)}
+	msg := message{kind: msgUnregister, name: name, seq: r.seq.Load(), postUniversal: true, reply: make(chan error, 1)}
 	if fp, tracked := r.fps[name]; tracked {
 		delete(r.fps, name)
 		w.gateRefs.remove(fp.types, fp.exact)
 		r.rebuildGate(w)
 		msg.fpTypes, msg.fpExact = fp.types, fp.exact
+		if w.isRemote() && !w.gateRefs.universal() {
+			msg.postUniversal = false
+			msg.postTypes = w.gateRefs.typeNames()
+		}
+	}
+	if w.isRemote() {
+		w.remote.noteUnregister(&msg)
 	}
 	w.in <- msg
 	r.ingestMu.Unlock()
@@ -623,26 +744,46 @@ func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
 	}
 	base := r.seq.Load()
 	r.seq.Store(base + uint64(len(ses)))
-	if r.filtering {
+	if r.log != nil {
 		r.log.Append(ses, base)
 		if r.cfg.Window > 0 {
 			// Trim to the window, but never past the floor of an
 			// in-flight registration whose backfill has yet to read its
-			// log snapshot on the owning shard.
+			// log snapshot on the owning shard, nor past what a remote
+			// slot is entitled to replay after a reconnect (its live
+			// registrations' floors and its unacknowledged batches).
 			cutoff := r.log.MaxTS() - r.cfg.Window + 1
 			for _, floor := range r.floors {
 				if floor < cutoff {
 					cutoff = floor
 				}
 			}
+			for _, w := range r.workers {
+				if w.remote == nil {
+					continue
+				}
+				if floor := w.remote.pinFloor(); floor < cutoff {
+					cutoff = floor
+				}
+			}
 			r.log.TrimBefore(cutoff)
 		}
 		r.stats.AddAll(ses)
+	}
+	if r.filtering {
 		// Intern each edge type once per batch; the per-shard gate scan
 		// below is then pure bitset probes.
 		r.gateIDs = r.gateIDs[:0]
 		for _, se := range ses {
 			r.gateIDs = append(r.gateIDs, graph.TypeID(r.gateTypes.Intern(se.Type)))
+		}
+	}
+	batchMinTS := int64(math.MaxInt64)
+	if r.hasRemote {
+		for _, se := range ses {
+			if se.TS < batchMinTS {
+				batchMinTS = se.TS
+			}
 		}
 	}
 	msg := message{kind: msgEdges, edges: ses, baseSeq: base}
@@ -651,6 +792,9 @@ func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
 			continue
 		}
 		w.edgesRouted.Add(int64(len(ses)))
+		if w.remote != nil {
+			w.remote.noteEnqueuedEdges(base, base+uint64(len(ses)), batchMinTS)
+		}
 		w.in <- msg
 	}
 	return base
@@ -837,27 +981,22 @@ func (w *worker) flushRetro(p uint64) {
 // router and the other shards proceed unimpeded; this shard's own
 // queue waits, which is exactly the Register barrier semantics.
 func (w *worker) widenReplica(msg message) {
+	needAll, held, added := w.rset.newlyNeeded(msg.fpTypes, msg.fpExact)
 	var need func(string) bool
 	switch {
-	case w.rset.universal():
-		// Already a full replica; nothing new can be needed.
-	case !msg.fpExact:
+	case needAll:
 		// Going universal: everything not already held is needed.
-		held := make(map[string]bool, len(w.rset.refs))
-		for tp := range w.rset.refs {
-			held[tp] = true
+		heldSet := make(map[string]bool, len(held))
+		for _, tp := range held {
+			heldSet[tp] = true
 		}
-		need = func(tp string) bool { return !held[tp] }
-	default:
-		added := make(map[string]bool)
-		for _, tp := range msg.fpTypes {
-			if !w.rset.has(tp) {
-				added[tp] = true
-			}
+		need = func(tp string) bool { return !heldSet[tp] }
+	case len(added) > 0:
+		addedSet := make(map[string]bool, len(added))
+		for _, tp := range added {
+			addedSet[tp] = true
 		}
-		if len(added) > 0 {
-			need = func(tp string) bool { return added[tp] }
-		}
+		need = func(tp string) bool { return addedSet[tp] }
 	}
 	w.rset.add(msg.fpTypes, msg.fpExact)
 	w.syncEngineFilter()
@@ -947,37 +1086,20 @@ func (w *worker) out(m Match) {
 }
 
 // resolve converts an engine match into the portable form: all IDs are
-// looked up against the shard's private graph now, so the emitted
-// match survives later eviction.
+// looked up against the shard's private graph now (the shared
+// core.MultiEngine.ResolveMatch walk), so the emitted match survives
+// later eviction.
 func (w *worker) resolve(seq uint64, nm core.NamedMatch) Match {
-	eng := w.eng.QueryEngine(nm.Query)
-	g := w.eng.Graph()
-	q := eng.Query()
 	out := Match{
 		Seq: seq, Shard: w.id, Query: nm.Query, rank: w.ranks[nm.Query],
 		FirstTS: nm.Match.MinTS, LastTS: nm.Match.MaxTS,
 	}
-	for qv, dv := range nm.Match.VertexOf {
-		if dv == graph.NoVertex {
-			continue
-		}
-		out.Bindings = append(out.Bindings, Binding{
-			QueryVertex: q.Vertices[qv].Name,
-			DataVertex:  g.VertexName(dv),
-		})
+	bindings, edges := w.eng.ResolveMatch(nm)
+	for _, b := range bindings {
+		out.Bindings = append(out.Bindings, Binding(b))
 	}
-	for qe, eid := range nm.Match.EdgeOf {
-		de, ok := g.Edge(eid)
-		if !ok {
-			continue
-		}
-		out.Edges = append(out.Edges, MatchEdge{
-			QueryEdge: qe,
-			Src:       g.VertexName(de.Src),
-			Dst:       g.VertexName(de.Dst),
-			Type:      g.Types().Name(uint32(de.Type)),
-			TS:        de.TS,
-		})
+	for _, e := range edges {
+		out.Edges = append(out.Edges, MatchEdge(e))
 	}
 	return out
 }
