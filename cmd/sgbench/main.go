@@ -9,7 +9,8 @@
 //	sgbench -exp batch -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: table1, fig6, fig7, fig9a, fig9b, fig9c, fig9d, fig10,
-// rule, alg5, ablation, planner, sketch, batch, shard, dshard, all.
+// rule, alg5, ablation, planner, sketch, batch, shard, dshard,
+// persist, all.
 //
 // The batch, shard and dshard experiments go beyond the paper: batch
 // compares edge-at-a-time ingestion with the batch pipeline (amortized
@@ -22,12 +23,16 @@
 // in-process shard runtime with all-remote and mixed local/remote
 // topologies whose slots are loopback-TCP sgshard workers
 // (internal/dshard), reporting wire traffic alongside throughput —
-// match counts must be identical across every row of every mode.
+// match counts must be identical across every row of every mode;
+// persist compares the volatile sharded runtime with the durable one
+// (edge log + checkpoint rounds) and times a cold recovery of the
+// resulting data directory, reporting the checkpoint overhead and the
+// retained log footprint.
 //
-// With -json the throughput experiments (batch, shard, dshard) emit
-// one machine-readable JSON document on stdout instead of text tables
-// — the format CI archives as BENCH_PR5.json to track the perf
-// trajectory across PRs.
+// With -json the throughput experiments (batch, shard, dshard,
+// persist) emit one machine-readable JSON document on stdout instead
+// of text tables — the format CI archives as BENCH_PR6.json to track
+// the perf trajectory across PRs.
 package main
 
 import (
@@ -62,11 +67,11 @@ type benchReport struct {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1, fig6, fig7, fig9a-d, fig10, rule, alg5, ablation, planner, sketch, batch, shard, dshard, all)")
+		exp      = flag.String("exp", "all", "experiment id (table1, fig6, fig7, fig9a-d, fig10, rule, alg5, ablation, planner, sketch, batch, shard, dshard, persist, all)")
 		scale    = flag.String("scale", "small", "dataset scale: small | medium | large")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		batch    = flag.Int("batch", 1024, "largest batch size for the batch ingestion experiment")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables (runs the throughput experiments: batch, shard)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables (runs the throughput experiments: batch, shard, dshard, persist)")
 		maxEdges = flag.Int("max-edges", 0, "bound the stream length for the batch/shard experiments (0 = whole dataset)")
 	)
 	profFlags := prof.RegisterFlags()
@@ -147,8 +152,15 @@ func main() {
 			}
 			report.Experiments = append(report.Experiments, expReport{ID: "dshard", Dataset: nf.Name, Rows: rows})
 		}
+		if want("persist") {
+			rows, err := experiments.PersistThroughput(experiments.PersistConfig{Dataset: nf, MaxEdges: *maxEdges})
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Experiments = append(report.Experiments, expReport{ID: "persist", Dataset: nf.Name, Rows: rows})
+		}
 		if len(report.Experiments) == 0 {
-			log.Fatalf("-json supports the throughput experiments (batch, shard, dshard); got -exp %s", *exp)
+			log.Fatalf("-json supports the throughput experiments (batch, shard, dshard, persist); got -exp %s", *exp)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -280,6 +292,15 @@ func main() {
 			log.Fatal(err)
 		}
 		experiments.PrintDshard(out, nf.Name, rows)
+		fmt.Fprintln(out)
+	}
+	if want("persist") {
+		nf := getNF()
+		rows, err := experiments.PersistThroughput(experiments.PersistConfig{Dataset: nf, MaxEdges: *maxEdges})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintPersist(out, nf.Name, rows)
 		fmt.Fprintln(out)
 	}
 }

@@ -25,13 +25,24 @@
 // in remote sgshard processes: the server routes each slot's slice of
 // the stream over the internal/dshard protocol and transparently
 // replays after a remote reconnect. See docs/DISTRIBUTED.md.
+//
+// With -data-dir the runtime is durable: every admitted edge is
+// appended to a segment-backed log and the engines checkpoint every
+// -checkpoint-every edges, so a crash or restart recovers the
+// registered queries and in-window graph state from disk. SIGINT and
+// SIGTERM shut down gracefully — drain the shards, commit a final
+// checkpoint, exit 0. See docs/PERSISTENCE.md.
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"streamgraph/internal/server"
 )
@@ -44,10 +55,18 @@ func main() {
 		shards     = flag.Int("shards", 0, "run on the sharded runtime with this many shard workers (0 = single engine); edge ingestion becomes asynchronous, matches are drained with the 'matches' command and 'stats' reports per-shard counters")
 		shardQueue = flag.Int("shard-queue", 256, "per-shard ingest queue capacity (with -shards/-remote)")
 		remote     = flag.String("remote", "", "comma-separated remote shard worker addresses (sgshard processes); each becomes one shard slot alongside the -shards local workers and selects the sharded runtime even with -shards 0")
+		dataDir    = flag.String("data-dir", "", "durable data directory: append edges to a segment-backed log and checkpoint engines there, recovering queries and in-window state on restart (selects the sharded runtime; see docs/PERSISTENCE.md)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "durable checkpoint cadence in edges (default 4096; requires -data-dir)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("sgserve: ")
+
+	// Installed before the listener (and its log line) exists, so a
+	// signal arriving the instant the server is observable already
+	// takes the graceful path.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	var remotes []string
 	if *remote != "" {
@@ -58,6 +77,29 @@ func main() {
 		}
 	}
 
+	cfg := server.Config{
+		Window: *window, EvictEvery: *evictEvery,
+		Shards: *shards, Remotes: remotes, ShardQueue: *shardQueue,
+		DataDir: *dataDir, CheckpointEvery: *ckptEvery,
+	}
+	var srv *server.Server
+	var err error
+	if *dataDir != "" {
+		if cfg.Shards <= 0 && len(remotes) == 0 {
+			cfg.Shards = 1
+		}
+		srv, err = server.Open(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("durable data dir %s (checkpoint every %d edges)", *dataDir, *ckptEvery)
+	} else {
+		if *ckptEvery != 0 {
+			log.Fatal("-checkpoint-every requires -data-dir")
+		}
+		srv = server.New(cfg)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -66,16 +108,28 @@ func main() {
 	case len(remotes) > 0:
 		log.Printf("listening on %s (window=%d, %d local + %d remote shards: %s)",
 			ln.Addr(), *window, *shards, len(remotes), strings.Join(remotes, ","))
-	case *shards > 0:
-		log.Printf("listening on %s (window=%d, %d shards)", ln.Addr(), *window, *shards)
+	case *shards > 0 || *dataDir != "":
+		log.Printf("listening on %s (window=%d, %d shards)", ln.Addr(), *window, cfg.Shards)
 	default:
 		log.Printf("listening on %s (window=%d)", ln.Addr(), *window)
 	}
-	srv := server.New(server.Config{
-		Window: *window, EvictEvery: *evictEvery,
-		Shards: *shards, Remotes: remotes, ShardQueue: *shardQueue,
-	})
-	if err := srv.Serve(ln); err != nil {
-		log.Fatal(err)
+
+	// SIGINT/SIGTERM drain the shards and, with -data-dir, commit a
+	// final checkpoint before exiting 0 — a signal-stopped server
+	// restarts from exactly where it left off.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case s := <-sig:
+		log.Printf("received %s; shutting down", s)
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Fatal(err)
+		}
 	}
+	srv.Close()
+	if err := srv.PersistErr(); err != nil {
+		log.Fatalf("persist: %v", err)
+	}
+	log.Printf("shutdown complete")
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildCmd compiles this command into dir and returns the binary path.
+func buildCmd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "sgserve")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startAndAwaitListen starts the binary and blocks until its log says
+// it is accepting connections, returning the process and a channel
+// that yields the exit error.
+func startAndAwaitListen(t *testing.T, bin string, args ...string) (*exec.Cmd, <-chan error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	listening := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "listening on") {
+				close(listening)
+				break
+			}
+		}
+		for sc.Scan() { // keep draining so the child never blocks on stderr
+		}
+	}()
+	select {
+	case <-listening:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server never reported listening")
+	}
+	wait := make(chan error, 1)
+	go func() { wait <- cmd.Wait() }()
+	return cmd, wait
+}
+
+// TestGracefulShutdownExitCode sends SIGTERM to a running durable
+// server and requires a zero exit code plus a committed checkpoint in
+// the data dir — the signal path must drain and checkpoint, not just
+// die.
+func TestGracefulShutdownExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a child process")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir)
+	dataDir := filepath.Join(dir, "data")
+
+	cmd, wait := startAndAwaitListen(t, bin,
+		"-addr", "127.0.0.1:0", "-window", "100", "-data-dir", dataDir, "-checkpoint-every", "64")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	select {
+	case err := <-wait:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v (want exit code 0)", err)
+		}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "router.meta")); err != nil {
+		t.Fatalf("no committed checkpoint after graceful shutdown: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "slot-0.ckpt")); err != nil {
+		t.Fatalf("no published slot checkpoint after graceful shutdown: %v", err)
+	}
+}
+
+// TestInterruptExitCode covers the volatile path: SIGINT on a plain
+// server still exits 0.
+func TestInterruptExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a child process")
+	}
+	bin := buildCmd(t, t.TempDir())
+	cmd, wait := startAndAwaitListen(t, bin, "-addr", "127.0.0.1:0", "-shards", "2")
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	select {
+	case err := <-wait:
+		if err != nil {
+			t.Fatalf("SIGINT exit: %v (want exit code 0)", err)
+		}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server did not exit after SIGINT")
+	}
+}

@@ -20,13 +20,22 @@
 // engine), so a small deployment can point several routers — or several
 // slots of one router — at a single worker process.
 //
+// SIGINT and SIGTERM close the listener and every router connection,
+// then exit 0; routers treat it as an ordinary disconnect and rebuild
+// the slot on reconnect.
+//
 // See docs/DISTRIBUTED.md for the protocol specification, deployment
 // topologies and failure modes.
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"streamgraph/internal/dshard"
 )
@@ -40,11 +49,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sgshard: ")
 
+	// SIGINT/SIGTERM sever the router connections and exit 0. The
+	// worker holds no durable state — routers rebuild it on reconnect
+	// from their checkpoint and edge log — so a clean close is all a
+	// shutdown needs. Installed before the listener exists so a signal
+	// arriving the instant the worker is observable takes this path.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	srv := dshard.NewServer()
 	if !*quiet {
 		srv.Logf = log.Printf
 	}
-	if err := srv.ListenAndServe(*addr); err != nil {
-		log.Fatal(err)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+	select {
+	case s := <-sig:
+		log.Printf("received %s; shutting down", s)
+		srv.Close()
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Fatal(err)
+		}
 	}
+	log.Printf("shutdown complete")
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bufio"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownExitCode sends SIGTERM to a running shard worker
+// and requires a zero exit code: the signal path closes the listener
+// and router connections instead of dying on the default handler.
+func TestGracefulShutdownExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a child process")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "sgshard")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	listening := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "listening on") {
+				close(listening)
+				break
+			}
+		}
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case <-listening:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("worker never reported listening")
+	}
+	wait := make(chan error, 1)
+	go func() { wait <- cmd.Wait() }()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	select {
+	case err := <-wait:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v (want exit code 0)", err)
+		}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("worker did not exit after SIGTERM")
+	}
+}

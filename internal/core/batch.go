@@ -216,11 +216,48 @@ func (e *Engine) finishBaseline(out, cands [][]iso.Match) {
 // the merge searches live instead (MaxSeq-bounded, lazy gate applied
 // before searching): on one core a batch is then never slower than the
 // serial loop, just amortized.
+//
+// Speculation is itself gated: a (edge, leaf) pair whose single-edge
+// leaf is disabled at BOTH endpoints when the batch starts would be
+// skipped outright by the serial gate, so searching it speculatively is
+// pure waste — and before this estimate the batch path searched every
+// such pair, doing strictly more work than the serial loop it
+// parallelizes. Lazy enablement bits only accrete during a batch
+// (eviction clears them strictly before ingest), so a pair skipped by
+// the batch-start estimate is either still disabled at merge time
+// (serial gate skips it too) or was enabled mid-batch, in which case
+// the merge detects the missing precompute via the have mask and runs
+// the search live at the exact MaxSeq the candidate would have had.
+// Multi-edge leaves are always searched: their matches can touch an
+// enabled vertex beyond the new edge's endpoints (see processTree).
 func (e *Engine) searchBatchTree(des []graph.Edge, workers int, out [][]iso.Match) {
 	nl := e.tree.NumLeaves()
 	speculate := workers > 1 && len(des) > 1
 	var cands [][]iso.Match
-	if speculate {
+	var have []bool
+	if speculate && e.lazy {
+		have = make([]bool, len(des)*nl)
+		tasks := make([]int, 0, len(have))
+		for i, de := range des {
+			for l := 0; l < nl; l++ {
+				if l > 0 && len(e.tree.LeafEdges(l)) == 1 &&
+					!e.enabled(de.Src, l) && !e.enabled(de.Dst, l) {
+					continue
+				}
+				have[i*nl+l] = true
+				tasks = append(tasks, i*nl+l)
+			}
+		}
+		cands = make([][]iso.Match, len(des)*nl)
+		res := e.runSearchTasks(len(tasks), workers, func(m *iso.Matcher, t int) []iso.Match {
+			i, l := tasks[t]/nl, tasks[t]%nl
+			m.MaxSeq = des[i].Seq
+			return m.FindAroundEdge(e.tree.LeafEdges(l), des[i])
+		})
+		for t, slot := range tasks {
+			cands[slot] = res[t]
+		}
+	} else if speculate {
 		cands = e.runSearchTasks(len(des)*nl, workers, func(m *iso.Matcher, t int) []iso.Match {
 			i, l := t/nl, t%nl
 			m.MaxSeq = des[i].Seq
@@ -240,9 +277,13 @@ func (e *Engine) searchBatchTree(des []graph.Edge, workers int, out [][]iso.Matc
 			e.tree.Budget = &e.budget
 		}
 		if speculate {
-			e.mergeTree(de, cands[i*nl:(i+1)*nl])
+			var hv []bool
+			if have != nil {
+				hv = have[i*nl : (i+1)*nl]
+			}
+			e.mergeTree(de, cands[i*nl:(i+1)*nl], hv)
 		} else {
-			e.mergeTree(de, nil)
+			e.mergeTree(de, nil, nil)
 		}
 		out[i] = append([]iso.Match(nil), e.curResults...)
 		e.stats.CompleteMatches += int64(len(out[i]))

@@ -1,0 +1,74 @@
+package core
+
+import "streamgraph/internal/graph"
+
+// Live-checkpoint accessors. persist.SaveMulti serializes a running
+// MultiEngine WITHOUT flushing deferred lazy work or forcing eviction
+// (both would change when matches are attributed relative to the
+// stream, breaking the restored engine's byte-for-byte equivalence
+// with an uninterrupted run). That requires exposing exactly the
+// state a flush would have consumed: the queued retrospective work
+// per leaf, and the shared eviction clock.
+
+// PendingRetro returns the queued retrospective (lazy) search work:
+// for each leaf, the vertices whose enable-time neighborhood repair
+// has not run yet. Nil for non-lazy strategies.
+func (e *Engine) PendingRetro() [][]graph.VertexID {
+	if !e.lazy {
+		return nil
+	}
+	out := make([][]graph.VertexID, len(e.pending))
+	for i, items := range e.pending {
+		if len(items) == 0 {
+			continue
+		}
+		vs := make([]graph.VertexID, len(items))
+		for j, it := range items {
+			vs[j] = it.v
+		}
+		out[i] = vs
+	}
+	return out
+}
+
+// RestorePendingRetro replaces the queued retrospective work (the
+// counterpart of PendingRetro on a freshly restored engine). The
+// restored queue drains at the next processed edge, exactly where the
+// checkpointed engine would have drained it.
+func (e *Engine) RestorePendingRetro(perLeaf [][]graph.VertexID) {
+	if !e.lazy {
+		return
+	}
+	for i, vs := range perLeaf {
+		if i >= len(e.pending) || len(vs) == 0 {
+			continue
+		}
+		items := make([]retroItem, len(vs))
+		for j, v := range vs {
+			items[j] = retroItem{v: v}
+		}
+		e.pending[i] = items
+	}
+}
+
+// WindowSize reports the shared window tW.
+func (m *MultiEngine) WindowSize() int64 { return m.window }
+
+// EvictCadence reports the eviction cadence in processed edges.
+func (m *MultiEngine) EvictCadence() int { return m.evictEvery }
+
+// EvictClock reports the shared eviction/ingest clock: edges since
+// the last eviction sweep, edges processed, and edges admitted into
+// the graph (the EdgesStored gauge).
+func (m *MultiEngine) EvictClock() (sinceEvict int, edgesSeen, stored int64) {
+	return m.sinceEvict, m.edgesSeen, m.stored
+}
+
+// RestoreEvictClock replaces the shared eviction/ingest clock so a
+// restored engine's eviction sweeps fire at exactly the stream
+// positions the checkpointed engine's would have.
+func (m *MultiEngine) RestoreEvictClock(sinceEvict int, edgesSeen, stored int64) {
+	m.sinceEvict = sinceEvict
+	m.edgesSeen = edgesSeen
+	m.stored = stored
+}

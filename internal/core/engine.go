@@ -418,7 +418,7 @@ func (e *Engine) processIncIso(de graph.Edge) {
 // type-gated) anchored search but keep only matches that touch an
 // enabled vertex; everything else remains lazy.
 func (e *Engine) processTree(de graph.Edge) {
-	e.mergeTree(de, nil)
+	e.mergeTree(de, nil, nil)
 }
 
 // mergeTree folds one edge's leaf matches into the SJ-Tree, applying
@@ -428,6 +428,14 @@ func (e *Engine) processTree(de graph.Edge) {
 // engine's own matcher (the serial path, and the batch path's
 // single-worker mode where the lazy gate runs before searching).
 //
+// have, when non-nil, marks which leaves of cands were actually
+// precomputed: the batch pipeline's two-pass gate estimate skips
+// speculative searches for leaves it can prove the serial gate would
+// skip, and a leaf enabled mid-batch (after the estimate ran) falls
+// back to a live MaxSeq-bounded search here — exactness never depends
+// on the estimate being right, only the amount of speculative work
+// does.
+//
 // The live path streams candidates straight out of the matcher: each
 // emitted match is gated first and only the survivors are cloned (from
 // the tree's pool) for insertion, so a gated-off candidate costs no
@@ -435,7 +443,7 @@ func (e *Engine) processTree(de graph.Edge) {
 // counters match the collect-then-insert form exactly — the search is
 // read-only on the graph, so interleaving tree mutation with the
 // enumeration cannot change which candidates are found.
-func (e *Engine) mergeTree(de graph.Edge, cands [][]iso.Match) {
+func (e *Engine) mergeTree(de graph.Edge, cands [][]iso.Match, have []bool) {
 	for l := 0; l < e.tree.NumLeaves(); l++ {
 		requireTouch := false
 		if e.lazy {
@@ -449,7 +457,7 @@ func (e *Engine) mergeTree(de graph.Edge, cands [][]iso.Match) {
 			}
 		}
 		e.stats.LeafSearches++
-		if cands != nil {
+		if cands != nil && (have == nil || have[l]) {
 			matches := cands[l]
 			e.stats.LeafMatches += int64(len(matches))
 			for _, m := range matches {

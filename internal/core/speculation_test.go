@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+	"streamgraph/internal/selectivity"
+	"streamgraph/internal/stream"
+)
+
+// specStream builds a deterministic stream where every rareEvery-th
+// edge is RARE (the selective first leaf) and the rest are COMMON.
+// rareEvery <= 0 yields a pure-COMMON stream, so the lazy gate never
+// enables the COMMON leaf at all.
+func specStream(n, hosts, rareEvery int) []stream.Edge {
+	out := make([]stream.Edge, n)
+	for i := range out {
+		typ := "COMMON"
+		if rareEvery > 0 && i%rareEvery == 0 {
+			typ = "RARE"
+		}
+		out[i] = stream.Edge{
+			Src: fmt.Sprintf("h%d", (i*5)%hosts), SrcLabel: "ip",
+			Dst: fmt.Sprintf("h%d", (i*11+3)%hosts), DstLabel: "ip",
+			Type: typ, TS: int64(i),
+		}
+	}
+	return out
+}
+
+func specEngine(t *testing.T, train []stream.Edge, workers int) *Engine {
+	t.Helper()
+	c := selectivity.NewCollector()
+	c.AddAll(train)
+	q := query.NewPath("ip", "RARE", "COMMON")
+	e, err := New(q, Config{
+		Strategy: StrategySingleLazy, Window: 300, EvictEvery: 8,
+		Stats: c, BatchWorkers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func specRun(t *testing.T, edges, train []stream.Edge, workers, batch int) ([]string, int64) {
+	t.Helper()
+	e := specEngine(t, train, workers)
+	var sigs []string
+	// Resolve bindings to names and timestamps: raw vertex/edge IDs are
+	// recycled on eviction, whose exact position differs between the
+	// serial and amortized-batch schedules.
+	add := func(ms []iso.Match) {
+		for _, m := range ms {
+			s := ""
+			for qv, dv := range m.VertexOf {
+				s += fmt.Sprintf("%d=%s;", qv, e.g.VertexName(dv))
+			}
+			for qe, de := range m.EdgeOf {
+				if de == iso.NoEdge {
+					continue
+				}
+				ge, ok := e.g.Edge(de)
+				if !ok {
+					t.Fatalf("match references dead edge %d", de)
+				}
+				s += fmt.Sprintf("%d:%s>%s@%d;", qe, e.g.VertexName(ge.Src), e.g.VertexName(ge.Dst), ge.TS)
+			}
+			sigs = append(sigs, s)
+		}
+	}
+	if batch <= 1 {
+		for _, se := range edges {
+			add(e.ProcessEdge(se))
+		}
+	} else {
+		for lo := 0; lo < len(edges); lo += batch {
+			hi := lo + batch
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			for _, ms := range e.ProcessBatch(edges[lo:hi]) {
+				add(ms)
+			}
+		}
+	}
+	sort.Strings(sigs)
+	return sigs, e.Stats().IsoSteps
+}
+
+// TestBatchSpeculationGate pins the two-pass gate estimate on the
+// speculative batch path.
+//
+// Work bound: on a stream whose selective first leaf never matches, the
+// serial lazy gate skips the second leaf's search on every edge — so a
+// batch run at BatchWorkers > 1 must not perform more matcher work than
+// the serial loop. Before the estimate, the batch path speculatively
+// searched the gated leaf around every edge, and this assertion fails
+// by an order of magnitude.
+//
+// Exactness: on a mixed stream the first leaf's matches enable the
+// second leaf mid-batch, forcing the merge's live fallback for pairs
+// the batch-start estimate skipped; the match multiset must still equal
+// the serial run's at every batch size.
+func TestBatchSpeculationGate(t *testing.T) {
+	train := specStream(400, 60, 10)
+
+	// Pure-COMMON stream: gate never opens.
+	cold := specStream(1200, 60, 0)
+	_, serialSteps := specRun(t, cold, train, 1, 1)
+	_, batchSteps := specRun(t, cold, train, 4, 128)
+	if batchSteps > serialSteps {
+		t.Fatalf("gated batch run performed %d matcher steps, serial %d: speculation searched gated leaves",
+			batchSteps, serialSteps)
+	}
+
+	// Mixed stream: mid-batch enablement exercises the have-mask live
+	// fallback.
+	hot := specStream(1200, 60, 7)
+	want, _ := specRun(t, hot, train, 1, 1)
+	if len(want) == 0 {
+		t.Fatal("mixed workload produced no matches; comparison is vacuous")
+	}
+	for _, batch := range []int{2, 64, 512} {
+		got, _ := specRun(t, hot, train, 4, batch)
+		if !equalStrings(got, want) {
+			t.Fatalf("workers=4 batch=%d multiset differs: %d matches vs %d", batch, len(got), len(want))
+		}
+	}
+}

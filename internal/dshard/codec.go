@@ -1,0 +1,27 @@
+package dshard
+
+import "streamgraph/internal/stream"
+
+// Exported edge-list codec. The durable EdgeLog (internal/edlog)
+// stores record payloads in exactly the wire edge encoding — a uvarint
+// count followed by edges, each five length-prefixed strings and a
+// zigzag-varint timestamp — so a log segment can be framed onto a
+// connection, or a received batch appended to the log, without a
+// re-encode. These wrappers expose the internal codec for that reuse.
+
+// AppendEdgeList appends the wire encoding of es to b and returns the
+// extended slice.
+func AppendEdgeList(b []byte, es []stream.Edge) []byte {
+	return appendEdges(b, es)
+}
+
+// DecodeEdgeList decodes one wire-encoded edge list from the front of
+// b, returning the edges and the unconsumed remainder.
+func DecodeEdgeList(b []byte) ([]stream.Edge, []byte, error) {
+	d := dec{b: b}
+	es := d.edges()
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return es, d.b, nil
+}

@@ -7,12 +7,16 @@ package dshard
 // crash-recovery needs no persistence layer here.
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"sync"
 
 	"streamgraph/internal/core"
+	"streamgraph/internal/persist"
 	"streamgraph/internal/query"
 )
 
@@ -149,6 +153,10 @@ type host struct {
 	// (the serial schedule drained them at an edge this shard's filter
 	// skipped).
 	lastEnd uint64
+
+	// streamed flips once any state-bearing frame has been handled; a
+	// restore frame is only legal before it (right after hello).
+	streamed bool
 }
 
 func (h *host) run() error {
@@ -219,6 +227,22 @@ func (h *host) run() error {
 			if err := h.handleUnregister(m); err != nil {
 				return err
 			}
+		case FrameCheckpoint:
+			m, err := DecodeCheckpoint(body)
+			if err != nil {
+				return err
+			}
+			if err := h.handleCheckpoint(m); err != nil {
+				return err
+			}
+		case FrameRestore:
+			m, err := DecodeRestore(body)
+			if err != nil {
+				return err
+			}
+			if err := h.handleRestore(m); err != nil {
+				return err
+			}
 		case FrameClose:
 			m, err := DecodeCloseStream(body)
 			if err != nil {
@@ -230,6 +254,9 @@ func (h *host) run() error {
 			return h.done(m.Frame, nil)
 		default:
 			return fmt.Errorf("unexpected frame 0x%02x", typ)
+		}
+		if typ != FrameCheckpoint {
+			h.streamed = true
 		}
 	}
 }
@@ -299,6 +326,98 @@ func (h *host) handleUnregister(m Unregister) error {
 		h.eng.TrimReplica()
 	}
 	return h.done(m.Frame, nil)
+}
+
+// handleCheckpoint serializes the whole engine state and streams it
+// back before the done frame, mirroring the match-then-done
+// discipline. Snapshotting is best-effort: an image the frame limit
+// cannot carry (or one SaveMulti refuses to build) is simply not sent,
+// and the router keeps whatever snapshot it already holds — the done
+// frame must still arrive so the request pipeline keeps moving.
+func (h *host) handleCheckpoint(m Checkpoint) error {
+	if data, err := h.snapshotImage(); err == nil && len(data)+32 <= MaxFrame {
+		if err := h.cn.WriteSnapshot(Snapshot{Frame: m.Frame, Data: data}); err != nil {
+			return err
+		}
+	}
+	return h.done(m.Frame, nil)
+}
+
+// handleRestore replaces the engine with a previously captured
+// snapshot. Only legal directly after hello: the router sends it as
+// the first frame of a reconnect, before replaying the log tail.
+func (h *host) handleRestore(m Restore) error {
+	if h.streamed {
+		return fmt.Errorf("restore frame after stream traffic")
+	}
+	lastEnd, universal, types, ranks, image, err := decodeSnapshotImage(m.Data)
+	if err != nil {
+		return err
+	}
+	eng, err := persist.LoadMulti(bytes.NewReader(image))
+	if err != nil {
+		// The engine was not replaced; a done-with-error here would
+		// leave the router believing the restore took effect while the
+		// worker runs an empty engine. Kill the connection instead —
+		// the router drops its (evidently bad) snapshot and rebuilds
+		// from the log alone.
+		return fmt.Errorf("restore snapshot: %w", err)
+	}
+	h.eng = eng
+	h.ranks = ranks
+	// LoadMulti leaves the replica filter universal; re-apply the
+	// filter the snapshot captured.
+	h.setFilter(universal, types)
+	h.lastEnd = lastEnd
+	return h.done(m.Frame, nil)
+}
+
+// snapshotImage encodes the host's connection-scoped state (flush
+// barrier, replica filter, ranks) followed by the engine image.
+func (h *host) snapshotImage() ([]byte, error) {
+	b := binary.AppendUvarint(nil, h.lastEnd)
+	b = appendBool(b, h.universal)
+	types := make([]string, 0, len(h.admit))
+	for tp := range h.admit {
+		types = append(types, tp)
+	}
+	sort.Strings(types)
+	b = appendStrings(b, types)
+	names := make([]string, 0, len(h.ranks))
+	for name := range h.ranks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		b = appendString(b, name)
+		b = binary.AppendUvarint(b, uint64(h.ranks[name]))
+	}
+	var buf bytes.Buffer
+	buf.Write(b)
+	if err := persist.SaveMulti(&buf, h.eng); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeSnapshotImage splits a snapshot image back into the host
+// header and the engine image (the undecoded remainder).
+func decodeSnapshotImage(data []byte) (lastEnd uint64, universal bool, types []string, ranks map[string]int, image []byte, err error) {
+	d := dec{b: data}
+	lastEnd = d.uvarint()
+	universal = d.bool_()
+	types = d.strings()
+	n := d.count("ranks", 2)
+	ranks = make(map[string]int, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		name := d.string_()
+		ranks[name] = int(d.uvarint())
+	}
+	if d.err != nil {
+		return 0, false, nil, nil, nil, d.err
+	}
+	return lastEnd, universal, types, ranks, d.b, nil
 }
 
 // flushRetro runs the engine's queued retrospective repairs when the

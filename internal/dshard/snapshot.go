@@ -1,0 +1,131 @@
+package dshard
+
+// Checkpoint / snapshot frames. PR 6 extends the protocol with a
+// state-transfer triangle that bounds reconnect replay:
+//
+//	checkpoint  client→server: serialize the whole engine state
+//	snapshot    server→client: the serialized state (reply to a
+//	            checkpoint frame, before its done frame — the same
+//	            stream-then-done discipline as match frames)
+//	restore     client→server: replace the worker's engine state with
+//	            a previously captured snapshot (sent right after hello
+//	            on a reconnect, before any replayed traffic)
+//
+// A checkpoint frame rides the ordered request pipeline like any other
+// client frame, so when its done frame arrives the router knows the
+// exact stream position the snapshot covers: everything acknowledged
+// before it is inside, everything after is tail. That is what lets the
+// router retire covered control events and advance the EdgeLog pin
+// floor instead of freezing it at registration time (the PR 5
+// unbounded-pin failure mode; see docs/DISTRIBUTED.md).
+//
+// The snapshot payload is opaque to the router: the worker produces it
+// (an engine header plus a persist.SaveMulti image) and only a worker
+// consumes it. The router stores and forwards bytes.
+
+import "encoding/binary"
+
+// Frame type bytes (continuing the allocation in dshard.go).
+const (
+	// FrameCheckpoint asks the worker for a snapshot of its engine
+	// state at the current stream position (client→server).
+	FrameCheckpoint byte = 0x07
+	// FrameRestore replaces the worker's engine state with a snapshot
+	// captured earlier (client→server, right after hello).
+	FrameRestore byte = 0x08
+	// FrameSnapshot carries the serialized engine state back to the
+	// router (server→client, before the checkpoint's done frame).
+	FrameSnapshot byte = 0x83
+)
+
+// Checkpoint asks the worker to serialize its engine state.
+type Checkpoint struct {
+	// Frame is the per-connection frame id the done frame echoes.
+	Frame uint64
+}
+
+// Snapshot is the worker's serialized engine state.
+type Snapshot struct {
+	// Frame echoes the checkpoint frame this snapshot answers.
+	Frame uint64
+	// Data is the opaque snapshot image. The router never parses it;
+	// it round-trips the bytes back in a restore frame.
+	Data []byte
+}
+
+// Restore replaces the worker's engine state with a snapshot.
+type Restore struct {
+	// Frame is the per-connection frame id the done frame echoes.
+	Frame uint64
+	// Data is a snapshot image previously received from a worker of
+	// this slot.
+	Data []byte
+}
+
+// WriteCheckpoint sends one checkpoint request.
+func (cn *Conn) WriteCheckpoint(m Checkpoint) error {
+	b := append(cn.wbuf[:0], FrameCheckpoint)
+	b = binary.AppendUvarint(b, m.Frame)
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// WriteSnapshot streams the serialized engine state (server side).
+func (cn *Conn) WriteSnapshot(m Snapshot) error {
+	b := append(cn.wbuf[:0], FrameSnapshot)
+	b = binary.AppendUvarint(b, m.Frame)
+	b = binary.AppendUvarint(b, uint64(len(m.Data)))
+	b = append(b, m.Data...)
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// WriteRestore sends one state-restore frame.
+func (cn *Conn) WriteRestore(m Restore) error {
+	b := append(cn.wbuf[:0], FrameRestore)
+	b = binary.AppendUvarint(b, m.Frame)
+	b = binary.AppendUvarint(b, uint64(len(m.Data)))
+	b = append(b, m.Data...)
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// DecodeCheckpoint parses a FrameCheckpoint body.
+func DecodeCheckpoint(body []byte) (Checkpoint, error) {
+	d := dec{b: body}
+	m := Checkpoint{Frame: d.uvarint()}
+	return m, d.err
+}
+
+// DecodeSnapshot parses a FrameSnapshot body. Data aliases the
+// connection's read buffer; callers that retain it must copy.
+func DecodeSnapshot(body []byte) (Snapshot, error) {
+	d := dec{b: body}
+	m := Snapshot{Frame: d.uvarint()}
+	m.Data = d.bytes()
+	return m, d.err
+}
+
+// DecodeRestore parses a FrameRestore body. Data aliases the
+// connection's read buffer; callers that retain it must copy.
+func DecodeRestore(body []byte) (Restore, error) {
+	d := dec{b: body}
+	m := Restore{Frame: d.uvarint()}
+	m.Data = d.bytes()
+	return m, d.err
+}
+
+// bytes decodes a length-prefixed byte string without copying.
+func (d *dec) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("bytes")
+		return nil
+	}
+	b := d.b[:n]
+	d.b = d.b[n:]
+	return b
+}

@@ -1,0 +1,311 @@
+package edlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"streamgraph/internal/stream"
+)
+
+func testEdge(i int) stream.Edge {
+	return stream.Edge{
+		Src: fmt.Sprintf("s%d", i), SrcLabel: "L",
+		Dst: fmt.Sprintf("d%d", i), DstLabel: "L",
+		Type: fmt.Sprintf("t%d", i%3), TS: int64(i),
+	}
+}
+
+// fillLog appends nBatches batches of batchLen edges and returns the
+// flat edge list.
+func fillLog(t *testing.T, l *Log, nBatches, batchLen int) []stream.Edge {
+	t.Helper()
+	var all []stream.Edge
+	for b := 0; b < nBatches; b++ {
+		batch := make([]stream.Edge, batchLen)
+		for i := range batch {
+			batch[i] = testEdge(b*batchLen + i)
+		}
+		if err := l.Append(batch, uint64(b*batchLen)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		all = append(all, batch...)
+	}
+	return all
+}
+
+func replayAll(t *testing.T, l *Log) []stream.Edge {
+	t.Helper()
+	var got []stream.Edge
+	next := uint64(0)
+	err := l.Replay(func(edges []stream.Edge, baseSeq uint64) error {
+		if baseSeq != next {
+			t.Fatalf("replay out of order: base %d, want %d", baseSeq, next)
+		}
+		next = baseSeq + uint64(len(edges))
+		got = append(got, edges...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 512) // small segments force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillLog(t, l, 12, 4)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Segments() < 2 {
+		t.Fatalf("want rotation into >= 2 segments, got %d", l2.Segments())
+	}
+	if l2.EndSeq() != uint64(len(want)) {
+		t.Fatalf("end seq %d, want %d", l2.EndSeq(), len(want))
+	}
+	got := replayAll(t, l2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Appending after reopen continues the sequence in the same
+	// active segment.
+	if err := l2.Append([]stream.Edge{testEdge(len(want))}, uint64(len(want))); err != nil {
+		t.Fatal(err)
+	}
+	if l2.EndSeq() != uint64(len(want))+1 {
+		t.Fatalf("end seq after append %d", l2.EndSeq())
+	}
+}
+
+func TestAppendOverlapRejected(t *testing.T) {
+	l, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fillLog(t, l, 2, 4)
+	if err := l.Append([]stream.Edge{testEdge(0)}, 3); err == nil {
+		t.Fatal("overlapping append not rejected")
+	}
+}
+
+// lastSegment returns the path of the lexically last segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "edgelog-*.seg"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	return names[len(names)-1]
+}
+
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// assertPrefix opens dir and asserts the recovered log replays an
+// exact batch-aligned prefix of want.
+func assertPrefix(t *testing.T, dir string, want []stream.Edge, batchLen int) int {
+	t.Helper()
+	l, err := Open(dir, 512)
+	if err != nil {
+		t.Fatalf("open after truncation: %v", err)
+	}
+	defer l.Close()
+	got := replayAll(t, l)
+	if len(got)%batchLen != 0 {
+		t.Fatalf("recovered %d edges: not a batch boundary (batch %d)", len(got), batchLen)
+	}
+	if len(got) > len(want) {
+		t.Fatalf("recovered %d edges, more than the %d written", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("recovered edge %d diverges: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if l.EndSeq() != uint64(len(got)) {
+		t.Fatalf("end seq %d after recovering %d edges", l.EndSeq(), len(got))
+	}
+	return len(got)
+}
+
+// TestTruncationSweep is the torn-write recovery sweep: for every
+// possible truncation point of the final segment, Open must recover a
+// valid batch-aligned prefix without error.
+func TestTruncationSweep(t *testing.T) {
+	master := t.TempDir()
+	l, err := Open(master, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchLen = 4
+	want := fillLog(t, l, 12, batchLen)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lastPath := lastSegment(t, master)
+	info, err := os.Stat(lastPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := info.Size()
+	for cut := size - 1; cut >= 0; cut-- {
+		dir := copyDir(t, master)
+		if err := os.Truncate(filepath.Join(dir, filepath.Base(lastPath)), cut); err != nil {
+			t.Fatal(err)
+		}
+		n := assertPrefix(t, dir, want, batchLen)
+		if cut == 0 && n == 0 {
+			// The fully torn final segment must not block further
+			// recovery: the sealed segments before it survive intact.
+			continue
+		}
+	}
+}
+
+// TestCorruptionSweep flips single bytes in the final segment: Open
+// must recover the prefix before the flipped record. A flip in a
+// sealed segment is detected as corruption.
+func TestCorruptionSweep(t *testing.T) {
+	master := t.TempDir()
+	l, err := Open(master, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchLen = 4
+	want := fillLog(t, l, 12, batchLen)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lastPath := lastSegment(t, master)
+	data, err := os.ReadFile(lastPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := len(data)/37 + 1 // sample offsets; full sweep is slow under -race
+	for off := 0; off < len(data); off += stride {
+		dir := copyDir(t, master)
+		p := filepath.Join(dir, filepath.Base(lastPath))
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x5a
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		assertPrefix(t, dir, want, batchLen)
+	}
+
+	// A flipped byte in a sealed segment must fail Open loudly.
+	names, _ := filepath.Glob(filepath.Join(master, "edgelog-*.seg"))
+	sort.Strings(names)
+	if len(names) >= 2 {
+		dir := copyDir(t, master)
+		p := filepath.Join(dir, filepath.Base(names[0]))
+		sealed, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sealed[len(sealed)/2] ^= 0x5a
+		if err := os.WriteFile(p, sealed, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, 512); err == nil {
+			t.Fatal("corrupt sealed segment not detected")
+		}
+	}
+}
+
+func TestTrimBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	want := fillLog(t, l, 24, 4)
+	segs := l.Segments()
+	if segs < 3 {
+		t.Fatalf("want >= 3 segments, got %d", segs)
+	}
+
+	// A keepSeq of 0 pins everything regardless of timestamps.
+	if n := l.TrimBefore(1<<62, 0); n != 0 {
+		t.Fatalf("trim with keepSeq 0 deleted %d segments", n)
+	}
+	// A cutoff of 0 keeps everything regardless of keepSeq.
+	if n := l.TrimBefore(0, 1<<60); n != 0 {
+		t.Fatalf("trim with cutoff 0 deleted %d segments", n)
+	}
+	// Everything expired and covered: all sealed segments go, the
+	// active one stays.
+	if n := l.TrimBefore(1<<62, 1<<60); n != segs-1 {
+		t.Fatalf("trim deleted %d segments, want %d", n, segs-1)
+	}
+	if l.Segments() != 1 {
+		t.Fatalf("%d segments left, want 1", l.Segments())
+	}
+	if l.EndSeq() != uint64(len(want)) {
+		t.Fatalf("end seq %d after trim", l.EndSeq())
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "edgelog-*.seg"))
+	if len(names) != 1 {
+		t.Fatalf("%d segment files on disk, want 1", len(names))
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	l, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.EndSeq() != 0 || l.Segments() != 0 || l.DiskBytes() != 0 {
+		t.Fatalf("empty log reports end=%d segs=%d bytes=%d", l.EndSeq(), l.Segments(), l.DiskBytes())
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, l); len(got) != 0 {
+		t.Fatalf("empty log replayed %d edges", len(got))
+	}
+}

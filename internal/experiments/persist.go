@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/shard"
+)
+
+// PersistRow is one cell of the durability experiment: the same
+// queries and stream driven through the volatile sharded runtime, the
+// durable (checkpointing) runtime, and a recovery of the durable
+// run's data directory.
+type PersistRow struct {
+	Mode        string        `json:"mode"` // "volatile", "durable", "recover"
+	Shards      int           `json:"shards"`
+	Edges       int           `json:"edges"`
+	Matches     int64         `json:"matches"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	EdgesPerSec float64       `json:"edges_per_sec"`
+	// Overhead is the volatile row's EdgesPerSec divided by this row's
+	// — the slowdown fsync-bounded checkpoint rounds cost (1.0 for the
+	// volatile row itself; for the recover row it compares recovery to
+	// processing the stream from scratch).
+	Overhead float64 `json:"overhead"`
+	// CheckpointEvery is the round cadence in edges (durable rows).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// LogSegments / LogDiskBytes are the durable edge log's footprint
+	// after the run — what the checkpoint-driven trim retains.
+	LogSegments  int   `json:"log_segments,omitempty"`
+	LogDiskBytes int64 `json:"log_disk_bytes,omitempty"`
+	// RecoveredMatches counts the matches the recovery replay
+	// re-emitted (recover row; at-least-once across a restart).
+	RecoveredMatches int `json:"recovered_matches,omitempty"`
+}
+
+// PersistConfig parameterizes the durability experiment.
+type PersistConfig struct {
+	Dataset Dataset
+	// NumQueries standing queries rotate through the dataset's edge
+	// types (default 4).
+	NumQueries int
+	// Shards is the local shard count for every mode (default 2).
+	Shards int
+	// Batch is the ingest chunk size (default 512).
+	Batch int
+	// Window is tW (default 2000).
+	Window int64
+	// CheckpointEvery is the durable round cadence (default 4096).
+	CheckpointEvery int
+	// MaxEdges bounds the stream length (0 = whole dataset).
+	MaxEdges int
+	// Dir is the durable data directory (default: a fresh temp dir,
+	// removed afterwards).
+	Dir string
+}
+
+func (c *PersistConfig) defaults() {
+	if c.NumQueries <= 0 {
+		c.NumQueries = 4
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Batch <= 0 {
+		c.Batch = 512
+	}
+	if c.Window <= 0 {
+		c.Window = 2000
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 4096
+	}
+}
+
+// PersistThroughput measures what durability costs and buys: the
+// volatile sharded runtime as the baseline, the same run with the
+// edge log and checkpoint rounds enabled (overhead, retained log
+// footprint), and a cold recovery of the resulting data directory
+// (restart latency). Match counts must agree between the volatile and
+// durable rows — exactness through the durable path is enforced by
+// internal/shard's differential tests; the counts here make a
+// divergence visible in CI's benchmark artifact.
+func PersistThroughput(cfg PersistConfig) ([]PersistRow, error) {
+	cfg.defaults()
+	edges := cfg.Dataset.Edges
+	if cfg.MaxEdges > 0 && cfg.MaxEdges < len(edges) {
+		edges = edges[:cfg.MaxEdges]
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "sgbench-persist-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	queries := shardQueries(cfg.Dataset.Types, cfg.NumQueries)
+	names := shardQueryNames(queries)
+	qcfg := core.Config{Strategy: core.StrategySingleLazy, MaxMatchesPerSearch: 20000}
+
+	ingest := func(r *shard.Router) {
+		for lo := 0; lo < len(edges); lo += cfg.Batch {
+			hi := lo + cfg.Batch
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			r.IngestBatch(edges[lo:hi])
+		}
+	}
+
+	var rows []PersistRow
+	finish := func(mode string, matches int64, elapsed time.Duration) *PersistRow {
+		row := PersistRow{
+			Mode: mode, Shards: cfg.Shards, Edges: len(edges),
+			Matches: matches, Elapsed: elapsed,
+			EdgesPerSec: float64(len(edges)) / elapsed.Seconds(),
+			Overhead:    1,
+		}
+		if len(rows) > 0 && row.EdgesPerSec > 0 {
+			row.Overhead = rows[0].EdgesPerSec / row.EdgesPerSec
+		}
+		rows = append(rows, row)
+		return &rows[len(rows)-1]
+	}
+
+	// Volatile baseline.
+	{
+		r := shard.New(shard.Config{Shards: cfg.Shards, Window: cfg.Window})
+		for _, name := range names {
+			if err := r.Register(name, queries[name], qcfg); err != nil {
+				return nil, err
+			}
+		}
+		counted := make(chan int64, 1)
+		go func() { counted <- r.Drain(nil) }()
+		start := time.Now()
+		ingest(r)
+		r.Close()
+		finish("volatile", <-counted, time.Since(start))
+	}
+
+	// Durable run: same stream through the edge log and checkpoint
+	// rounds.
+	dcfg := shard.Config{
+		Shards: cfg.Shards, Window: cfg.Window,
+		DataDir: dir, CheckpointEvery: cfg.CheckpointEvery,
+	}
+	{
+		r, _, err := shard.Open(dcfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			if err := r.Register(name, queries[name], qcfg); err != nil {
+				return nil, err
+			}
+		}
+		counted := make(chan int64, 1)
+		go func() { counted <- r.Drain(nil) }()
+		start := time.Now()
+		ingest(r)
+		ls := r.LogStats()
+		r.Close()
+		elapsed := time.Since(start)
+		if err := r.PersistErr(); err != nil {
+			return nil, err
+		}
+		row := finish("durable", <-counted, elapsed)
+		row.CheckpointEvery = cfg.CheckpointEvery
+		row.LogSegments = ls.Segments
+		row.LogDiskBytes = ls.DiskBytes
+	}
+
+	// Cold recovery of the data directory the durable run left behind.
+	{
+		start := time.Now()
+		r, recovered, err := shard.Open(dcfg)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		ls := r.LogStats()
+		go r.Drain(nil)
+		r.Close()
+		row := finish("recover", int64(len(recovered)), elapsed)
+		row.CheckpointEvery = cfg.CheckpointEvery
+		row.LogSegments = ls.Segments
+		row.LogDiskBytes = ls.DiskBytes
+		row.RecoveredMatches = len(recovered)
+	}
+	return rows, nil
+}
+
+// PrintPersist renders the durability experiment as a table.
+func PrintPersist(w io.Writer, dataset string, rows []PersistRow) {
+	fmt.Fprintf(w, "== Durable runtime: %s ==\n", dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tshards\tedges/s\toverhead\tmatches\tckpt-every\tlog-segs\tlog-bytes\telapsed")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.2fx\t%d\t%d\t%d\t%d\t%v\n",
+			r.Mode, r.Shards, r.EdgesPerSec, r.Overhead, r.Matches,
+			r.CheckpointEvery, r.LogSegments, r.LogDiskBytes, r.Elapsed.Round(time.Millisecond))
+	}
+	tw.Flush()
+}

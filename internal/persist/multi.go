@@ -1,0 +1,432 @@
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+	"streamgraph/internal/query"
+	"streamgraph/internal/sjtree"
+)
+
+// Multi-engine checkpoints. SaveMulti serializes a whole running
+// core.MultiEngine — the shared windowed graph, every registered
+// query's SJ-Tree tables, lazy bitmap, queued retrospective work and
+// counters, plus the shared eviction clock — WITHOUT flushing pending
+// lazy work or forcing eviction. That non-flushing property is what
+// makes it usable as a live checkpoint: flushing would attribute
+// deferred matches to the checkpoint position instead of the stream
+// position a serial run reports them at, and forced eviction would
+// shift the eviction clock. A LoadMulti'd engine fed the same stream
+// suffix emits exactly the matches the original would have.
+//
+// Two pieces of state are deliberately NOT serialized and must be
+// re-applied by the caller, which owns them in every deployment:
+//
+//   - the replica filter (SetReplicaFilter): the shard worker derives
+//     it from its registration footprints, the remote worker from the
+//     restore frame's header;
+//   - the selectivity collector: decompositions are pinned in each
+//     engine's Leaves before registration ever reaches a MultiEngine
+//     in the sharded runtime, and the router checkpoint carries the
+//     authoritative full-stream collector in its own metadata.
+
+const (
+	multiMagic   = "SGSNAPM\n"
+	multiVersion = uint32(1)
+)
+
+// SaveMulti writes a snapshot of the multi-engine to w. The engine
+// must be quiescent (between ProcessEdge/ProcessBatch calls); it is
+// not flushed, evicted or otherwise mutated.
+func SaveMulti(w io.Writer, m *core.MultiEngine) error {
+	bw := &writer{w: bufio.NewWriter(w)}
+	bw.bytes([]byte(multiMagic))
+	bw.u32(multiVersion)
+
+	bw.i64(m.WindowSize())
+	bw.u32(uint32(m.EvictCadence()))
+	sinceEvict, edgesSeen, stored := m.EvictClock()
+	bw.u32(uint32(sinceEvict))
+	bw.i64(edgesSeen)
+	bw.i64(stored)
+
+	// Gather the referenced vertex set: endpoints of live edges, every
+	// query's match bindings, bitmap entries and queued retro work.
+	g := m.Graph()
+	vertIdx := make(map[graph.VertexID]uint32)
+	var verts []graph.VertexID
+	need := func(v graph.VertexID) uint32 {
+		if i, ok := vertIdx[v]; ok {
+			return i
+		}
+		i := uint32(len(verts))
+		vertIdx[v] = i
+		verts = append(verts, v)
+		return i
+	}
+
+	type edgeRef struct {
+		src, dst uint32
+		typeName string
+		ts       int64
+	}
+	edgeIdx := make(map[graph.EdgeID]uint32)
+	var edges []edgeRef
+	g.EachEdgeArrival(func(e graph.Edge) bool {
+		edgeIdx[e.ID] = uint32(len(edges))
+		edges = append(edges, edgeRef{
+			src: need(e.Src), dst: need(e.Dst),
+			typeName: g.Types().Name(uint32(e.Type)), ts: e.TS,
+		})
+		return true
+	})
+
+	names := m.Registered()
+	type storedRef struct {
+		node int
+		m    iso.Match
+	}
+	perStored := make([][]storedRef, len(names))
+	perBits := make([]map[graph.VertexID]uint64, len(names))
+	perRetro := make([][][]graph.VertexID, len(names))
+	for qi, name := range names {
+		eng := m.QueryEngine(name)
+		perBits[qi] = eng.LazyBits()
+		for v := range perBits[qi] {
+			need(v)
+		}
+		perRetro[qi] = eng.PendingRetro()
+		for _, vs := range perRetro[qi] {
+			for _, v := range vs {
+				need(v)
+			}
+		}
+		var storedErr error
+		if t := eng.Tree(); t != nil {
+			t.EachStored(func(n *sjtree.Node, mt iso.Match) bool {
+				for _, dv := range mt.VertexOf {
+					if dv != graph.NoVertex {
+						need(dv)
+					}
+				}
+				for _, de := range mt.EdgeOf {
+					if de == iso.NoEdge {
+						continue
+					}
+					if _, ok := edgeIdx[de]; !ok {
+						storedErr = fmt.Errorf("persist: query %q stores a match referencing edge %d not in the live graph", name, de)
+						return false
+					}
+				}
+				perStored[qi] = append(perStored[qi], storedRef{node: n.ID, m: mt})
+				return true
+			})
+		}
+		if storedErr != nil {
+			return storedErr
+		}
+	}
+
+	// Shared vertex table.
+	bw.u32(uint32(len(verts)))
+	for _, v := range verts {
+		bw.str(g.VertexName(v))
+		bw.str(g.Labels().Name(uint32(g.VertexLabel(v))))
+	}
+	// Shared edge table in arrival order.
+	bw.u32(uint32(len(edges)))
+	for _, e := range edges {
+		bw.u32(e.src)
+		bw.u32(e.dst)
+		bw.str(e.typeName)
+		bw.i64(e.ts)
+	}
+
+	// Per-query sections, in registration order.
+	bw.u32(uint32(len(names)))
+	for qi, name := range names {
+		eng := m.QueryEngine(name)
+		cfg := eng.ConfigSnapshot()
+		bw.str(name)
+		bw.str(eng.Query().String())
+		bw.u32(uint32(cfg.Strategy))
+		bw.u32(uint32(cfg.MaxMatchesPerSearch))
+		bw.i64(cfg.MaxWorkPerEdge)
+		bw.i64(cfg.MaxStepsPerSearch)
+		bw.u32(uint32(cfg.BatchWorkers))
+		bw.u32(uint32(len(cfg.Leaves)))
+		for _, leaf := range cfg.Leaves {
+			bw.u32(uint32(len(leaf)))
+			for _, ei := range leaf {
+				bw.u32(uint32(ei))
+			}
+		}
+		// Stored partial matches.
+		bw.u32(uint32(len(perStored[qi])))
+		for _, s := range perStored[qi] {
+			bw.u32(uint32(s.node))
+			bw.u32(uint32(len(s.m.VertexOf)))
+			for _, dv := range s.m.VertexOf {
+				if dv == graph.NoVertex {
+					bw.u32(noIdx)
+				} else {
+					bw.u32(vertIdx[dv])
+				}
+			}
+			bw.u32(uint32(len(s.m.EdgeOf)))
+			for _, de := range s.m.EdgeOf {
+				if de == iso.NoEdge {
+					bw.u32(noIdx)
+				} else {
+					bw.u32(edgeIdx[de])
+				}
+			}
+			bw.i64(s.m.MinTS)
+			bw.i64(s.m.MaxTS)
+		}
+		// Lazy bitmap.
+		bw.u32(uint32(len(perBits[qi])))
+		for v, b := range perBits[qi] {
+			bw.u32(vertIdx[v])
+			bw.u64(b)
+		}
+		// Queued retrospective work, per leaf.
+		bw.u32(uint32(len(perRetro[qi])))
+		for _, vs := range perRetro[qi] {
+			bw.u32(uint32(len(vs)))
+			for _, v := range vs {
+				bw.u32(vertIdx[v])
+			}
+		}
+		// Engine counters.
+		st := eng.Stats()
+		for _, v := range []int64{
+			st.EdgesProcessed, st.LeafSearches, st.LeafMatches,
+			st.RetroSearches, st.RetroMatches, st.CompleteMatches,
+			st.GraphEvicted,
+		} {
+			bw.i64(v)
+		}
+	}
+
+	if bw.err != nil {
+		return bw.err
+	}
+	return bw.w.Flush()
+}
+
+// LoadMulti reads a SaveMulti snapshot and returns a restored
+// multi-engine ready to continue the stream. The replica filter is
+// universal after load; callers that run filtered replicas must
+// re-apply SetReplicaFilter before ingesting.
+func LoadMulti(r io.Reader) (*core.MultiEngine, error) {
+	br := &reader{r: bufio.NewReader(r)}
+	head := make([]byte, len(multiMagic))
+	br.bytes(head)
+	if br.err == nil && string(head) != multiMagic {
+		return nil, fmt.Errorf("persist: bad multi magic %q", head)
+	}
+	if v := br.u32(); br.err == nil && v != multiVersion {
+		return nil, fmt.Errorf("persist: unsupported multi snapshot version %d", v)
+	}
+
+	window := br.i64()
+	evictEvery := int(br.u32())
+	sinceEvict := int(br.u32())
+	edgesSeen := br.i64()
+	stored := br.i64()
+	if br.err != nil {
+		return nil, br.err
+	}
+	m := core.NewMulti(core.MultiConfig{Window: window, EvictEvery: evictEvery})
+
+	// Shared vertices.
+	g := m.Graph()
+	nVerts := br.u32()
+	if br.err != nil {
+		return nil, br.err
+	}
+	vertID := make([]graph.VertexID, nVerts)
+	for i := range vertID {
+		name := br.str()
+		label := br.str()
+		if br.err != nil {
+			return nil, br.err
+		}
+		vertID[i] = g.EnsureVertex(name, label)
+	}
+	// Shared edges, re-added in the original arrival order so the
+	// eviction FIFO and relative arrival seqs are preserved.
+	nEdges := br.u32()
+	if br.err != nil {
+		return nil, br.err
+	}
+	edgeID := make([]graph.EdgeID, nEdges)
+	for i := range edgeID {
+		src := br.u32()
+		dst := br.u32()
+		typeName := br.str()
+		ts := br.i64()
+		if br.err != nil {
+			return nil, br.err
+		}
+		if src >= nVerts || dst >= nVerts {
+			return nil, fmt.Errorf("persist: edge %d references vertex out of range", i)
+		}
+		t := graph.TypeID(g.Types().Intern(typeName))
+		edgeID[i] = g.AddEdge(vertID[src], vertID[dst], t, ts)
+	}
+
+	nQueries := br.u32()
+	if br.err != nil {
+		return nil, br.err
+	}
+	for qi := uint32(0); qi < nQueries; qi++ {
+		name := br.str()
+		qText := br.str()
+		cfg := core.Config{
+			Strategy:            core.Strategy(br.u32()),
+			MaxMatchesPerSearch: int(br.u32()),
+			MaxWorkPerEdge:      br.i64(),
+			MaxStepsPerSearch:   br.i64(),
+			BatchWorkers:        int(br.u32()),
+			EvictEvery:          evictEvery,
+		}
+		nLeaves := br.u32()
+		if br.err != nil {
+			return nil, br.err
+		}
+		if nLeaves > 0 {
+			cfg.Leaves = make([][]int, nLeaves)
+			for i := range cfg.Leaves {
+				n := br.u32()
+				leaf := make([]int, n)
+				for j := range leaf {
+					leaf[j] = int(br.u32())
+				}
+				cfg.Leaves[i] = leaf
+			}
+		}
+		q, err := query.Parse(qText)
+		if err != nil {
+			return nil, fmt.Errorf("persist: query %q: %v", name, err)
+		}
+		if err := m.Register(name, q, cfg); err != nil {
+			return nil, fmt.Errorf("persist: re-registering %q: %v", name, err)
+		}
+		eng := m.QueryEngine(name)
+
+		// Stored partial matches.
+		nStored := br.u32()
+		if br.err != nil {
+			return nil, br.err
+		}
+		for i := uint32(0); i < nStored; i++ {
+			node := int(br.u32())
+			mt := iso.NewMatch(q)
+			nv := br.u32()
+			if br.err == nil && int(nv) != len(mt.VertexOf) {
+				return nil, fmt.Errorf("persist: %q match %d has %d vertex slots, query has %d", name, i, nv, len(mt.VertexOf))
+			}
+			for j := range mt.VertexOf {
+				if idx := br.u32(); idx != noIdx {
+					if idx >= nVerts {
+						return nil, fmt.Errorf("persist: %q match %d binds unknown vertex %d", name, i, idx)
+					}
+					mt.VertexOf[j] = vertID[idx]
+				}
+			}
+			ne := br.u32()
+			if br.err == nil && int(ne) != len(mt.EdgeOf) {
+				return nil, fmt.Errorf("persist: %q match %d has %d edge slots, query has %d", name, i, ne, len(mt.EdgeOf))
+			}
+			for j := range mt.EdgeOf {
+				if idx := br.u32(); idx != noIdx {
+					if idx >= nEdges {
+						return nil, fmt.Errorf("persist: %q match %d binds unknown edge %d", name, i, idx)
+					}
+					mt.EdgeOf[j] = edgeID[idx]
+				}
+			}
+			mt.MinTS = br.i64()
+			mt.MaxTS = br.i64()
+			if br.err != nil {
+				return nil, br.err
+			}
+			if eng.Tree() == nil {
+				return nil, fmt.Errorf("persist: %q has stored matches but strategy %v builds no tree", name, cfg.Strategy)
+			}
+			if err := eng.Tree().RestoreStored(node, mt); err != nil {
+				return nil, err
+			}
+		}
+		// Lazy bitmap.
+		nBits := br.u32()
+		if br.err != nil {
+			return nil, br.err
+		}
+		bits := make(map[graph.VertexID]uint64, nBits)
+		for i := uint32(0); i < nBits; i++ {
+			idx := br.u32()
+			b := br.u64()
+			if br.err != nil {
+				return nil, br.err
+			}
+			if idx >= nVerts {
+				return nil, fmt.Errorf("persist: %q bitmap references unknown vertex %d", name, idx)
+			}
+			bits[vertID[idx]] = b
+		}
+		eng.RestoreLazyBits(bits)
+		// Queued retrospective work.
+		nRetroLeaves := br.u32()
+		if br.err != nil {
+			return nil, br.err
+		}
+		if nRetroLeaves > 0 {
+			perLeaf := make([][]graph.VertexID, nRetroLeaves)
+			for l := range perLeaf {
+				n := br.u32()
+				if br.err != nil {
+					return nil, br.err
+				}
+				if n == 0 {
+					continue
+				}
+				vs := make([]graph.VertexID, n)
+				for j := range vs {
+					idx := br.u32()
+					if br.err != nil {
+						return nil, br.err
+					}
+					if idx >= nVerts {
+						return nil, fmt.Errorf("persist: %q retro queue references unknown vertex %d", name, idx)
+					}
+					vs[j] = vertID[idx]
+				}
+				perLeaf[l] = vs
+			}
+			eng.RestorePendingRetro(perLeaf)
+		}
+		// Engine counters.
+		var st core.Stats
+		st.EdgesProcessed = br.i64()
+		st.LeafSearches = br.i64()
+		st.LeafMatches = br.i64()
+		st.RetroSearches = br.i64()
+		st.RetroMatches = br.i64()
+		st.CompleteMatches = br.i64()
+		st.GraphEvicted = br.i64()
+		if br.err != nil {
+			return nil, br.err
+		}
+		eng.RestoreStats(st)
+	}
+
+	m.RestoreEvictClock(sinceEvict, edgesSeen, stored)
+	return m, nil
+}

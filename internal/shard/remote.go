@@ -20,6 +20,21 @@
 // replay suppressed). The EdgeLog is pinned against trimming below
 // each live remote registration's window floor and below the oldest
 // unacknowledged batch, which is exactly the replay entitlement.
+//
+// Snapshots bound the entitlement. Left alone, the replay pin is
+// unbounded: a live registration's floor is frozen at registration
+// time, so a long-lived remote registration holds the log forever (the
+// PR 5 failure mode). The router therefore periodically sends a
+// checkpoint frame down the same ordered pipeline; the worker answers
+// with a serialized image of its whole engine. Because the pipeline is
+// FIFO over a single connection, when the checkpoint's done frame
+// arrives every previously acknowledged frame is inside the snapshot
+// and everything after it is tail — so the proxy retires every
+// acknowledged control event, records the snapshot's stream position
+// (deliveredEnd at that instant), and the pin floor recomputes from
+// only the uncovered remainder. A reconnect then sends the snapshot
+// back in a restore frame and replays just the log tail past the
+// snapshot position, instead of the whole history.
 package shard
 
 import (
@@ -106,6 +121,7 @@ type inflightFrame struct {
 	suppress  bool
 	closing   bool
 	matches   []Match
+	snapData  []byte // msgCheckpoint: the snapshot frame's payload
 }
 
 // remoteSlot is the router-side proxy for one remote shard slot.
@@ -120,6 +136,11 @@ type remoteSlot struct {
 	// change (control admissions, retirements, acknowledgments).
 	pin atomic.Int64
 
+	// cover caches the snapshot's stream position (MaxUint64 while no
+	// snapshot exists) so the router's ingest-path trim reads the
+	// seq-based pin with one atomic load, like pin.
+	cover atomic.Uint64
+
 	mu           sync.Mutex
 	frameID      uint64
 	events       []*remoteEvent          // admitted, non-retired, seq order
@@ -128,11 +149,29 @@ type remoteSlot struct {
 	spans        []remoteSpan
 	deliveredEnd uint64
 	inflight     []inflightFrame
+
+	// The latest engine snapshot the worker produced: the opaque image,
+	// the stream position it covers (deliveredEnd when its checkpoint
+	// was acknowledged), and the replica filter it embeds. A reconnect
+	// restores it and replays only the log tail past snapSeq.
+	snap          []byte
+	snapSeq       uint64
+	snapUniversal bool
+	snapTypes     []string
+	// ackUniversal/ackTypes track the replica filter as of the last
+	// acknowledged control event — exactly what a snapshot taken at the
+	// current pipeline position embeds. Recorded at checkpoint
+	// acknowledgment so the rebuild's admits-union always includes the
+	// snapshot engine's own filter.
+	ackUniversal bool
+	ackTypes     []string
 }
 
 func newRemoteSlot(w *worker, addr string, pendingCap int) *remoteSlot {
 	rs := &remoteSlot{w: w, addr: addr, pendingCap: pendingCap, regs: make(map[string]*remoteEvent)}
 	rs.pin.Store(math.MaxInt64)
+	rs.cover.Store(math.MaxUint64)
+	rs.ackUniversal = !w.r.filtering
 	return rs
 }
 
@@ -185,11 +224,21 @@ func (rs *remoteSlot) noteEnqueuedEdges(base, end uint64, minTS int64) {
 }
 
 // pinFloor reports the oldest timestamp the EdgeLog must retain for
-// this slot: the window floor of every live registration (a reconnect
-// re-backfills from the registration floor) and the oldest
-// unacknowledged batch. MaxInt64 when nothing is pinned. Lock-free —
-// the router calls it on every windowed ingest.
+// this slot: the window floor of every uncovered registration (a
+// reconnect re-backfills from the registration floor until a snapshot
+// covers it) and the oldest unacknowledged batch. MaxInt64 when
+// nothing is pinned. Lock-free — the router calls it on every windowed
+// ingest.
 func (rs *remoteSlot) pinFloor() int64 { return rs.pin.Load() }
+
+// coveredSeq reports the stream position the slot's engine snapshot
+// covers — the EdgeLog must retain every segment past it for the
+// reconnect tail replay, which must be gap-free (a skipped batch would
+// shift the restored engine's eviction clock off the serial schedule).
+// MaxUint64 while no snapshot exists: then nothing is pinned by seq
+// and the slot's entitlement is purely the timestamp floor above.
+// Lock-free, read on every windowed ingest.
+func (rs *remoteSlot) coveredSeq() uint64 { return rs.cover.Load() }
 
 // recomputePinLocked refreshes the cached pin floor. Caller holds
 // rs.mu.
@@ -204,6 +253,19 @@ func (rs *remoteSlot) recomputePinLocked() {
 		floor = rs.spans[0].minTS
 	}
 	rs.pin.Store(floor)
+}
+
+// oldestUnackedBase reports the base seq of the oldest unacknowledged
+// edge batch (MaxUint64 when none): the durable log must retain from
+// it onward so a reconnect replay can resend those batches. Not a hot
+// path — only the checkpoint round reads it.
+func (rs *remoteSlot) oldestUnackedBase() uint64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.spans) == 0 {
+		return math.MaxUint64
+	}
+	return rs.spans[0].base
 }
 
 func (rs *remoteSlot) pendingSpans() int {
@@ -241,6 +303,7 @@ func (rs *remoteSlot) retireLocked(ev *remoteEvent) {
 type recvMsg struct {
 	match *dshard.Match
 	done  *dshard.Done
+	snap  *dshard.Snapshot
 }
 
 // rebuildResult reports a finished rebuild: the log position replay
@@ -458,6 +521,15 @@ func (rs *remoteSlot) reader(conn *dshard.Conn, recv chan recvMsg) {
 				return
 			}
 			recv <- recvMsg{done: &d}
+		case dshard.FrameSnapshot:
+			m, err := dshard.DecodeSnapshot(body)
+			if err != nil {
+				return
+			}
+			// Data aliases the connection read buffer; the slot retains
+			// the snapshot across frames (and connections), so copy.
+			m.Data = append([]byte(nil), m.Data...)
+			recv <- recvMsg{snap: &m}
 		default:
 			return
 		}
@@ -498,6 +570,14 @@ func (rs *remoteSlot) sendLive(conn *dshard.Conn, msg message, sentEnd *uint64) 
 			return true
 		}
 		return rs.sendEvent(conn, ev, false)
+	case msgCheckpoint:
+		if conn == nil {
+			// Nothing to snapshot against; the next cadence round (or
+			// the round after the reconnect) re-requests.
+			return true
+		}
+		id := rs.pushInflight(inflightFrame{kind: msgCheckpoint})
+		return conn.WriteCheckpoint(dshard.Checkpoint{Frame: id}) == nil
 	}
 	return true
 }
@@ -624,6 +704,10 @@ func (rs *remoteSlot) rebuild(conn *dshard.Conn, done chan rebuildResult) {
 	events := append([]*remoteEvent(nil), rs.events...)
 	spans := append([]remoteSpan(nil), rs.spans...)
 	delivered := rs.deliveredEnd
+	snap := rs.snap
+	snapSeq := rs.snapSeq
+	snapUniversal := rs.snapUniversal
+	snapTypes := append([]string(nil), rs.snapTypes...)
 	var segs []logBatch
 	var logEnd uint64
 	rs.w.r.log.EachSegment(func(edges []stream.Edge, base uint64) bool {
@@ -633,8 +717,39 @@ func (rs *remoteSlot) rebuild(conn *dshard.Conn, done chan rebuildResult) {
 	})
 	rs.mu.Unlock()
 
-	replayUniversal := !rs.w.r.filtering
+	fail := func(err error) { done <- rebuildResult{err: err} }
+	if snap != nil {
+		// Restore the snapshot before any replayed traffic, then replay
+		// only the tail past its position. The covered log prefix is
+		// dropped here (a straddling segment is sliced — snapSeq is a
+		// wire-chunk boundary, which may fall mid-batch); every retained
+		// control event is uncovered and therefore at seq >= snapSeq, so
+		// the seq-interleaved walk below is unchanged.
+		id := rs.pushInflight(inflightFrame{kind: msgRestore})
+		if conn.WriteRestore(dshard.Restore{Frame: id, Data: snap}) != nil {
+			fail(net.ErrClosed)
+			return
+		}
+		for len(segs) > 0 {
+			end := segs[0].base + uint64(len(segs[0].edges))
+			if end <= snapSeq {
+				segs = segs[1:]
+				continue
+			}
+			if segs[0].base < snapSeq {
+				segs[0] = logBatch{edges: segs[0].edges[snapSeq-segs[0].base:], base: snapSeq}
+			}
+			break
+		}
+	}
+
+	replayUniversal := !rs.w.r.filtering || snapUniversal
 	replayTypes := make(map[string]bool)
+	for _, tp := range snapTypes {
+		// The snapshot engine's own filter: a tail segment it admits
+		// must replay even when no retained control event covers it.
+		replayTypes[tp] = true
+	}
 	for _, ev := range events {
 		if ev.msg.postUniversal {
 			replayUniversal = true
@@ -668,7 +783,6 @@ func (rs *remoteSlot) rebuild(conn *dshard.Conn, done chan rebuildResult) {
 		return false
 	}
 
-	fail := func(err error) { done <- rebuildResult{err: err} }
 	si := 0
 	for _, ev := range events {
 		for si < len(segs) && segs[si].base < ev.seq {
@@ -721,6 +835,16 @@ func (rs *remoteSlot) handleRecv(rm recvMsg) (finished, ok bool) {
 		rs.mu.Unlock()
 		return false, true
 	}
+	if rm.snap != nil {
+		rs.mu.Lock()
+		if len(rs.inflight) == 0 || rs.inflight[0].id != rm.snap.Frame || rs.inflight[0].kind != msgCheckpoint {
+			rs.mu.Unlock()
+			return false, false
+		}
+		rs.inflight[0].snapData = rm.snap.Data
+		rs.mu.Unlock()
+		return false, true
+	}
 	d := rm.done
 	rs.mu.Lock()
 	if len(rs.inflight) == 0 || rs.inflight[0].id != d.Frame {
@@ -729,12 +853,16 @@ func (rs *remoteSlot) handleRecv(rm recvMsg) (finished, ok bool) {
 	}
 	f := rs.inflight[0]
 	rs.inflight = rs.inflight[1:]
+	var reply chan error
+	var replyErr error
 	switch {
-	case f.closing:
-		rs.mu.Unlock()
-	case f.kind == msgBackfill:
-		// A backfill continuation: no matches, no stream position.
-		rs.mu.Unlock()
+	case f.closing, f.kind == msgBackfill, f.kind == msgRestore:
+		// No stream position and no retained event to settle. (A failed
+		// restore never reaches here: the worker kills the connection
+		// instead of acknowledging a state it did not adopt, and
+		// connLost clears the inflight FIFO.)
+	case f.kind == msgCheckpoint:
+		rs.adoptSnapshotLocked(f.snapData)
 	case f.kind == msgEdges:
 		if f.end > rs.deliveredEnd {
 			rs.deliveredEnd = f.end
@@ -743,7 +871,6 @@ func (rs *remoteSlot) handleRecv(rm recvMsg) (finished, ok bool) {
 			rs.spans = rs.spans[1:]
 		}
 		rs.recomputePinLocked()
-		rs.mu.Unlock()
 	default: // control frame
 		ev := f.ev
 		first := !ev.acked
@@ -752,20 +879,36 @@ func (rs *remoteSlot) handleRecv(rm recvMsg) (finished, ok bool) {
 			if ev.kind == msgUnregister || d.Err != "" {
 				rs.retireLocked(ev)
 			}
-		}
-		replied := ev.replied
-		ev.replied = true
-		rs.mu.Unlock()
-		if !replied && ev.msg.reply != nil {
-			var err error
-			if d.Err != "" {
-				err = remoteRegisterError(d.Err)
+			if d.Err == "" {
+				// The worker applied this event's post-filter; a
+				// snapshot taken at the current pipeline position will
+				// embed it.
+				rs.ackUniversal = ev.msg.postUniversal
+				rs.ackTypes = ev.msg.postTypes
 			}
-			ev.msg.reply <- err
+		}
+		if !ev.replied {
+			ev.replied = true
+			reply = ev.msg.reply
+			if d.Err != "" {
+				replyErr = remoteRegisterError(d.Err)
+			}
 		}
 		if !first {
 			f.matches = nil // matches of an already-delivered event were suppressed
 		}
+	}
+	if !f.suppress && w.bundles == nil {
+		// Account the delivery before the span pop becomes visible
+		// outside the lock: the durable checkpoint barrier (shard.go's
+		// checkpointRound) reads the emitted counter after observing the
+		// spans, and must never see an edge unpinned while its matches
+		// are still uncounted.
+		w.r.emitted.Add(int64(len(f.matches)))
+	}
+	rs.mu.Unlock()
+	if reply != nil {
+		reply <- replyErr
 	}
 	w.replicaLive.Store(d.Live)
 	w.replicaStored.Store(d.Stored)
@@ -777,6 +920,44 @@ func (rs *remoteSlot) handleRecv(rm recvMsg) (finished, ok bool) {
 		rs.deliver(f)
 	}
 	return f.closing, true
+}
+
+// adoptSnapshotLocked installs a checkpoint's snapshot at the moment
+// its done frame pops, when deliveredEnd is exactly the stream
+// position the worker's engine had processed when it serialized
+// itself (the request pipeline is FIFO over one connection, so every
+// edge frame acknowledged before the checkpoint is inside the image
+// and everything after it is tail). nil data means the worker skipped
+// the snapshot (image over the frame limit): keep the previous one —
+// checkpointing is best-effort and the old entitlement stays pinned.
+// Caller holds rs.mu.
+func (rs *remoteSlot) adoptSnapshotLocked(data []byte) {
+	if data == nil {
+		return
+	}
+	rs.snap = data
+	rs.snapSeq = rs.deliveredEnd
+	rs.snapUniversal = rs.ackUniversal
+	rs.snapTypes = append([]string(nil), rs.ackTypes...)
+	rs.cover.Store(rs.snapSeq)
+	// Retire every acknowledged control event: acknowledged before the
+	// checkpoint means processed before the snapshot was taken, so the
+	// image embeds its effect and a reconnect replay no longer needs
+	// it. regs and liveRegs are untouched — the registrations are still
+	// live, their replay entitlement is just the snapshot now. This is
+	// what un-freezes the pin floor: the retired register events'
+	// registration-time window floors stop holding the EdgeLog.
+	kept := rs.events[:0]
+	for _, ev := range rs.events {
+		if !ev.acked {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(rs.events); i++ {
+		rs.events[i] = nil
+	}
+	rs.events = kept
+	rs.recomputePinLocked()
 }
 
 // deliver forwards one acknowledged frame's matches: per-seq bundles

@@ -94,13 +94,23 @@ func (l *EdgeLog) Append(ses []stream.Edge, baseSeq uint64) {
 }
 
 // TrimBefore drops leading segments whose every edge has timestamp <
-// cutoff. Like graph eviction it stops at the first segment that must
-// be kept, so an out-of-order old segment behind a newer one is
-// dropped on a later call. Only the appender may trim. It returns the
-// number of segments dropped.
-func (l *EdgeLog) TrimBefore(cutoff int64) int {
+// cutoff AND whose every arrival seq is below keepSeq. Like graph
+// eviction it stops at the first segment that must be kept, so an
+// out-of-order old segment behind a newer one is dropped on a later
+// call. Only the appender may trim. It returns the number of segments
+// dropped.
+//
+// keepSeq is the seq-based pin the snapshot protocol introduces: a
+// remote slot holding an engine snapshot at stream position S replays
+// only the log tail past S after a reconnect, so every segment at or
+// beyond the oldest such S must survive even when its timestamps have
+// left the window (the tail replay must be gap-free — a skipped batch
+// would shift the restored engine's eviction clock off the serial
+// schedule). Pass ^uint64(0) to pin nothing by seq.
+func (l *EdgeLog) TrimBefore(cutoff int64, keepSeq uint64) int {
 	k := 0
-	for k < len(l.segs) && l.segs[k].maxTS < cutoff {
+	for k < len(l.segs) && l.segs[k].maxTS < cutoff &&
+		l.segs[k].baseSeq+uint64(len(l.segs[k].edges)) <= keepSeq {
 		k++
 	}
 	if k == 0 {
@@ -123,6 +133,28 @@ func (l *EdgeLog) TrimBefore(cutoff int64) int {
 
 // Segments reports the current segment count (diagnostics).
 func (l *EdgeLog) Segments() int { return len(l.view.Load().segs) }
+
+// FirstSeq reports the arrival seq of the oldest retained edge, and
+// false when the log is empty. The pin-advance test watches it move
+// past a long-lived registration's window floor once checkpoints
+// retire the reconnect entitlement.
+func (l *EdgeLog) FirstSeq() (uint64, bool) {
+	segs := l.view.Load().segs
+	if len(segs) == 0 {
+		return 0, false
+	}
+	return segs[0].baseSeq, true
+}
+
+// NumEdges reports the number of retained edges (diagnostics: the live
+// in-memory log size, a proxy for the bytes the log pins).
+func (l *EdgeLog) NumEdges() int {
+	n := 0
+	for _, seg := range l.view.Load().segs {
+		n += len(seg.edges)
+	}
+	return n
+}
 
 // MaxTS reports the largest timestamp appended so far.
 func (l *EdgeLog) MaxTS() int64 { return l.view.Load().maxTS }

@@ -36,7 +36,10 @@ func TestEdgeLogAppendTrimReplay(t *testing.T) {
 	if want := []uint64{1, 2, 3, 4}; fmt.Sprint(seqs) != fmt.Sprint(want) {
 		t.Fatalf("Replay saw seqs %v, want %v", seqs, want)
 	}
-	if dropped := l.TrimBefore(4); dropped != 1 {
+	if dropped := l.TrimBefore(4, 1); dropped != 0 {
+		t.Fatalf("TrimBefore with keepSeq 1 dropped %d segments, want 0", dropped)
+	}
+	if dropped := l.TrimBefore(4, ^uint64(0)); dropped != 1 {
 		t.Fatalf("TrimBefore dropped %d segments, want 1", dropped)
 	}
 	if got := l.Segments(); got != 2 {
@@ -88,7 +91,7 @@ func TestEdgeLogConcurrentReplay(t *testing.T) {
 		l.Append(batch, seq)
 		seq++
 		if i%7 == 0 {
-			l.TrimBefore(int64(i) - 100)
+			l.TrimBefore(int64(i)-100, ^uint64(0))
 		}
 	}
 	close(done)

@@ -67,6 +67,7 @@ import (
 
 	"streamgraph/internal/core"
 	"streamgraph/internal/decompose"
+	"streamgraph/internal/edlog"
 	"streamgraph/internal/graph"
 	"streamgraph/internal/metrics"
 	"streamgraph/internal/query"
@@ -123,6 +124,25 @@ type Config struct {
 	// replay); beyond it the slot's queue backpressures ingestion,
 	// exactly like a slow local shard.
 	RemotePending int
+
+	// DataDir, when set (via Open — New ignores it), makes the runtime
+	// durable: every admitted batch is appended to a segment-backed
+	// edge log on disk (internal/edlog) and every CheckpointEvery edges
+	// the router checkpoints each slot's engine plus its own registry,
+	// so a crashed process restarts from snapshot + log tail instead of
+	// losing the stream. See docs/PERSISTENCE.md. Durable mode requires
+	// Ordered to be false (a restart replays matches at least once, in
+	// completion order).
+	DataDir string
+	// CheckpointEvery is the checkpoint cadence in admitted edges
+	// (default 4096). It also paces the remote snapshot requests that
+	// bound the reconnect-replay pin — those run whenever the topology
+	// has remote slots, durable or not.
+	CheckpointEvery int
+	// SegmentBytes caps one durable log segment file (default
+	// edlog.DefaultSegmentBytes). Tests use small segments to force
+	// rotation and trimming on small workloads.
+	SegmentBytes int64
 }
 
 // Binding is one resolved vertex of a match: query vertex name to data
@@ -215,6 +235,15 @@ const (
 	// msgBackfill never rides the queues; it tags a remote slot's
 	// in-flight backfill-continuation frames (remote.go).
 	msgBackfill
+	// msgCheckpoint asks a slot to capture a durable snapshot of its
+	// engine: a local worker writes its slot checkpoint file and
+	// replies, a remote slot requests a state snapshot over the wire
+	// (remote.go) — which is what retires its replay entitlement and
+	// lets the EdgeLog pin advance.
+	msgCheckpoint
+	// msgRestore never rides the queues; it tags a remote slot's
+	// in-flight state-restore frame on a reconnect.
+	msgRestore
 )
 
 // message is one entry of a shard's ingest queue: a broadcast edge
@@ -292,6 +321,22 @@ type Router struct {
 	floors     map[uint64]int64
 	floorToken uint64
 
+	// Durable state (all guarded by ingestMu except the counters).
+	dlog       *edlog.Log         // nil unless opened with a DataDir
+	dregs      map[string]metaReg // durable registry: what router.meta records
+	sinceCkpt  int                // edges admitted since the last checkpoint round
+	ckptSeq    uint64             // stream position of the last completed round
+	persistErr error              // first durable-write failure; checkpoints stop
+
+	// emitted counts matches handed to the collection channel (or
+	// accounted for delivery under a remote slot's lock); consumed
+	// counts matches a Drain callback has fully processed. The durable
+	// checkpoint barrier waits for consumed to catch emitted before
+	// committing a round's metadata, so a checkpoint never covers a
+	// match the consumer has not durably seen (shard.go:checkpointRound).
+	emitted  atomic.Int64
+	consumed atomic.Int64
+
 	// mu guards the registry metadata only and is never held across a
 	// queue send, so Stats/Registered stay responsive while a
 	// backpressured ingest is blocked.
@@ -356,8 +401,19 @@ type worker struct {
 }
 
 // New starts a router and its shard workers (local goroutines for the
-// first Config.Shards slots, remote proxies for Config.Remotes).
+// first Config.Shards slots, remote proxies for Config.Remotes). The
+// runtime is volatile: Config.DataDir is ignored — use Open for the
+// durable, crash-recoverable runtime.
 func New(cfg Config) *Router {
+	r := newRouter(cfg)
+	r.start()
+	return r
+}
+
+// newRouter builds the router and its slots without starting any
+// goroutine, so Open can restore durable state into the workers'
+// engines first.
+func newRouter(cfg Config) *Router {
 	if cfg.Shards <= 0 {
 		if len(cfg.Remotes) > 0 {
 			cfg.Shards = 0 // all-remote topology
@@ -373,6 +429,9 @@ func New(cfg Config) *Router {
 	}
 	if cfg.RemotePending <= 0 {
 		cfg.RemotePending = 1024
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 4096
 	}
 	r := &Router{
 		cfg:       cfg,
@@ -425,6 +484,13 @@ func New(cfg Config) *Router {
 			w.bundles = make(chan bundle, cfg.QueueLen)
 		}
 		r.workers = append(r.workers, w)
+	}
+	return r
+}
+
+// start launches the worker goroutines (and the ordered merge).
+func (r *Router) start() {
+	for _, w := range r.workers {
 		r.wg.Add(1)
 		if w.remote != nil {
 			go w.remote.run()
@@ -432,11 +498,10 @@ func New(cfg Config) *Router {
 			go w.run()
 		}
 	}
-	if cfg.Ordered {
+	if r.cfg.Ordered {
 		r.mergeDone = make(chan struct{})
 		go r.mergeOrdered()
 	}
-	return r
 }
 
 // isRemote reports whether the slot proxies a remote shard worker.
@@ -629,6 +694,22 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 		}
 		r.mu.Unlock()
 	}
+	if err == nil && r.dlog != nil {
+		// A registration is durable once Register returns: record it in
+		// the durable registry and commit a checkpoint round now, so a
+		// crash after this point can never resurrect the router without
+		// the query (the recovery path relies on it — see Open).
+		r.ingestMu.Lock()
+		r.dregs[name] = metaReg{
+			name: name, slot: w.id, rank: rank,
+			fpTypes: fpTypes, fpExact: fpExact,
+			query: q.String(), cfg: cfg,
+		}
+		if !r.closed {
+			r.checkpointRound()
+		}
+		r.ingestMu.Unlock()
+	}
 	return err
 }
 
@@ -712,6 +793,16 @@ func (r *Router) Unregister(name string) {
 	w.in <- msg
 	r.ingestMu.Unlock()
 	<-msg.reply
+	if r.dlog != nil {
+		// Mirror Register: the removal is durable once Unregister
+		// returns, or a restart would resurrect the query.
+		r.ingestMu.Lock()
+		delete(r.dregs, name)
+		if !r.closed {
+			r.checkpointRound()
+		}
+		r.ingestMu.Unlock()
+	}
 }
 
 // Registered returns the registered query names in registration order.
@@ -744,15 +835,29 @@ func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
 	}
 	base := r.seq.Load()
 	r.seq.Store(base + uint64(len(ses)))
+	if r.dlog != nil && r.persistErr == nil {
+		// Append to the durable log before any worker can observe the
+		// batch, so a checkpoint acknowledging it always finds it on
+		// disk. A write failure (disk full, permission flip) stops all
+		// further durable progress — appends and checkpoint rounds both
+		// — rather than let a later checkpoint cover unlogged edges;
+		// the stream keeps flowing in-memory and PersistErr reports it.
+		if err := r.dlog.Append(ses, base); err != nil {
+			r.persistErr = err
+		}
+	}
 	if r.log != nil {
 		r.log.Append(ses, base)
 		if r.cfg.Window > 0 {
 			// Trim to the window, but never past the floor of an
 			// in-flight registration whose backfill has yet to read its
 			// log snapshot on the owning shard, nor past what a remote
-			// slot is entitled to replay after a reconnect (its live
-			// registrations' floors and its unacknowledged batches).
+			// slot is entitled to replay after a reconnect (its
+			// uncovered registrations' floors and its unacknowledged
+			// batches), nor — by seq — past the oldest remote engine
+			// snapshot, whose reconnect tail replay must be gap-free.
 			cutoff := r.log.MaxTS() - r.cfg.Window + 1
+			keep := ^uint64(0)
 			for _, floor := range r.floors {
 				if floor < cutoff {
 					cutoff = floor
@@ -765,8 +870,11 @@ func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
 				if floor := w.remote.pinFloor(); floor < cutoff {
 					cutoff = floor
 				}
+				if s := w.remote.coveredSeq(); s < keep {
+					keep = s
+				}
 			}
-			r.log.TrimBefore(cutoff)
+			r.log.TrimBefore(cutoff, keep)
 		}
 		r.stats.AddAll(ses)
 	}
@@ -796,6 +904,17 @@ func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
 			w.remote.noteEnqueuedEdges(base, base+uint64(len(ses)), batchMinTS)
 		}
 		w.in <- msg
+	}
+	if r.dlog != nil || (r.hasRemote && !r.cfg.Ordered) {
+		// Checkpoint cadence: durable rounds when a data dir is open,
+		// and remote snapshot requests (the pin-advance mechanism)
+		// whenever the topology has remote slots — those are worthwhile
+		// even in a volatile runtime, since the reconnect entitlement
+		// would otherwise pin the in-memory log forever.
+		if r.sinceCkpt += len(ses); r.sinceCkpt >= r.cfg.CheckpointEvery {
+			r.sinceCkpt = 0
+			r.checkpointRound()
+		}
 	}
 	return base
 }
@@ -855,6 +974,14 @@ func (r *Router) Close() {
 		r.ingestMu.Unlock()
 		return
 	}
+	if r.dlog != nil {
+		// Final durable point before the queues close. The close-time
+		// retro flush below happens after it — harmless: the checkpoint
+		// carries the pending repairs, and a restarted router's own
+		// Close re-flushes them (at-least-once, like every delivery
+		// across a restart).
+		r.checkpointRound()
+	}
 	r.closed = true
 	for _, w := range r.workers {
 		close(w.in)
@@ -865,6 +992,9 @@ func (r *Router) Close() {
 		<-r.mergeDone
 	}
 	close(r.out)
+	if r.dlog != nil {
+		r.dlog.Close()
+	}
 }
 
 // Drain consumes the collection channel until it closes, invoking fn
@@ -883,6 +1013,11 @@ func (r *Router) Drain(fn func(Match)) int64 {
 		if fn != nil {
 			fn(m)
 		}
+		// Consumed only after fn returned: the durable checkpoint
+		// barrier keys off this counter, so "covered by a checkpoint"
+		// implies "the consumer's callback completed" — e.g. its write
+		// reached the OS — before the round's metadata committed.
+		r.consumed.Add(1)
 	}
 	return n
 }
@@ -911,6 +1046,7 @@ func (r *Router) mergeOrdered() {
 		}
 		sort.SliceStable(batch, func(i, j int) bool { return batch[i].rank < batch[j].rank })
 		for _, m := range batch {
+			r.emitted.Add(1)
 			r.out <- m
 		}
 	}
@@ -946,6 +1082,13 @@ func (w *worker) run() {
 			if msg.reply != nil {
 				msg.reply <- nil
 			}
+		case msgCheckpoint:
+			// Serialize the engine at this queue position — a message
+			// boundary, so no batch is mid-flight — and persist it as
+			// the slot's checkpoint. Deliberately NOT a flushRetro
+			// point: snapshotting must not mutate engine state, or the
+			// restored run would diverge from the serial schedule.
+			msg.reply <- w.writeCheckpoint(msg.seq)
 		}
 	}
 	// The stream is over; drain any repairs the serial schedule would
@@ -1082,6 +1225,7 @@ func (w *worker) processEdges(msg message) {
 
 func (w *worker) out(m Match) {
 	w.matchesEmitted.Inc()
+	w.r.emitted.Add(1)
 	w.r.out <- m
 }
 

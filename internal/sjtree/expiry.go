@@ -90,8 +90,10 @@ func (t *Tree) expireNode(n *Node, cutoff int64) int {
 			t.stats.ExpireScanned++
 			if m.MinTS < cutoff {
 				removed++
+				// Unindex before recycling: the seen entry aliases the
+				// match's backing arrays.
 				if t.Dedup && n.seen != nil {
-					decSeen(n, t.sigHash(n, m))
+					removeSeen(n, t.sigHash(n, m), m)
 				}
 				// Stored matches are exclusively owned by the table
 				// (Insert transfers ownership), so their backing arrays

@@ -48,13 +48,16 @@ type Node struct {
 	// re-check cut-binding equality explicitly so a hash collision can
 	// only cost a skipped comparison, never a wrong join.
 	table map[uint64][]iso.Match
-	// seen counts live stored matches per binding-signature hash for
-	// O(1) duplicate suppression when the tree's Dedup flag is set
-	// (Lazy Search re-discovers matches). A count hit is verified
-	// against the actual bucket before a match is suppressed, so
-	// signature collisions cannot drop genuine matches. Entries expire
-	// with their matches.
-	seen map[uint64]int32
+	// seen indexes the live stored matches by binding-signature hash
+	// for O(1) duplicate suppression when the tree's Dedup flag is set
+	// (Lazy Search re-discovers matches). It holds the first live match
+	// per hash; seenOver carries the rare hash-colliding rest. A probe
+	// verifies sigEqual against the indexed match itself — never the
+	// table bucket, whose length is unbounded at hub vertices — so a
+	// signature collision can only cost an overflow scan, never a wrong
+	// suppression. Entries are removed as their matches expire.
+	seen     map[uint64]iso.Match
+	seenOver map[uint64][]iso.Match
 	// exp indexes every stored match by MinTS for incremental window
 	// expiry (see expiry.go).
 	exp []expEntry
@@ -338,14 +341,16 @@ func (t *Tree) update(node *Node, m iso.Match, emit func(iso.Match), onStored On
 
 	// A duplicate insert must be a complete no-op: re-probing the
 	// sibling would re-emit every join this match already produced. A
-	// signature-hash hit alone is not proof — the candidate bucket is
-	// scanned for a byte-equal binding, so a collision cannot suppress
-	// a genuine match. (A true duplicate always lives in bucket k: its
-	// cut bindings are derived from the same data edges.)
+	// signature-hash hit alone is not proof — the indexed match (and
+	// any hash-colliding overflow) is compared binding-for-binding, so
+	// a collision cannot suppress a genuine match. The probe never
+	// touches the table bucket itself: hub-vertex buckets grow with the
+	// window, and the previous bucket scan made every duplicate cost
+	// O(bucket) right where duplicates are most frequent.
 	var sig uint64
 	if t.Dedup {
 		sig = t.sigHash(node, m)
-		if node.seen[sig] > 0 && bucketHasSig(node, node.table[k], m) {
+		if seenHasSig(node, sig, m) {
 			t.stats.Deduped++
 			// Ownership of m transferred to the tree and it was not
 			// stored: recycle its arrays (Insert's contract forbids the
@@ -379,7 +384,7 @@ func (t *Tree) update(node *Node, m iso.Match, emit func(iso.Match), onStored On
 	node.table[k] = append(node.table[k], m)
 	heapPush(&node.exp, expEntry{ts: m.MinTS, key: k})
 	if t.Dedup {
-		incSeen(node, sig)
+		addSeen(node, sig, m)
 	}
 	t.stats.Inserted++
 	t.stats.Stored++
@@ -408,18 +413,6 @@ func (t *Tree) sigHash(node *Node, m iso.Match) uint64 {
 	return iso.HashMix64(h, uint64(m.MinTS))
 }
 
-// bucketHasSig reports whether the bucket holds a match with the exact
-// binding signature of m at node: equal data edges on every query edge
-// of the node and equal MinTS.
-func bucketHasSig(node *Node, bucket []iso.Match, m iso.Match) bool {
-	for _, ms := range bucket {
-		if sigEqual(node, m, ms) {
-			return true
-		}
-	}
-	return false
-}
-
 func sigEqual(node *Node, a, b iso.Match) bool {
 	if a.MinTS != b.MinTS {
 		return false
@@ -432,18 +425,76 @@ func sigEqual(node *Node, a, b iso.Match) bool {
 	return true
 }
 
-func incSeen(node *Node, sig uint64) {
-	if node.seen == nil {
-		node.seen = make(map[uint64]int32)
+// seenHasSig reports whether a live stored match with m's exact binding
+// signature exists at node: an O(1) index probe plus a scan of the
+// hash-colliding overflow (empty except under real 64-bit collisions or
+// the collide test hook).
+func seenHasSig(node *Node, sig uint64, m iso.Match) bool {
+	first, ok := node.seen[sig]
+	if !ok {
+		return false
 	}
-	node.seen[sig]++
+	if sigEqual(node, first, m) {
+		return true
+	}
+	for _, ms := range node.seenOver[sig] {
+		if sigEqual(node, ms, m) {
+			return true
+		}
+	}
+	return false
 }
 
-func decSeen(node *Node, sig uint64) {
-	if c := node.seen[sig]; c > 1 {
-		node.seen[sig] = c - 1
-	} else {
-		delete(node.seen, sig)
+// addSeen indexes a newly stored match. The match shares its backing
+// arrays with the table entry; removeSeen must run before the arrays
+// are recycled.
+func addSeen(node *Node, sig uint64, m iso.Match) {
+	if node.seen == nil {
+		node.seen = make(map[uint64]iso.Match)
+	}
+	if _, ok := node.seen[sig]; !ok {
+		node.seen[sig] = m
+		return
+	}
+	if node.seenOver == nil {
+		node.seenOver = make(map[uint64][]iso.Match)
+	}
+	node.seenOver[sig] = append(node.seenOver[sig], m)
+}
+
+// removeSeen drops the index entry for an expiring stored match,
+// promoting an overflow entry into the primary slot when one exists so
+// later probes still see every live match.
+func removeSeen(node *Node, sig uint64, m iso.Match) {
+	first, ok := node.seen[sig]
+	if !ok {
+		return
+	}
+	over := node.seenOver[sig]
+	if sigEqual(node, first, m) {
+		if n := len(over); n > 0 {
+			node.seen[sig] = over[n-1]
+			if n == 1 {
+				delete(node.seenOver, sig)
+			} else {
+				node.seenOver[sig] = over[:n-1]
+			}
+		} else {
+			delete(node.seen, sig)
+		}
+		return
+	}
+	for i, ms := range over {
+		if sigEqual(node, ms, m) {
+			last := len(over) - 1
+			over[i] = over[last]
+			if last == 0 {
+				delete(node.seenOver, sig)
+			} else {
+				node.seenOver[sig] = over[:last]
+			}
+			return
+		}
 	}
 }
 
@@ -536,7 +587,7 @@ func (t *Tree) RestoreStored(nodeID int, m iso.Match) error {
 	node.table[k] = append(node.table[k], m)
 	heapPush(&node.exp, expEntry{ts: m.MinTS, key: k})
 	if t.Dedup {
-		incSeen(node, t.sigHash(node, m))
+		addSeen(node, t.sigHash(node, m), m)
 	}
 	t.stats.Stored++
 	if t.stats.Stored > t.stats.PeakStored {
@@ -572,6 +623,7 @@ func (t *Tree) ExpireBefore(cutoff int64) int {
 func (t *Tree) DropDedupState() {
 	for _, n := range t.Nodes {
 		n.seen = nil
+		n.seenOver = nil
 	}
 }
 
