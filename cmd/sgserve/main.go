@@ -32,6 +32,12 @@
 // registered queries and in-window graph state from disk. SIGINT and
 // SIGTERM shut down gracefully — drain the shards, commit a final
 // checkpoint, exit 0. See docs/PERSISTENCE.md.
+//
+// With -http addr the server additionally serves its observability
+// endpoints on that address: /metrics (Prometheus text format),
+// /debug/pprof/ and /debug/vars. The richer wire command "stats full"
+// dumps the same registry over the line protocol. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +64,7 @@ func main() {
 		remote     = flag.String("remote", "", "comma-separated remote shard worker addresses (sgshard processes); each becomes one shard slot alongside the -shards local workers and selects the sharded runtime even with -shards 0")
 		dataDir    = flag.String("data-dir", "", "durable data directory: append edges to a segment-backed log and checkpoint engines there, recovering queries and in-window state on restart (selects the sharded runtime; see docs/PERSISTENCE.md)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "durable checkpoint cadence in edges (default 4096; requires -data-dir)")
+		httpAddr   = flag.String("http", "", "serve the observability endpoints (/metrics, /debug/pprof/, /debug/vars) on this address (see docs/OBSERVABILITY.md)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -104,6 +112,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var httpLn net.Listener
+	if *httpAddr != "" {
+		httpLn, err = net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(httpLn, srv.DebugHandler())
+		log.Printf("observability endpoints on http://%s/metrics (and /debug/pprof/, /debug/vars)", httpLn.Addr())
+	}
 	switch {
 	case len(remotes) > 0:
 		log.Printf("listening on %s (window=%d, %d local + %d remote shards: %s)",
@@ -126,6 +143,9 @@ func main() {
 		if err != nil && !errors.Is(err, net.ErrClosed) {
 			log.Fatal(err)
 		}
+	}
+	if httpLn != nil {
+		httpLn.Close()
 	}
 	srv.Close()
 	if err := srv.PersistErr(); err != nil {

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"streamgraph/internal/metrics"
+	"streamgraph/internal/query"
+	"streamgraph/internal/stream"
+)
+
+// TestProcessEdgeInstrumentedAllocFree extends the PR 3 allocation
+// gates (see internal/sjtree/alloc_test.go) to the observability
+// layer: with per-edge latency sampling attached on EVERY edge, the
+// steady-state ProcessEdge path must still allocate nothing. The
+// workload inserts a leaf partial match per edge (real tree and pool
+// traffic) but never completes a match, so any allocation measured
+// would come from the engine or the metrics recording itself.
+func TestProcessEdgeInstrumentedAllocFree(t *testing.T) {
+	m := NewMulti(MultiConfig{Window: 200, EvictEvery: 16})
+	// GRE→TCP path over a TCP-only stream: every edge feeds the TCP
+	// leaf's match table, window expiry recycles through the pool, and
+	// no complete match is ever emitted.
+	q := query.NewPath("ip", "GRE", "TCP")
+	if err := m.Register("probe", q, Config{Strategy: StrategyPath, BatchWorkers: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	const hosts = 16
+	names := make([]string, hosts)
+	for i := range names {
+		names[i] = fmt.Sprintf("h%d", i)
+	}
+	edge := func(i int, ts int64) stream.Edge {
+		return stream.Edge{
+			Src: names[i%hosts], SrcLabel: "ip",
+			Dst: names[(i+1)%hosts], DstLabel: "ip",
+			Type: "TCP", TS: ts,
+		}
+	}
+
+	hist := &metrics.AtomicHistogram{}
+	m.SetEdgeLatency(hist, 1) // time every single edge — worst case
+
+	// Warm to steady state: interners, buckets, pool, eviction heap.
+	ts := int64(0)
+	for i := 0; i < 4096; i++ {
+		ts++
+		m.ProcessEdge(edge(i, ts))
+	}
+
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		ts++
+		if got := m.ProcessEdge(edge(i, ts)); got != nil {
+			t.Fatalf("unexpected match at edge %d", i)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("instrumented ProcessEdge allocates %v allocs/op, want 0", avg)
+	}
+	if hist.Count() == 0 {
+		t.Fatal("latency histogram recorded no samples")
+	}
+}

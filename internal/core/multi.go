@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"streamgraph/internal/graph"
 	"streamgraph/internal/iso"
+	"streamgraph/internal/metrics"
 	"streamgraph/internal/query"
 	"streamgraph/internal/selectivity"
 	"streamgraph/internal/stream"
@@ -37,6 +39,13 @@ type MultiEngine struct {
 	// shared graph a filtered replica. See SetReplicaFilter.
 	filter graph.TypeSet
 	stored int64 // cumulative edges admitted into the graph
+
+	// Optional observability hook (SetEdgeLatency): every latEvery-th
+	// ProcessEdge call is timed into edgeLat. nil means no timing at
+	// all — the default, so unmonitored deployments pay nothing.
+	edgeLat  *metrics.AtomicHistogram
+	latEvery int64
+	latN     int64
 }
 
 // MultiConfig parameterizes a MultiEngine.
@@ -305,11 +314,39 @@ func (m *MultiEngine) ingest(se stream.Edge) graph.Edge {
 	return de
 }
 
+// SetEdgeLatency attaches a histogram that samples the wall-clock cost
+// of ProcessEdge: every sampleEvery-th call is timed (1 times every
+// call; <= 0 detaches). Sampling keeps the two time.Now reads off most
+// edges when the caller wants tail visibility at minimal overhead; the
+// recording itself is lock- and allocation-free.
+func (m *MultiEngine) SetEdgeLatency(h *metrics.AtomicHistogram, sampleEvery int) {
+	if h == nil || sampleEvery <= 0 {
+		m.edgeLat, m.latEvery, m.latN = nil, 0, 0
+		return
+	}
+	m.edgeLat, m.latEvery, m.latN = h, int64(sampleEvery), 0
+}
+
 // ProcessEdge ingests one stream edge into the shared graph and runs
 // every registered query's incremental search around it. An edge the
 // replica filter rejects is dropped whole: no graph mutation, no
 // statistics, no search.
 func (m *MultiEngine) ProcessEdge(se stream.Edge) []NamedMatch {
+	if m.edgeLat != nil {
+		m.latN++
+		if m.latN >= m.latEvery {
+			m.latN = 0
+			start := time.Now()
+			out := m.processEdge(se)
+			m.edgeLat.RecordDuration(time.Since(start))
+			return out
+		}
+	}
+	return m.processEdge(se)
+}
+
+// processEdge is ProcessEdge without the latency sampling wrapper.
+func (m *MultiEngine) processEdge(se stream.Edge) []NamedMatch {
 	if !m.admits(se) {
 		return nil
 	}
@@ -387,6 +424,40 @@ func (m *MultiEngine) Stats() MultiStats {
 		}
 	}
 	return st
+}
+
+// EngineCounters aggregates the per-query engine internals the
+// observability layer exports as gauges: SJ-tree activity totals and
+// the match-pool recycling balance. Like Stats, it must be read from
+// the goroutine that owns the engine (in the sharded runtime, the
+// worker publishes these into atomic gauges itself).
+type EngineCounters struct {
+	// SJ-tree totals summed across registered tree-strategy queries.
+	TreeInserted, TreeDeduped, TreeEmitted, TreeEvicted, TreeStored int64
+	// Match-pool balance: PoolGets matches handed out, of which
+	// PoolFresh allocated new arrays (the rest were recycled).
+	PoolGets, PoolFresh int64
+}
+
+// Counters sums SJ-tree statistics and match-pool counters across all
+// registered queries.
+func (m *MultiEngine) Counters() EngineCounters {
+	var c EngineCounters
+	for _, eng := range m.queries {
+		if eng.tree == nil {
+			continue
+		}
+		st := eng.tree.Stats()
+		c.TreeInserted += st.Inserted
+		c.TreeDeduped += st.Deduped
+		c.TreeEmitted += st.Emitted
+		c.TreeEvicted += st.Evicted
+		c.TreeStored += st.Stored
+		gets, fresh := eng.tree.Pool().Stats()
+		c.PoolGets += gets
+		c.PoolFresh += fresh
+	}
+	return c
 }
 
 // TopQueriesByStored returns query names ordered by live partial-match

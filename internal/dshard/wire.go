@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 
 	"streamgraph/internal/stream"
 )
@@ -35,6 +36,33 @@ type Conn struct {
 	whdr [4]byte
 	rbuf []byte
 	rhdr [4]byte
+
+	// Wire accounting, maintained by the frame layer itself so every
+	// protocol user gets it for free. Atomics: written by the
+	// single-writer/single-reader pair, read by metrics scrapes on
+	// arbitrary goroutines.
+	bytesIn, bytesOut   atomic.Int64
+	framesIn, framesOut atomic.Int64
+}
+
+// ConnStats is a point-in-time snapshot of one connection's wire
+// accounting. Byte counts include the 4-byte frame headers.
+type ConnStats struct {
+	// BytesIn and FramesIn count received frames; BytesOut and
+	// FramesOut count sent frames.
+	BytesIn, BytesOut   int64
+	FramesIn, FramesOut int64
+}
+
+// Stats snapshots the connection's cumulative wire counters. Safe to
+// call from any goroutine at any time.
+func (cn *Conn) Stats() ConnStats {
+	return ConnStats{
+		BytesIn:   cn.bytesIn.Load(),
+		BytesOut:  cn.bytesOut.Load(),
+		FramesIn:  cn.framesIn.Load(),
+		FramesOut: cn.framesOut.Load(),
+	}
 }
 
 // NewConn wraps an established connection.
@@ -70,7 +98,12 @@ func (cn *Conn) writeFrame(payload []byte) error {
 	if _, err := cn.bw.Write(payload); err != nil {
 		return err
 	}
-	return cn.bw.Flush()
+	if err := cn.bw.Flush(); err != nil {
+		return err
+	}
+	cn.bytesOut.Add(int64(len(payload)) + 4)
+	cn.framesOut.Add(1)
+	return nil
 }
 
 // ReadFrame reads one frame and returns its type byte and payload
@@ -91,6 +124,8 @@ func (cn *Conn) ReadFrame() (byte, []byte, error) {
 	if _, err := io.ReadFull(cn.br, b); err != nil {
 		return 0, nil, err
 	}
+	cn.bytesIn.Add(int64(n) + 4)
+	cn.framesIn.Add(1)
 	return b[0], b[1:], nil
 }
 

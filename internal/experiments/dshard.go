@@ -11,6 +11,7 @@ import (
 
 	"streamgraph/internal/core"
 	"streamgraph/internal/dshard"
+	"streamgraph/internal/metrics"
 	"streamgraph/internal/shard"
 	"streamgraph/internal/stream"
 )
@@ -40,6 +41,12 @@ type DshardRow struct {
 	// modes): edges fan out to every interested remote slot, matches
 	// and acknowledgments come back.
 	WireMB float64 `json:"wire_mb"`
+	// MatchLagP50NS, MatchLagP99NS and MatchLagMaxNS are end-to-end
+	// match-lag quantiles in nanoseconds (see ShardRow); for remote
+	// modes the lag includes the wire round-trip. Zero for serial.
+	MatchLagP50NS int64 `json:"match_lag_p50_ns"`
+	MatchLagP99NS int64 `json:"match_lag_p99_ns"`
+	MatchLagMaxNS int64 `json:"match_lag_max_ns"`
 }
 
 // DshardConfig parameterizes the distributed-runtime experiment.
@@ -136,13 +143,18 @@ func DshardThroughput(cfg DshardConfig) ([]DshardRow, error) {
 	}
 
 	var rows []DshardRow
-	finish := func(mode string, local, remote int, matches int64, elapsed time.Duration, wire int64) {
+	finish := func(mode string, local, remote int, matches int64, elapsed time.Duration, wire int64, lag *metrics.Histogram) {
 		row := DshardRow{
 			Mode: mode, Local: local, Remote: remote,
 			Queries: cfg.NumQueries, Edges: len(edges), Matches: matches,
 			Elapsed:     elapsed,
 			EdgesPerSec: float64(len(edges)) / elapsed.Seconds(),
 			WireMB:      float64(wire) / (1 << 20),
+		}
+		if lag != nil && lag.Count() > 0 {
+			row.MatchLagP50NS = lag.Quantile(0.5)
+			row.MatchLagP99NS = lag.Quantile(0.99)
+			row.MatchLagMaxNS = lag.Max()
 		}
 		if len(rows) > 0 {
 			row.Speedup = row.EdgesPerSec / rows[0].EdgesPerSec
@@ -163,7 +175,7 @@ func DshardThroughput(cfg DshardConfig) ([]DshardRow, error) {
 		var matches int64
 		start := time.Now()
 		chunks(func(chunk []stream.Edge) { matches += int64(len(m.ProcessBatch(chunk))) })
-		finish("serial", 1, 0, matches, time.Since(start), 0)
+		finish("serial", 1, 0, matches, time.Since(start), 0, nil)
 	}
 
 	runSharded := func(mode string, local int, remotes []string, wire *atomic.Int64) error {
@@ -188,7 +200,8 @@ func DshardThroughput(cfg DshardConfig) ([]DshardRow, error) {
 		if wire != nil {
 			wired = wire.Swap(0)
 		}
-		finish(mode, local, len(remotes), <-counted, elapsed, wired)
+		lag := r.MatchLag()
+		finish(mode, local, len(remotes), <-counted, elapsed, wired, &lag)
 		return nil
 	}
 
@@ -237,11 +250,12 @@ func PrintDshard(w io.Writer, dataset string, rows []DshardRow) {
 	fmt.Fprintf(w, "== Distributed shard runtime: %s (loopback TCP, GOMAXPROCS=%d) ==\n",
 		dataset, runtime.GOMAXPROCS(0))
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "mode\tlocal\tremote\tqueries\tedges/s\tspeedup\tmatches\twire MiB\telapsed")
+	fmt.Fprintln(tw, "mode\tlocal\tremote\tqueries\tedges/s\tspeedup\tmatches\twire MiB\tlag p50\tlag p99\telapsed")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f\t%.2fx\t%d\t%.1f\t%v\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f\t%.2fx\t%d\t%.1f\t%s\t%s\t%v\n",
 			r.Mode, r.Local, r.Remote, r.Queries, r.EdgesPerSec, r.Speedup,
-			r.Matches, r.WireMB, r.Elapsed.Round(time.Millisecond))
+			r.Matches, r.WireMB, lagCell(r.MatchLagP50NS), lagCell(r.MatchLagP99NS),
+			r.Elapsed.Round(time.Millisecond))
 	}
 	tw.Flush()
 }

@@ -22,6 +22,8 @@ const maxPoolFree = 4096
 type MatchPool struct {
 	nv, ne int
 	free   []Match
+	gets   int64 // matches handed out by Get (incl. via Clone)
+	fresh  int64 // of those, how many had to be newly allocated
 }
 
 // NewMatchPool returns an empty pool for matches of query q.
@@ -33,11 +35,13 @@ func NewMatchPool(q *query.Graph) *MatchPool {
 // overwritten by the caller). Prefer Clone when copying an existing
 // match.
 func (p *MatchPool) Get() Match {
+	p.gets++
 	if n := len(p.free); n > 0 {
 		m := p.free[n-1]
 		p.free = p.free[:n-1]
 		return m
 	}
+	p.fresh++
 	return Match{
 		VertexOf: make([]graph.VertexID, p.nv),
 		EdgeOf:   make([]graph.EdgeID, p.ne),
@@ -67,3 +71,9 @@ func (p *MatchPool) Put(m Match) {
 
 // Len reports the number of recycled matches currently held.
 func (p *MatchPool) Len() int { return len(p.free) }
+
+// Stats reports cumulative Get calls and how many of them allocated
+// fresh backing arrays; the difference is the number of recycled hits
+// — the allocation-free-hot-path claim made observable. Like the pool
+// itself, it must be read from the owning goroutine.
+func (p *MatchPool) Stats() (gets, fresh int64) { return p.gets, p.fresh }

@@ -20,7 +20,10 @@ import (
 // covers {0}. Recording is allocation-free and O(1); quantiles are
 // estimated by linear interpolation within the winning bucket, giving a
 // worst-case relative error of 2x — adequate for tail monitoring.
-// The zero value is ready to use. Not safe for concurrent use.
+// The zero value is ready to use. Not safe for concurrent use — series
+// recorded by concurrent goroutines (shard workers, scrape-time reads)
+// use AtomicHistogram, which shares the bucket layout and snapshots
+// into a Histogram for quantile estimation.
 type Histogram struct {
 	buckets [65]uint64
 	count   uint64

@@ -1,0 +1,418 @@
+// Registry: the concurrent metrics substrate the runtime tiers record
+// into and the observability endpoints read from. Recording — counter
+// increments, gauge stores, histogram samples — is lock-free and
+// allocation-free (callers hold the series handle; name resolution
+// happens once, at registration). Reading — Snapshot, WritePrometheus
+// — copies the series list under a short read-lock and then evaluates
+// every value without holding any registry lock, so a func-backed
+// gauge may take its own locks without ordering against the registry.
+//
+// Series are identified by a metric name plus alternating label
+// key/value pairs ("shard", "0"). Registering the same identity twice
+// returns the same handle; registering it with a different kind
+// panics (a programming error the tests would catch immediately).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a registry series for exposition: counters are
+// monotonic totals, gauges are point-in-time values, histograms are
+// log2-bucketed sample distributions exported with quantiles.
+type Kind int
+
+// The series kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind as Prometheus exposition spells it.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "summary"
+	}
+	return "untyped"
+}
+
+// Gauge is a concurrency-safe point-in-time value: stored by the
+// owning goroutine (or several), read by anyone. The zero value is
+// ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the current value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histStripeCount stripes an AtomicHistogram's state so concurrent
+// recorders of different values rarely contend on one cache line. The
+// stripe is picked by hashing the sample value, so it needs no
+// per-goroutine state and stays deterministic.
+const histStripeCount = 4
+
+// histBuckets is the log2 bucket count shared with Histogram: bucket 0
+// covers {0}, bucket i covers [2^(i-1), 2^i).
+const histBuckets = 65
+
+// histStripe is one stripe of an AtomicHistogram.
+type histStripe struct {
+	buckets  [histBuckets]atomic.Uint64
+	sum      atomic.Int64
+	minPlus1 atomic.Int64 // sample min + 1; 0 = no sample in this stripe
+	max      atomic.Int64
+	_        [40]byte // keep adjacent stripes off one cache line
+}
+
+// AtomicHistogram is the concurrent counterpart of Histogram: the same
+// log2 buckets and quantile estimation, but Record is lock-free and
+// allocation-free and may be called from any number of goroutines
+// while others snapshot. The zero value is ready to use.
+//
+// Snapshot is not an atomic cut — samples recorded while it runs may
+// or may not be included — which is the usual (and adequate) contract
+// for monitoring reads.
+type AtomicHistogram struct {
+	stripes [histStripeCount]histStripe
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (h *AtomicHistogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	s := &h.stripes[(uint64(v)*0x9E3779B97F4A7C15)>>(64-2)]
+	s.buckets[idx].Add(1)
+	s.sum.Add(v)
+	for {
+		cur := s.minPlus1.Load()
+		if cur != 0 && cur <= v+1 {
+			break
+		}
+		if s.minPlus1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := s.max.Load()
+		if v <= cur {
+			break
+		}
+		if s.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// RecordDuration adds one duration sample in nanoseconds.
+func (h *AtomicHistogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Snapshot merges the stripes into a plain Histogram for quantile
+// estimation and rendering. The count is derived from the bucket
+// totals, so it is always consistent with the quantile walk even under
+// concurrent recording.
+func (h *AtomicHistogram) Snapshot() Histogram {
+	var out Histogram
+	minSet := false
+	for si := range h.stripes {
+		s := &h.stripes[si]
+		var cnt uint64
+		for i := range s.buckets {
+			c := s.buckets[i].Load()
+			out.buckets[i] += c
+			cnt += c
+		}
+		if cnt == 0 {
+			continue
+		}
+		out.count += cnt
+		out.sum += s.sum.Load()
+		if mp := s.minPlus1.Load(); mp != 0 && (!minSet || mp-1 < out.min) {
+			out.min = mp - 1
+			minSet = true
+		}
+		if mx := s.max.Load(); mx > out.max {
+			out.max = mx
+		}
+	}
+	return out
+}
+
+// Count returns the number of recorded samples.
+func (h *AtomicHistogram) Count() uint64 {
+	var n uint64
+	for si := range h.stripes {
+		for i := range h.stripes[si].buckets {
+			n += h.stripes[si].buckets[i].Load()
+		}
+	}
+	return n
+}
+
+// series is one registered metric: a name, its labels, and exactly one
+// backing (counter, gauge, value func, or histogram).
+type series struct {
+	name   string
+	labels []string // alternating key, value
+	kind   Kind
+	c      *Counter
+	g      *Gauge
+	fn     func() int64
+	h      *AtomicHistogram
+}
+
+// Registry holds named metric series. The zero value is not usable;
+// construct with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	byKey map[string]*series
+	all   []*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*series)}
+}
+
+// seriesKey builds the identity key. Labels must come in pairs.
+func seriesKey(name string, labels []string) string {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: series %q registered with odd label list %v", name, labels))
+	}
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(labels, "\x00") + "}"
+}
+
+// lookup returns the existing series for the identity, checking the
+// kind, or registers a new one built by mk.
+func (r *Registry) lookup(name string, labels []string, kind Kind, mk func() *series) *series {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	s := r.byKey[key]
+	r.mu.RUnlock()
+	if s == nil {
+		r.mu.Lock()
+		if s = r.byKey[key]; s == nil {
+			s = mk()
+			s.name = name
+			s.labels = append([]string(nil), labels...)
+			s.kind = kind
+			r.byKey[key] = s
+			r.all = append(r.all, s)
+		}
+		r.mu.Unlock()
+	}
+	if s.kind != kind {
+		panic(fmt.Sprintf("metrics: series %q re-registered as %v (was %v)", key, kind, s.kind))
+	}
+	return s
+}
+
+// Counter returns (registering on first use) the counter series with
+// the given name and alternating label key/value pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	s := r.lookup(name, labels, KindCounter, func() *series { return &series{c: &Counter{}} })
+	if s.c == nil {
+		panic(fmt.Sprintf("metrics: series %q is func-backed, not a Counter", seriesKey(name, labels)))
+	}
+	return s.c
+}
+
+// CounterFunc registers a counter series whose value is computed by fn
+// at read time (for totals another subsystem already tracks
+// atomically). Re-registering the same identity replaces the func.
+func (r *Registry) CounterFunc(name string, fn func() int64, labels ...string) {
+	s := r.lookup(name, labels, KindCounter, func() *series { return &series{} })
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Gauge returns (registering on first use) the gauge series with the
+// given name and alternating label key/value pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	s := r.lookup(name, labels, KindGauge, func() *series { return &series{g: &Gauge{}} })
+	if s.g == nil {
+		panic(fmt.Sprintf("metrics: series %q is func-backed, not a Gauge", seriesKey(name, labels)))
+	}
+	return s.g
+}
+
+// GaugeFunc registers a gauge series whose value is computed by fn at
+// read time. fn runs with no registry lock held, so it may take the
+// caller's own locks. Re-registering the same identity replaces the
+// func.
+func (r *Registry) GaugeFunc(name string, fn func() int64, labels ...string) {
+	s := r.lookup(name, labels, KindGauge, func() *series { return &series{} })
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns (registering on first use) the histogram series
+// with the given name and alternating label key/value pairs.
+func (r *Registry) Histogram(name string, labels ...string) *AtomicHistogram {
+	s := r.lookup(name, labels, KindHistogram, func() *series { return &series{h: &AtomicHistogram{}} })
+	return s.h
+}
+
+// Sample is one series' state at snapshot time.
+type Sample struct {
+	// Name and Labels identify the series; Labels alternates key, value.
+	Name   string
+	Labels []string
+	// Kind is the series kind; Value carries counters and gauges, Hist
+	// carries histograms (nil otherwise).
+	Kind  Kind
+	Value int64
+	Hist  *Histogram
+}
+
+// LabelString renders the label pairs as `k="v",...` (empty for an
+// unlabeled series), with Prometheus-style value escaping.
+func (s Sample) LabelString() string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(s.Labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.Labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(s.Labels[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format
+// (backslash, double quote, newline).
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// Snapshot evaluates every series and returns the samples sorted by
+// name then labels — the grouping the Prometheus writer and the wire
+// `stats full` reply both need. Func-backed values are evaluated with
+// no registry lock held.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	all := append([]*series(nil), r.all...)
+	r.mu.RUnlock()
+	out := make([]Sample, 0, len(all))
+	for _, s := range all {
+		smp := Sample{Name: s.name, Labels: s.labels, Kind: s.kind}
+		switch {
+		case s.c != nil:
+			smp.Value = s.c.Load()
+		case s.g != nil:
+			smp.Value = s.g.Load()
+		case s.fn != nil:
+			smp.Value = s.fn()
+		case s.h != nil:
+			h := s.h.Snapshot()
+			smp.Hist = &h
+		}
+		out = append(out, smp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return strings.Join(out[i].Labels, "\x00") < strings.Join(out[j].Labels, "\x00")
+	})
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges emit one line
+// per series under a `# TYPE` header; histograms emit summary
+// quantiles (0.5, 0.9, 0.99), `_sum` and `_count`, plus a `_max`
+// gauge family — the same p50/p99/max surface the wire stats command
+// reports.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for fi := 0; fi < len(samples); {
+		fj := fi
+		for fj < len(samples) && samples[fj].Name == samples[fi].Name {
+			fj++
+		}
+		family := samples[fi:fj]
+		name := family[0].Name
+		pf("# TYPE %s %s\n", name, family[0].Kind)
+		for _, smp := range family {
+			ls := smp.LabelString()
+			if smp.Hist == nil {
+				if ls != "" {
+					ls = "{" + ls + "}"
+				}
+				pf("%s%s %d\n", name, ls, smp.Value)
+				continue
+			}
+			sep := ""
+			if ls != "" {
+				sep = ","
+			}
+			for _, q := range [...]float64{0.5, 0.9, 0.99} {
+				pf("%s{%s%squantile=\"%g\"} %d\n", name, ls, sep, q, smp.Hist.Quantile(q))
+			}
+			if ls != "" {
+				ls = "{" + ls + "}"
+			}
+			pf("%s_sum%s %d\n", name, ls, smp.Hist.Sum())
+			pf("%s_count%s %d\n", name, ls, smp.Hist.Count())
+		}
+		if family[0].Hist != nil {
+			pf("# TYPE %s_max gauge\n", name)
+			for _, smp := range family {
+				ls := smp.LabelString()
+				if ls != "" {
+					ls = "{" + ls + "}"
+				}
+				pf("%s_max%s %d\n", name, ls, smp.Hist.Max())
+			}
+		}
+		fi = fj
+	}
+	return err
+}

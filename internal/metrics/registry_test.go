@@ -1,0 +1,270 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAtomicHistogramMatchesHistogram records the same sample set into
+// both histogram flavors and asserts identical snapshots — buckets,
+// count, sum, min, max, and therefore every quantile.
+func TestAtomicHistogramMatchesHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var plain Histogram
+	var at AtomicHistogram
+	for i := 0; i < 20000; i++ {
+		v := rng.Int63n(1 << uint(rng.Intn(40)))
+		if rng.Intn(100) == 0 {
+			v = -v // clamped to 0 by both
+		}
+		plain.Record(v)
+		at.Record(v)
+	}
+	snap := at.Snapshot()
+	if snap != plain {
+		t.Fatalf("snapshot mismatch:\natomic %+v\nplain  %+v", snap, plain)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got, want := snap.Quantile(q), plain.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %d, want %d", q, got, want)
+		}
+	}
+	if at.Count() != plain.Count() {
+		t.Errorf("Count() = %d, want %d", at.Count(), plain.Count())
+	}
+}
+
+// TestAtomicHistogramConcurrent is the -race pin for the satellite
+// task: many goroutines hammer Record while others snapshot, and the
+// final snapshot must account for every sample exactly once.
+func TestAtomicHistogramConcurrent(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 5000
+	)
+	var h AtomicHistogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers: snapshots must be internally consistent
+	// (count == sum of buckets) at every instant.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := h.Snapshot()
+				var n uint64
+				for _, q := range []float64{0.5, 0.99} {
+					_ = snap.Quantile(q)
+				}
+				n = snap.Count()
+				if n > writers*perWriter {
+					t.Errorf("snapshot count %d exceeds total samples", n)
+					return
+				}
+			}
+		}()
+	}
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(int64(wr))
+	}
+	// Wait for writers (the first `writers` Adds after the readers).
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Poll until all samples are visible, then stop the readers.
+	deadline := time.After(30 * time.Second)
+	for h.Count() < writers*perWriter {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out: %d/%d samples visible", h.Count(), writers*perWriter)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	<-done
+	snap := h.Snapshot()
+	if snap.Count() != writers*perWriter {
+		t.Fatalf("final count %d, want %d", snap.Count(), writers*perWriter)
+	}
+}
+
+// TestRegistryConcurrent hammers registration, recording, and
+// snapshotting from many goroutines — the -race pin for the registry
+// itself.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			shard := fmt.Sprintf("%d", g%4)
+			c := reg.Counter("sg_test_events_total", "shard", shard)
+			ga := reg.Gauge("sg_test_depth", "shard", shard)
+			h := reg.Histogram("sg_test_latency_ns", "shard", shard)
+			for i := 0; i < 2000; i++ {
+				c.Inc()
+				ga.Set(int64(i))
+				h.Record(int64(i))
+				if i%500 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "sg_test_events_total" {
+			total += s.Value
+		}
+	}
+	if total != 8*2000 {
+		t.Fatalf("counter total %d, want %d", total, 8*2000)
+	}
+}
+
+// TestRegistryIdentity checks get-or-create semantics: same identity
+// returns the same handle, different labels a different one, and a
+// kind mismatch panics.
+func TestRegistryIdentity(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "shard", "0")
+	b := reg.Counter("x_total", "shard", "0")
+	if a != b {
+		t.Error("same identity returned distinct counters")
+	}
+	if c := reg.Counter("x_total", "shard", "1"); c == a {
+		t.Error("different labels returned the same counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind mismatch did not panic")
+			}
+		}()
+		reg.Gauge("x_total", "shard", "0")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("odd label list did not panic")
+			}
+		}()
+		reg.Counter("y_total", "shard")
+	}()
+}
+
+// promLine matches every legal sample line the writer may emit; promType
+// matches the TYPE headers. Together they validate the exposition
+// format line by line.
+var (
+	promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? -?[0-9]+$`)
+	promType = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary|untyped)$`)
+)
+
+// TestWritePrometheus validates the text exposition: every line parses,
+// TYPE headers are contiguous per family, histograms emit quantiles,
+// sum, count and max, and label values are escaped.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sg_edges_total", "shard", "0").Add(41)
+	reg.Counter("sg_edges_total", "shard", "1").Add(1)
+	reg.Gauge("sg_depth").Set(-7)
+	reg.GaugeFunc("sg_calc", func() int64 { return 13 })
+	reg.CounterFunc("sg_wire_bytes_total", func() int64 { return 99 }, "dir", "in")
+	h := reg.Histogram("sg_lat_ns", "query", `we"ird\q`)
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	typesSeen := map[string]bool{}
+	lastType := ""
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			if !promType.MatchString(line) {
+				t.Errorf("bad TYPE line: %q", line)
+				continue
+			}
+			name := strings.Fields(line)[2]
+			if typesSeen[name] {
+				t.Errorf("family %s has a second TYPE header (non-contiguous)", name)
+			}
+			typesSeen[name] = true
+			lastType = name
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("bad sample line: %q", line)
+		}
+		if !strings.HasPrefix(line, lastType) {
+			t.Errorf("sample %q not under its TYPE header %q", line, lastType)
+		}
+	}
+	for _, want := range []string{
+		`sg_edges_total{shard="0"} 41`,
+		"sg_depth -7",
+		"sg_calc 13",
+		`sg_wire_bytes_total{dir="in"} 99`,
+		`quantile="0.5"`,
+		`quantile="0.99"`,
+		"sg_lat_ns_count",
+		"sg_lat_ns_sum",
+		"sg_lat_ns_max",
+		`we\"ird\\q`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	hs := reg.Histogram("sg_lat_ns", "query", `we"ird\q`).Snapshot()
+	if got := hs.Quantile(0.5); got < 32 || got > 64 {
+		t.Errorf("p50 of 1..100 = %d, want within [32,64] (log2 interpolation)", got)
+	}
+}
+
+// TestRegistryAllocFree asserts the hot-path operations (counter add,
+// gauge set, histogram record on pre-registered handles) allocate
+// nothing.
+func TestRegistryAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h_ns")
+	n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(42)
+		h.Record(12345)
+	})
+	if n != 0 {
+		t.Errorf("hot path allocates %v allocs/op, want 0", n)
+	}
+}

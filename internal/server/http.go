@@ -1,0 +1,80 @@
+// HTTP observability sidecar: a debug handler exposing the metrics
+// registry in the Prometheus text format, the standard pprof profiles,
+// and expvar — served on a separate listener (sgserve -http) so the
+// line protocol's port stays protocol-only.
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"streamgraph/internal/metrics"
+)
+
+// expvarReg points at the most recently constructed server's registry;
+// expvar publication is process-global and permanent, so the published
+// Func indirects through it instead of capturing one server (tests
+// construct many).
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[metrics.Registry]
+)
+
+// publishExpvar exposes reg under the "streamgraph" expvar as a flat
+// name -> value map (histograms flattened to .count/.p50/.p99/.max).
+func publishExpvar(reg *metrics.Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("streamgraph", expvar.Func(func() any {
+			r := expvarReg.Load()
+			if r == nil {
+				return nil
+			}
+			out := make(map[string]int64)
+			for _, smp := range r.Snapshot() {
+				id := smp.Name
+				if ls := smp.LabelString(); ls != "" {
+					id += "{" + ls + "}"
+				}
+				if smp.Hist != nil {
+					out[id+".count"] = int64(smp.Hist.Count())
+					out[id+".p50"] = smp.Hist.Quantile(0.5)
+					out[id+".p99"] = smp.Hist.Quantile(0.99)
+					out[id+".max"] = smp.Hist.Max()
+				} else {
+					out[id] = smp.Value
+				}
+			}
+			return out
+		}))
+	})
+}
+
+// DebugHandler returns the server's observability mux:
+//
+//	GET /metrics        the metrics registry, Prometheus text format
+//	GET /debug/pprof/   the standard runtime profiles (net/http/pprof)
+//	GET /debug/vars     expvar, including the "streamgraph" registry map
+//
+// Serve it on a side listener (sgserve -http addr); it is independent
+// of the line protocol and safe to scrape at any rate — reads are
+// lock-free snapshots that never block ingestion. See
+// docs/OBSERVABILITY.md.
+func (s *Server) DebugHandler() http.Handler {
+	publishExpvar(s.reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

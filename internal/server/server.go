@@ -44,6 +44,7 @@ import (
 	"sync"
 
 	"streamgraph/internal/core"
+	"streamgraph/internal/metrics"
 	"streamgraph/internal/query"
 	"streamgraph/internal/shard"
 	"streamgraph/internal/stream"
@@ -95,6 +96,12 @@ type Server struct {
 	buf           *matchLog
 	collectorDone chan struct{}
 
+	// reg is the server's metrics registry: the router's own registry
+	// in sharded mode (plus server-level buffer series), a private one
+	// over the single engine otherwise. Always non-nil; read by the
+	// `stats full` command and the /metrics debug endpoint.
+	reg *metrics.Registry
+
 	mu sync.Mutex // serializes engine access across connections
 
 	lnMu   sync.Mutex
@@ -112,6 +119,7 @@ func New(cfg Config) *Server {
 		s.attachRouter(shard.New(s.shardConfig()), nil)
 	} else {
 		s.multi = core.NewMulti(core.MultiConfig{Window: cfg.Window, EvictEvery: cfg.EvictEvery})
+		s.initEngineMetrics()
 	}
 	return s
 }
@@ -181,7 +189,34 @@ func (s *Server) attachRouter(r *shard.Router, recovered []shard.Match) {
 		defer close(s.collectorDone)
 		s.router.Drain(s.buf.add)
 	}()
+	s.reg = s.router.Metrics()
+	s.reg.GaugeFunc("sg_server_match_buffer_depth", s.buf.depth)
+	s.reg.CounterFunc("sg_server_matches_dropped_total", s.buf.totalDrops)
 }
+
+// initEngineMetrics builds the non-sharded registry: engine totals read
+// under the ingest mutex at scrape time, plus a per-edge process
+// latency histogram the engine records into.
+func (s *Server) initEngineMetrics() {
+	s.reg = metrics.NewRegistry()
+	stat := func(f func(core.MultiStats) int64) func() int64 {
+		return func() int64 {
+			s.mu.Lock()
+			st := s.multi.Stats()
+			s.mu.Unlock()
+			return f(st)
+		}
+	}
+	s.reg.GaugeFunc("sg_engine_edges_processed", stat(func(st core.MultiStats) int64 { return st.EdgesProcessed }))
+	s.reg.GaugeFunc("sg_engine_queries", stat(func(st core.MultiStats) int64 { return int64(st.Queries) }))
+	s.reg.GaugeFunc("sg_engine_partial_matches", stat(func(st core.MultiStats) int64 { return st.PartialMatches }))
+	s.multi.SetEdgeLatency(s.reg.Histogram("sg_edge_process_ns"), 1)
+}
+
+// Metrics returns the server's live metrics registry (the substrate
+// behind the /metrics debug endpoint and the wire `stats full`
+// command).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // PersistErr reports the first durable-write failure on a server
 // started with Open (always nil for New). Once set, the stream keeps
@@ -200,8 +235,23 @@ type matchLog struct {
 	mu      sync.Mutex
 	items   []shard.Match
 	head    int
-	dropped int64
+	dropped int64 // since the last take (reported on the matches reply)
+	drops   int64 // cumulative, never reset (metrics)
 	limit   int
+}
+
+// depth reports the undelivered match count (metrics).
+func (l *matchLog) depth() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(len(l.items) - l.head)
+}
+
+// totalDrops reports the cumulative overflow-drop count (metrics).
+func (l *matchLog) totalDrops() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.drops
 }
 
 func (l *matchLog) add(m shard.Match) {
@@ -211,6 +261,7 @@ func (l *matchLog) add(m shard.Match) {
 	if len(l.items)-l.head > l.limit {
 		l.head++
 		l.dropped++
+		l.drops++
 	}
 	if l.head > l.limit {
 		l.items = append(l.items[:0], l.items[l.head:]...)
@@ -238,6 +289,7 @@ func (l *matchLog) putBack(ms []shard.Match, dropped int64) {
 	for len(l.items)-l.head > l.limit {
 		l.head++
 		l.dropped++
+		l.drops++
 	}
 }
 
@@ -447,6 +499,39 @@ func (s *Server) handle(conn net.Conn) {
 				}
 			}
 		case "stats":
+			if len(fields) == 2 && fields[1] == "full" {
+				// Full registry dump: one "metric" line per series, with
+				// histograms as count/p50/p99/max. The bare "stats" reply
+				// below is unchanged for existing tooling.
+				samples := s.reg.Snapshot()
+				lines := make([]string, 0, len(samples))
+				for _, smp := range samples {
+					id := smp.Name
+					if ls := smp.LabelString(); ls != "" {
+						id += "{" + ls + "}"
+					}
+					if smp.Hist != nil {
+						lines = append(lines, fmt.Sprintf("metric %s count=%d p50=%d p99=%d max=%d",
+							id, smp.Hist.Count(), smp.Hist.Quantile(0.5), smp.Hist.Quantile(0.99), smp.Hist.Max()))
+					} else {
+						lines = append(lines, fmt.Sprintf("metric %s %d", id, smp.Value))
+					}
+				}
+				ok := reply("ok %d", len(lines))
+				for _, ln := range lines {
+					ok = ok && reply("%s", ln)
+				}
+				if !ok {
+					return
+				}
+				continue
+			}
+			if len(fields) != 1 {
+				if !reply("err usage: stats [full]") {
+					return
+				}
+				continue
+			}
 			if s.router != nil {
 				st := s.router.Stats()
 				ok := reply("ok shards=%d edges=%d queries=%d",

@@ -40,11 +40,13 @@ package shard
 import (
 	"math"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"streamgraph/internal/dshard"
+	"streamgraph/internal/metrics"
 	"streamgraph/internal/stream"
 )
 
@@ -122,6 +124,7 @@ type inflightFrame struct {
 	closing   bool
 	matches   []Match
 	snapData  []byte // msgCheckpoint: the snapshot frame's payload
+	sentAt    int64  // telemetry.now at push; ack round-trip = done pop - sentAt
 }
 
 // remoteSlot is the router-side proxy for one remote shard slot.
@@ -165,6 +168,54 @@ type remoteSlot struct {
 	// snapshot engine's own filter.
 	ackUniversal bool
 	ackTypes     []string
+
+	// Wire telemetry (registerMetrics). liveConn tracks the current
+	// connection so scrape-time wire totals can add its live counters
+	// to the closed-connection accumulators below.
+	connects *metrics.Counter
+	replayed *metrics.Counter
+	ackRTT   *metrics.AtomicHistogram
+	liveConn atomic.Pointer[dshard.Conn]
+	closedBytesIn, closedBytesOut,
+	closedFramesIn, closedFramesOut atomic.Int64
+}
+
+// registerMetrics wires the slot's dshard series into the router
+// registry: connect/replay counters, ack round-trip, and scrape-time
+// wire byte/frame totals folding the live connection into the closed
+// accumulators.
+func (rs *remoteSlot) registerMetrics(t *telemetry) {
+	sh := strconv.Itoa(rs.w.id)
+	rs.connects = t.reg.Counter("sg_dshard_connects_total", "shard", sh)
+	rs.replayed = t.reg.Counter("sg_dshard_replayed_edges_total", "shard", sh)
+	rs.ackRTT = t.reg.Histogram("sg_dshard_ack_rtt_ns", "shard", sh)
+	wire := func(acc *atomic.Int64, live func(dshard.ConnStats) int64) func() int64 {
+		return func() int64 {
+			v := acc.Load()
+			if c := rs.liveConn.Load(); c != nil {
+				v += live(c.Stats())
+			}
+			return v
+		}
+	}
+	t.reg.CounterFunc("sg_dshard_bytes_in_total", wire(&rs.closedBytesIn, func(s dshard.ConnStats) int64 { return s.BytesIn }), "shard", sh)
+	t.reg.CounterFunc("sg_dshard_bytes_out_total", wire(&rs.closedBytesOut, func(s dshard.ConnStats) int64 { return s.BytesOut }), "shard", sh)
+	t.reg.CounterFunc("sg_dshard_frames_in_total", wire(&rs.closedFramesIn, func(s dshard.ConnStats) int64 { return s.FramesIn }), "shard", sh)
+	t.reg.CounterFunc("sg_dshard_frames_out_total", wire(&rs.closedFramesOut, func(s dshard.ConnStats) int64 { return s.FramesOut }), "shard", sh)
+}
+
+// noteConnClosed folds a finished connection's wire counters into the
+// closed accumulators (exactly once per connection) and clears the
+// live pointer.
+func (rs *remoteSlot) noteConnClosed(c *dshard.Conn) {
+	if c == nil || !rs.liveConn.CompareAndSwap(c, nil) {
+		return
+	}
+	st := c.Stats()
+	rs.closedBytesIn.Add(st.BytesIn)
+	rs.closedBytesOut.Add(st.BytesOut)
+	rs.closedFramesIn.Add(st.FramesIn)
+	rs.closedFramesOut.Add(st.FramesOut)
 }
 
 func newRemoteSlot(w *worker, addr string, pendingCap int) *remoteSlot {
@@ -331,6 +382,7 @@ func (rs *remoteSlot) run() {
 	)
 	drop := func() {
 		if conn != nil {
+			rs.noteConnClosed(conn)
 			conn.Close()
 			conn = nil
 		}
@@ -386,6 +438,9 @@ func (rs *remoteSlot) run() {
 				inClosed = true
 				continue
 			}
+			if msg.kind == msgEdges && msg.enq != 0 {
+				w.queueWait.Record(w.r.tel.now() - msg.enq)
+			}
 			if !rs.sendLive(conn, msg, &sentEnd) {
 				drop()
 			}
@@ -422,6 +477,8 @@ func (rs *remoteSlot) run() {
 			}
 			backoff = remoteRedialMin
 			conn = c
+			rs.connects.Inc()
+			rs.liveConn.Store(c)
 			recv = make(chan recvMsg, remoteRecvBuffer)
 			go rs.reader(conn, recv)
 			rebuilding = true
@@ -438,6 +495,7 @@ func (rs *remoteSlot) finish(conn *dshard.Conn) {
 		close(rs.w.bundles)
 	}
 	if conn != nil {
+		rs.noteConnClosed(conn)
 		conn.Close()
 	}
 }
@@ -537,6 +595,7 @@ func (rs *remoteSlot) reader(conn *dshard.Conn, recv chan recvMsg) {
 }
 
 func (rs *remoteSlot) pushInflight(f inflightFrame) uint64 {
+	f.sentAt = rs.w.r.tel.now()
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	rs.frameID++
@@ -817,6 +876,7 @@ type logBatch struct {
 }
 
 func (rs *remoteSlot) sendSegment(conn *dshard.Conn, seg logBatch, delivered uint64) bool {
+	rs.replayed.Add(int64(len(seg.edges)))
 	return rs.sendEdges(conn, seg.base, seg.edges, delivered)
 }
 
@@ -853,6 +913,7 @@ func (rs *remoteSlot) handleRecv(rm recvMsg) (finished, ok bool) {
 	}
 	f := rs.inflight[0]
 	rs.inflight = rs.inflight[1:]
+	rs.ackRTT.Record(w.r.tel.now() - f.sentAt)
 	var reply chan error
 	var replyErr error
 	switch {
@@ -910,9 +971,9 @@ func (rs *remoteSlot) handleRecv(rm recvMsg) (finished, ok bool) {
 	if reply != nil {
 		reply <- replyErr
 	}
-	w.replicaLive.Store(d.Live)
-	w.replicaStored.Store(d.Stored)
-	w.replicaTypes.Store(d.Types)
+	w.replicaLive.Set(d.Live)
+	w.replicaStored.Set(d.Stored)
+	w.replicaTypes.Set(d.Types)
 
 	// Deliver outside the lock: a full collection channel must
 	// backpressure ingest, not deadlock Stats readers.
@@ -980,6 +1041,7 @@ func (rs *remoteSlot) deliver(f inflightFrame) {
 	for _, m := range f.matches {
 		w.matchesEmitted.Inc()
 		w.r.out <- m
+		w.r.tel.recordMatch(m.Query, m.Seq)
 	}
 }
 

@@ -264,6 +264,7 @@ type message struct {
 	seq     uint64        // control: stream position (bounds the backfill)
 	minTS   int64         // msgRegister: window floor at registration time
 	reply   chan error    // control ack (buffered, may be nil for unregister)
+	enq     int64         // msgEdges: enqueue instant (telemetry.now), for queue-wait tails
 
 	// Remote-slot fields, computed router-side under ingestMu at the
 	// message's admission so a reconnect replay can reproduce the
@@ -348,6 +349,12 @@ type Router struct {
 
 	wg        sync.WaitGroup // worker goroutines
 	mergeDone chan struct{}  // non-nil in ordered mode
+
+	// tel is the router's observability state (telemetry.go): the
+	// metrics registry every per-shard/per-query series lives in and
+	// the seq→arrival ring behind the match-lag histograms. Always
+	// non-nil.
+	tel *telemetry
 }
 
 // fprint is a registered query's edge-type footprint, retained so
@@ -393,11 +400,24 @@ type worker struct {
 	// close) at stream position p must flush them iff lastEnd < p.
 	lastEnd uint64
 
-	edgesRouted    metrics.Counter
-	matchesEmitted metrics.Counter
-	replicaLive    atomic.Int64
-	replicaStored  atomic.Int64
-	replicaTypes   atomic.Int64
+	// Registry-backed slot series (handles created by
+	// telemetry.registerWorker; recording is atomic and lock-free).
+	edgesRouted     *metrics.Counter
+	edgesGated      *metrics.Counter
+	edgesBackfilled *metrics.Counter
+	matchesEmitted  *metrics.Counter
+	replicaLive     *metrics.Gauge
+	replicaStored   *metrics.Gauge
+	replicaTypes    *metrics.Gauge
+	queueWait       *metrics.AtomicHistogram
+	batchTime       *metrics.AtomicHistogram
+
+	// Engine-internals gauges (local slots only), published by the
+	// worker goroutine itself after each batch/control message — the
+	// engine is single-writer state no scrape may touch directly.
+	engEdges, engPartial                                *metrics.Gauge
+	treeInserted, treeDeduped, treeEmitted, treeEvicted *metrics.Gauge
+	poolGets, poolFresh                                 *metrics.Gauge
 }
 
 // New starts a router and its shard workers (local goroutines for the
@@ -440,7 +460,9 @@ func newRouter(cfg Config) *Router {
 		out:       make(chan Match, cfg.OutLen),
 		owner:     make(map[string]*worker),
 		owned:     make(map[*worker]int),
+		tel:       newTelemetry(),
 	}
+	r.tel.registerRouter(r)
 	if r.filtering || r.hasRemote {
 		// The log is what a late registration backfills from and what a
 		// remote slot replays after a reconnect; the full-stream
@@ -467,6 +489,10 @@ func newRouter(cfg Config) *Router {
 		} else {
 			w.remote = newRemoteSlot(w, cfg.Remotes[i-cfg.Shards], cfg.RemotePending)
 		}
+		r.tel.registerWorker(w)
+		if w.remote != nil {
+			w.remote.registerMetrics(r.tel)
+		}
 		if r.filtering {
 			// A shard starts with no queries, hence an empty footprint:
 			// it receives and stores nothing until one is registered.
@@ -478,7 +504,7 @@ func newRouter(cfg Config) *Router {
 			}
 		} else {
 			w.gate = graph.UniversalTypes()
-			w.replicaTypes.Store(-1)
+			w.replicaTypes.Set(-1)
 		}
 		if cfg.Ordered {
 			w.bundles = make(chan bundle, cfg.QueueLen)
@@ -835,6 +861,7 @@ func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
 	}
 	base := r.seq.Load()
 	r.seq.Store(base + uint64(len(ses)))
+	r.tel.noteArrivals(base, len(ses))
 	if r.dlog != nil && r.persistErr == nil {
 		// Append to the durable log before any worker can observe the
 		// batch, so a checkpoint acknowledging it always finds it on
@@ -894,9 +921,10 @@ func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
 			}
 		}
 	}
-	msg := message{kind: msgEdges, edges: ses, baseSeq: base}
+	msg := message{kind: msgEdges, edges: ses, baseSeq: base, enq: r.tel.now()}
 	for _, w := range r.workers {
 		if r.filtering && !r.gateAdmits(w) {
+			w.edgesGated.Add(int64(len(ses)))
 			continue
 		}
 		w.edgesRouted.Add(int64(len(ses)))
@@ -1048,6 +1076,7 @@ func (r *Router) mergeOrdered() {
 		for _, m := range batch {
 			r.emitted.Add(1)
 			r.out <- m
+			r.tel.recordMatch(m.Query, m.Seq)
 		}
 	}
 }
@@ -1057,6 +1086,9 @@ func (w *worker) run() {
 	for msg := range w.in {
 		switch msg.kind {
 		case msgEdges:
+			if msg.enq != 0 {
+				w.queueWait.Record(w.r.tel.now() - msg.enq)
+			}
 			w.processEdges(msg)
 		case msgRegister:
 			w.flushRetro(msg.seq)
@@ -1159,6 +1191,7 @@ func (w *worker) widenReplica(msg message) {
 		return true
 	})
 	w.eng.Backfill(missed)
+	w.edgesBackfilled.Add(int64(len(missed)))
 }
 
 // narrowReplica applies an unregistration's footprint release: narrow
@@ -1176,16 +1209,28 @@ func (w *worker) syncEngineFilter() {
 	w.eng.SetReplicaFilter(w.rset.typeNames(), w.rset.universal())
 }
 
-// publishReplicaStats exposes the worker-owned replica gauges to the
-// lock-free Stats reader.
+// publishReplicaStats exposes the worker-owned replica and engine
+// gauges to the lock-free Stats/scrape readers. Only the worker
+// goroutine may call it: the engine is single-writer state, so the
+// scrape path reads these published atomics, never the engine itself.
 func (w *worker) publishReplicaStats() {
-	w.replicaLive.Store(int64(w.eng.Graph().NumEdges()))
-	w.replicaStored.Store(w.eng.EdgesStored())
+	w.replicaLive.Set(int64(w.eng.Graph().NumEdges()))
+	w.replicaStored.Set(w.eng.EdgesStored())
 	if w.r.filtering && !w.rset.universal() {
-		w.replicaTypes.Store(int64(len(w.rset.refs)))
+		w.replicaTypes.Set(int64(len(w.rset.refs)))
 	} else {
-		w.replicaTypes.Store(-1)
+		w.replicaTypes.Set(-1)
 	}
+	st := w.eng.Stats()
+	w.engEdges.Set(st.EdgesProcessed)
+	w.engPartial.Set(st.PartialMatches)
+	c := w.eng.Counters()
+	w.treeInserted.Set(c.TreeInserted)
+	w.treeDeduped.Set(c.TreeDeduped)
+	w.treeEmitted.Set(c.TreeEmitted)
+	w.treeEvicted.Set(c.TreeEvicted)
+	w.poolGets.Set(c.PoolGets)
+	w.poolFresh.Set(c.PoolFresh)
 }
 
 // processEdges folds a routed batch into this shard's private engine
@@ -1195,6 +1240,8 @@ func (w *worker) publishReplicaStats() {
 // grouped result stays aligned with the batch, so arrival seqs are
 // global regardless of what was admitted.
 func (w *worker) processEdges(msg message) {
+	start := w.r.tel.now()
+	defer func() { w.batchTime.Record(w.r.tel.now() - start) }()
 	if w.r.filtering {
 		// Advance the retro flush barrier to just past the last edge
 		// the engine will admit from this batch.
@@ -1227,6 +1274,7 @@ func (w *worker) out(m Match) {
 	w.matchesEmitted.Inc()
 	w.r.emitted.Add(1)
 	w.r.out <- m
+	w.r.tel.recordMatch(m.Query, m.Seq)
 }
 
 // resolve converts an engine match into the portable form: all IDs are

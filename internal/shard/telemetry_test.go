@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/edlog"
+	"streamgraph/internal/metrics"
+)
+
+// metricValue returns the value of the sample with the given name and
+// exact label list, failing the test when the series is absent.
+func metricValue(t *testing.T, samples []metrics.Sample, name string, labels ...string) int64 {
+	t.Helper()
+	for _, s := range samples {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for i := range labels {
+			if s.Labels[i] != labels[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value
+		}
+	}
+	t.Fatalf("series %s%v not found in snapshot", name, labels)
+	return 0
+}
+
+// sumMetric sums every sample of a series family across its labels.
+func sumMetric(samples []metrics.Sample, name string) int64 {
+	var n int64
+	for _, s := range samples {
+		if s.Name == name {
+			n += s.Value
+		}
+	}
+	return n
+}
+
+// TestMetricsTruthfulness is the observability differential: the
+// registry's counters must agree exactly with ground truth the test
+// can compute independently — admitted edges, collected matches, and
+// (durable mode) the edge log's on-disk footprint — across in-process,
+// remote-loopback and durable topologies.
+func TestMetricsTruthfulness(t *testing.T) {
+	edges := testStream(3000)
+	const window = 400
+	addr, _ := startRemoteWorker(t)
+	topologies := []struct {
+		name    string
+		cfg     Config
+		durable bool
+	}{
+		{"inproc", Config{Shards: 3, Window: window, EvictEvery: 7}, false},
+		{"remote", Config{Shards: 1, Remotes: []string{addr}, Window: window, EvictEvery: 7}, false},
+		{"durable", Config{Shards: 2, Window: window, EvictEvery: 7, CheckpointEvery: 512, SegmentBytes: 16 << 10}, true},
+	}
+	for _, tp := range topologies {
+		t.Run(tp.name, func(t *testing.T) {
+			cfg := tp.cfg
+			var r *Router
+			if tp.durable {
+				cfg.DataDir = t.TempDir()
+				var err error
+				var recovered []Match
+				r, recovered, err = Open(cfg)
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				if len(recovered) != 0 {
+					t.Fatalf("cold start recovered %d matches", len(recovered))
+				}
+			} else {
+				r = New(cfg)
+			}
+			queries, strategies := testQueries(), testStrategies()
+			for _, name := range sortedNames(queries) {
+				if err := r.Register(name, queries[name], core.Config{Strategy: strategies[name]}); err != nil {
+					t.Fatalf("register %s: %v", name, err)
+				}
+			}
+			var mu sync.Mutex
+			byQuery := make(map[string]int64)
+			var collected int64
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				r.Drain(func(m Match) {
+					mu.Lock()
+					byQuery[m.Query]++
+					collected++
+					mu.Unlock()
+				})
+			}()
+			for lo := 0; lo < len(edges); lo += 64 {
+				hi := lo + 64
+				if hi > len(edges) {
+					hi = len(edges)
+				}
+				r.IngestBatch(edges[lo:hi])
+			}
+			reg := r.Metrics()
+			r.Close()
+			<-done
+			if collected == 0 {
+				t.Fatal("workload produced no matches; differential is vacuous")
+			}
+
+			samples := reg.Snapshot()
+			admitted := metricValue(t, samples, "sg_router_edges_admitted_total")
+			if admitted != int64(len(edges)) {
+				t.Errorf("admitted = %d, want %d", admitted, len(edges))
+			}
+			// Per shard, every admitted edge was either routed or gated:
+			// gating is a whole-batch decision, so the two counters tile
+			// the stream exactly.
+			for i := 0; i < r.NumShards(); i++ {
+				sh := []string{"shard", string(rune('0' + i))}
+				routed := metricValue(t, samples, "sg_shard_edges_routed_total", sh...)
+				gated := metricValue(t, samples, "sg_shard_edges_gated_total", sh...)
+				if routed+gated != admitted {
+					t.Errorf("shard %d: routed %d + gated %d != admitted %d", i, routed, gated, admitted)
+				}
+			}
+			// Every collected match is counted once per query and once on
+			// its emitting shard, and once by the consumption counter.
+			if got := sumMetric(samples, "sg_matches_total"); got != collected {
+				t.Errorf("sum sg_matches_total = %d, want %d collected", got, collected)
+			}
+			for q, want := range byQuery {
+				if got := metricValue(t, samples, "sg_matches_total", "query", q); got != want {
+					t.Errorf("sg_matches_total{query=%q} = %d, want %d", q, got, want)
+				}
+			}
+			if got := sumMetric(samples, "sg_shard_matches_emitted_total"); got != collected {
+				t.Errorf("sum sg_shard_matches_emitted_total = %d, want %d collected", got, collected)
+			}
+			if got := metricValue(t, samples, "sg_router_matches_consumed_total"); got != collected {
+				t.Errorf("sg_router_matches_consumed_total = %d, want %d", got, collected)
+			}
+			if lag := r.MatchLag(); lag.Count() == 0 {
+				t.Error("match-lag histogram recorded no samples")
+			}
+
+			if tp.durable {
+				// The disk-bytes gauge must agree with what is actually on
+				// disk. Scraped after Close: no trim can race the walk.
+				samples = reg.Snapshot()
+				gauge := metricValue(t, samples, "sg_edlog_disk_bytes")
+				var onDisk int64
+				ents, err := os.ReadDir(filepath.Join(cfg.DataDir, "edgelog"))
+				if err != nil {
+					t.Fatalf("read edgelog dir: %v", err)
+				}
+				for _, e := range ents {
+					if !edlog.IsSegmentFile(e.Name()) {
+						continue
+					}
+					fi, err := e.Info()
+					if err != nil {
+						t.Fatal(err)
+					}
+					onDisk += fi.Size()
+				}
+				if gauge != onDisk {
+					t.Errorf("sg_edlog_disk_bytes = %d, on-disk segment bytes = %d", gauge, onDisk)
+				}
+				if rounds := metricValue(t, samples, "sg_checkpoint_rounds_total"); rounds == 0 {
+					t.Error("no checkpoint rounds counted despite CheckpointEvery cadence")
+				}
+				for _, s := range samples {
+					if s.Name == "sg_edlog_fsync_ns" && (s.Hist == nil || s.Hist.Count() == 0) {
+						t.Error("fsync histogram recorded no samples")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStatsAndScrapeUnderIngest pins the read-side race surface: Stats,
+// registry snapshots, Prometheus rendering and match-lag merges all
+// poll concurrently with a saturating ingest (the package tests run
+// under -race in CI).
+func TestStatsAndScrapeUnderIngest(t *testing.T) {
+	edges := testStream(4000)
+	r := New(Config{Shards: 2, Window: 400, EvictEvery: 7})
+	queries, strategies := testQueries(), testStrategies()
+	for _, name := range sortedNames(queries) {
+		if err := r.Register(name, queries[name], core.Config{Strategy: strategies[name]}); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Drain(nil)
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, st := range r.Stats() {
+					_ = st.EdgesRouted + st.MatchesEmitted
+				}
+				if err := r.Metrics().WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				lag := r.MatchLag()
+				_ = lag.Count()
+				time.Sleep(50 * time.Microsecond)
+			}
+		}()
+	}
+	for lo := 0; lo < len(edges); lo += 32 {
+		hi := lo + 32
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		r.IngestBatch(edges[lo:hi])
+	}
+	close(stop)
+	wg.Wait()
+	r.Close()
+	<-done
+	if got := sumMetric(r.Metrics().Snapshot(), "sg_shard_edges_routed_total"); got == 0 {
+		t.Fatal("no routed edges counted")
+	}
+}
