@@ -31,7 +31,7 @@
 //
 // With -json the throughput experiments (batch, shard, dshard,
 // persist) emit one machine-readable JSON document on stdout instead
-// of text tables — the format CI archives as BENCH_PR7.json to track
+// of text tables — the format CI archives as BENCH_PR8.json to track
 // the perf trajectory across PRs.
 package main
 

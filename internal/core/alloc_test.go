@@ -64,3 +64,58 @@ func TestProcessEdgeInstrumentedAllocFree(t *testing.T) {
 		t.Fatal("latency histogram recorded no samples")
 	}
 }
+
+// TestProcessBatchAllocFree extends the allocation gate to the batch
+// path: once the batchArena has grown to the workload's steady-state
+// demand, ProcessBatch must allocate nothing — the materialized-edge
+// buffer, per-edge result rows and match copies all come out of the
+// arena. Same no-complete-match workload as the serial gate (real leaf
+// and pool traffic, no emitted matches), batch size 64, single search
+// worker (the inline path the sharded runtime runs per slot).
+func TestProcessBatchAllocFree(t *testing.T) {
+	m := NewMulti(MultiConfig{Window: 200, EvictEvery: 16})
+	q := query.NewPath("ip", "GRE", "TCP")
+	if err := m.Register("probe", q, Config{Strategy: StrategySingleLazy, BatchWorkers: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	const hosts = 16
+	const batchSize = 64
+	names := make([]string, hosts)
+	for i := range names {
+		names[i] = fmt.Sprintf("h%d", i)
+	}
+	ts := int64(0)
+	i := 0
+	batch := make([]stream.Edge, batchSize)
+	fill := func() {
+		for j := range batch {
+			ts++
+			batch[j] = stream.Edge{
+				Src: names[i%hosts], SrcLabel: "ip",
+				Dst: names[(i+1)%hosts], DstLabel: "ip",
+				Type: "TCP", TS: ts,
+			}
+			i++
+		}
+	}
+
+	// Warm to steady state: interners, buckets, pool, eviction heap,
+	// and the arena's per-kind demand.
+	for r := 0; r < 64; r++ {
+		fill()
+		m.ProcessBatchGrouped(batch)
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		fill()
+		for _, ms := range m.ProcessBatchGrouped(batch) {
+			if len(ms) != 0 {
+				t.Fatalf("unexpected match at edge %d", i)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("ProcessBatchGrouped allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,156 @@
+// Batch-path result arena. Every ProcessBatch call used to allocate a
+// fresh set of scratch slices — the materialized-edge buffer, the
+// per-edge result headers, the speculative candidate matrix and its
+// masks, and one []iso.Match copy per edge that completed matches.
+// Under the steady-state batch workloads the sharded runtime drives
+// (thousands of small batches per second per engine) those short-lived
+// slices dominated the allocation profile of an otherwise
+// allocation-free engine (see the PR 3/PR 4 gates in
+// internal/sjtree/alloc_test.go and alloc_test.go).
+//
+// batchArena replaces them with generation-scoped reuse: begin() opens
+// a generation (one top-level batch), the take methods hand out
+// sub-slices of per-kind backing buffers, and the NEXT begin() recycles
+// everything at once. Within a generation nothing is ever handed out
+// twice and the backing buffers never reallocate (overflow is served by
+// a plain make, and the recorded demand grows the buffer for the next
+// generation instead), so a slice taken earlier in the generation is
+// never invalidated by a later take.
+//
+// Ownership contract: slices returned by ProcessBatch /
+// ProcessBatchGrouped remain valid until the NEXT batch call on the
+// same engine, and no longer. Every caller in the tree (the facade
+// Monitor, the shard worker loop, the dshard host) consumes or copies
+// each batch's matches before feeding the next batch, which is exactly
+// the lifetime a generation gives them. Callers that retain matches
+// across batches must copy the per-edge slices (the iso.Match values
+// themselves own their bindings and are safe to copy).
+package core
+
+import (
+	"streamgraph/internal/graph"
+	"streamgraph/internal/iso"
+)
+
+// batchArena is the per-engine scratch allocator for the batch path.
+// It is owned by exactly one batch generation at a time (the engine's
+// single writer), never shared across goroutines: the parallel search
+// phase only writes into rows the sequential phase took beforehand.
+type batchArena struct {
+	edges []graph.Edge  // materialized-edge buffers (ingestBatch)
+	rows  [][]iso.Match // result/candidate row headers
+	flags []bool        // speculation masks
+	ints  []int         // speculation task lists
+	named [][]NamedMatch
+	slab  []iso.Match // per-edge completed-match copies
+
+	edgesU, rowsU, flagsU, intsU, namedU, slabU int // used this generation
+	edgesD, rowsD, flagsD, intsD, namedD, slabD int // demand this generation
+}
+
+// begin opens a new generation: everything handed out by the previous
+// one is recycled, and any buffer whose demand outgrew it is resized
+// so this generation's takes stay in the arena.
+func (a *batchArena) begin() {
+	if a.edgesD > cap(a.edges) {
+		a.edges = make([]graph.Edge, a.edgesD)
+	}
+	if a.rowsD > cap(a.rows) {
+		a.rows = make([][]iso.Match, a.rowsD)
+	}
+	if a.flagsD > cap(a.flags) {
+		a.flags = make([]bool, a.flagsD)
+	}
+	if a.intsD > cap(a.ints) {
+		a.ints = make([]int, a.intsD)
+	}
+	if a.namedD > cap(a.named) {
+		a.named = make([][]NamedMatch, a.namedD)
+	}
+	if a.slabD > cap(a.slab) {
+		a.slab = make([]iso.Match, a.slabD)
+	}
+	a.edges, a.rows, a.flags = a.edges[:cap(a.edges)], a.rows[:cap(a.rows)], a.flags[:cap(a.flags)]
+	a.ints, a.named, a.slab = a.ints[:cap(a.ints)], a.named[:cap(a.named)], a.slab[:cap(a.slab)]
+	a.edgesU, a.rowsU, a.flagsU, a.intsU, a.namedU, a.slabU = 0, 0, 0, 0, 0, 0
+	a.edgesD, a.rowsD, a.flagsD, a.intsD, a.namedD, a.slabD = 0, 0, 0, 0, 0, 0
+}
+
+// edgeBuf returns an uninitialized length-n edge buffer (the caller
+// assigns every element).
+func (a *batchArena) edgeBuf(n int) []graph.Edge {
+	a.edgesD += n
+	if a.edgesU+n <= len(a.edges) {
+		s := a.edges[a.edgesU : a.edgesU+n : a.edgesU+n]
+		a.edgesU += n
+		return s
+	}
+	return make([]graph.Edge, n)
+}
+
+// rowBuf returns a zeroed length-n row buffer (semantically identical
+// to make([][]iso.Match, n) — callers rely on untouched rows being
+// nil).
+func (a *batchArena) rowBuf(n int) [][]iso.Match {
+	a.rowsD += n
+	if a.rowsU+n <= len(a.rows) {
+		s := a.rows[a.rowsU : a.rowsU+n : a.rowsU+n]
+		a.rowsU += n
+		clear(s)
+		return s
+	}
+	return make([][]iso.Match, n)
+}
+
+// flagBuf returns a zeroed length-n mask.
+func (a *batchArena) flagBuf(n int) []bool {
+	a.flagsD += n
+	if a.flagsU+n <= len(a.flags) {
+		s := a.flags[a.flagsU : a.flagsU+n : a.flagsU+n]
+		a.flagsU += n
+		clear(s)
+		return s
+	}
+	return make([]bool, n)
+}
+
+// intBuf returns a length-0, capacity-n buffer for append-style use.
+func (a *batchArena) intBuf(n int) []int {
+	a.intsD += n
+	if a.intsU+n <= len(a.ints) {
+		s := a.ints[a.intsU : a.intsU : a.intsU+n]
+		a.intsU += n
+		return s
+	}
+	return make([]int, 0, n)
+}
+
+// namedBuf returns a zeroed length-n named-match row buffer.
+func (a *batchArena) namedBuf(n int) [][]NamedMatch {
+	a.namedD += n
+	if a.namedU+n <= len(a.named) {
+		s := a.named[a.namedU : a.namedU+n : a.namedU+n]
+		a.namedU += n
+		clear(s)
+		return s
+	}
+	return make([][]NamedMatch, n)
+}
+
+// matches copies src into the match slab and returns the copy — the
+// arena form of append([]iso.Match(nil), src...), preserving its
+// nil-for-empty result.
+func (a *batchArena) matches(src []iso.Match) []iso.Match {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	a.slabD += n
+	if a.slabU+n <= len(a.slab) {
+		dst := a.slab[a.slabU : a.slabU+n : a.slabU+n]
+		a.slabU += n
+		copy(dst, src)
+		return dst
+	}
+	return append([]iso.Match(nil), src...)
+}

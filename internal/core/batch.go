@@ -46,10 +46,14 @@ import (
 // at that point in the stream. Eviction and adaptive statistics are
 // amortized to one pass per batch; the candidate searches fan out over
 // Config.BatchWorkers workers.
+//
+// The returned slices are arena-backed: they stay valid until the next
+// ProcessBatch call on this engine and no longer (see batchArena).
 func (e *Engine) ProcessBatch(batch []stream.Edge) [][]iso.Match {
 	if len(batch) == 0 {
 		return nil
 	}
+	e.arena.begin()
 	if e.adaptive != nil {
 		return e.processBatchAdaptive(batch)
 	}
@@ -111,7 +115,7 @@ func ingestOne(g *graph.Graph, se stream.Edge) graph.Edge {
 // writer, no locking) and returns the materialized edges in input
 // order.
 func (e *Engine) ingestBatch(batch []stream.Edge) []graph.Edge {
-	des := make([]graph.Edge, len(batch))
+	des := e.arena.edgeBuf(len(batch))
 	for i, se := range batch {
 		des[i] = ingestOne(e.g, se)
 	}
@@ -131,7 +135,7 @@ func (e *Engine) batchWorkers() int {
 // matcher; with one worker (or one task) everything runs inline on the
 // engine's own matcher.
 func (e *Engine) runSearchTasks(n, workers int, fn func(m *iso.Matcher, task int) []iso.Match) [][]iso.Match {
-	res := make([][]iso.Match, n)
+	res := e.arena.rowBuf(n)
 	if workers > n {
 		workers = n
 	}
@@ -170,7 +174,7 @@ func (e *Engine) runSearchTasks(n, workers int, fn func(m *iso.Matcher, task int
 // runs single-threaded afterwards, in input order. MultiEngine and
 // ParallelMulti call this directly after their shared-graph ingest.
 func (e *Engine) searchBatch(des []graph.Edge, workers int) [][]iso.Match {
-	out := make([][]iso.Match, len(des))
+	out := e.arena.rowBuf(len(des))
 	switch e.cfg.Strategy {
 	case StrategyVF2:
 		cands := e.runSearchTasks(len(des), workers, func(m *iso.Matcher, t int) []iso.Match {
@@ -236,8 +240,8 @@ func (e *Engine) searchBatchTree(des []graph.Edge, workers int, out [][]iso.Matc
 	var cands [][]iso.Match
 	var have []bool
 	if speculate && e.lazy {
-		have = make([]bool, len(des)*nl)
-		tasks := make([]int, 0, len(have))
+		have = e.arena.flagBuf(len(des) * nl)
+		tasks := e.arena.intBuf(len(have))
 		for i, de := range des {
 			for l := 0; l < nl; l++ {
 				if l > 0 && len(e.tree.LeafEdges(l)) == 1 &&
@@ -248,7 +252,7 @@ func (e *Engine) searchBatchTree(des []graph.Edge, workers int, out [][]iso.Matc
 				tasks = append(tasks, i*nl+l)
 			}
 		}
-		cands = make([][]iso.Match, len(des)*nl)
+		cands = e.arena.rowBuf(len(des) * nl)
 		res := e.runSearchTasks(len(tasks), workers, func(m *iso.Matcher, t int) []iso.Match {
 			i, l := tasks[t]/nl, tasks[t]%nl
 			m.MaxSeq = des[i].Seq
@@ -285,7 +289,7 @@ func (e *Engine) searchBatchTree(des []graph.Edge, workers int, out [][]iso.Matc
 		} else {
 			e.mergeTree(de, nil, nil)
 		}
-		out[i] = append([]iso.Match(nil), e.curResults...)
+		out[i] = e.arena.matches(e.curResults)
 		e.stats.CompleteMatches += int64(len(out[i]))
 	}
 	e.matcher.MaxSeq = 0
@@ -311,10 +315,14 @@ func (m *MultiEngine) ProcessBatch(ses []stream.Edge) []NamedMatch {
 // the result stays aligned with the input slice even under a replica
 // filter: filtered-out edges keep their slot and simply complete
 // nothing.
+//
+// The returned slices are arena-backed: they stay valid until the next
+// batch call on this engine and no longer (see batchArena).
 func (m *MultiEngine) ProcessBatchGrouped(ses []stream.Edge) [][]NamedMatch {
 	if len(ses) == 0 {
 		return nil
 	}
+	m.arena.begin()
 	kept := ses
 	var keptIdx []int // nil when the filter admits the whole batch
 	if !m.filter.Universal() {
@@ -338,14 +346,18 @@ func (m *MultiEngine) ProcessBatchGrouped(ses []stream.Edge) [][]NamedMatch {
 			}
 		}
 	}
-	out := make([][]NamedMatch, len(ses))
+	out := m.arena.namedBuf(len(ses))
 	if len(kept) == 0 {
 		return out
 	}
 	des := m.ingestBatch(kept)
-	perQuery := make([][][]iso.Match, len(m.order))
+	if cap(m.pq) < len(m.order) {
+		m.pq = make([][][]iso.Match, len(m.order))
+	}
+	perQuery := m.pq[:len(m.order)]
 	for qi, name := range m.order {
 		eng := m.queries[name]
+		eng.arena.begin()
 		perQuery[qi] = eng.searchBatch(des, eng.batchWorkers())
 	}
 	for i := range des {
@@ -371,7 +383,7 @@ func (m *MultiEngine) ingestBatch(ses []stream.Edge) []graph.Edge {
 	m.stats.AddAll(ses)
 	m.edgesSeen += int64(len(ses))
 	m.stored += int64(len(ses))
-	des := make([]graph.Edge, len(ses))
+	des := m.arena.edgeBuf(len(ses))
 	for i, se := range ses {
 		des[i] = ingestOne(m.g, se)
 	}

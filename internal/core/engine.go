@@ -191,6 +191,10 @@ type Engine struct {
 	adaptive *adaptiveState
 	budget   sjtree.WorkBudget
 
+	// arena backs the batch path's scratch and result slices, recycled
+	// per batch generation (see batchArena).
+	arena batchArena
+
 	// external marks an engine whose graph ingestion and eviction are
 	// managed by a MultiEngine.
 	external bool

@@ -46,6 +46,12 @@ type MultiEngine struct {
 	edgeLat  *metrics.AtomicHistogram
 	latEvery int64
 	latN     int64
+
+	// Batch-path scratch, reused across batches: the arena backs the
+	// shared ingest buffer and per-edge result rows, pq the per-query
+	// result table (see batchArena for the ownership contract).
+	arena batchArena
+	pq    [][][]iso.Match
 }
 
 // MultiConfig parameterizes a MultiEngine.

@@ -84,7 +84,11 @@ func (w *pworker) run() {
 			// Batch dispatch: candidate searches stay inline (one
 			// worker) — across-query fan-out is this pool's axis of
 			// parallelism; nesting an intra-query pool per engine
-			// would oversubscribe the machine.
+			// would oversubscribe the machine. The engine's arena is
+			// safe to recycle here: this worker is the only goroutine
+			// touching the engine, and the previous batch's rows were
+			// drained into pmatch values before the batch completed.
+			eng.arena.begin()
 			for ei, ms := range eng.searchBatch(des, 1) {
 				for _, mt := range ms {
 					out = append(out, pmatch{query: w.names[i], edge: ei, m: mt})
@@ -155,6 +159,7 @@ func (p *ParallelMulti) ProcessBatch(ses []stream.Edge) []NamedMatch {
 	if len(ses) == 0 {
 		return nil
 	}
+	p.inner.arena.begin()
 	return p.dispatch(p.inner.ingestBatch(ses))
 }
 

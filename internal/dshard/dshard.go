@@ -17,7 +17,16 @@
 // length, then the payload, whose first byte is the frame type. All
 // integers inside payloads are varints (unsigned for sequence numbers
 // and counts, zigzag for timestamps and gauges); strings are
-// length-prefixed byte strings. The client (router) sends:
+// length-prefixed byte strings. Protocol v2 — negotiated per
+// connection by the hello/hello-ack capability exchange — additionally
+// interns strings in a per-connection, per-direction dictionary
+// (CapDict: first occurrence as id+bytes, later occurrences as a
+// varint reference), delta-encodes timestamps within each frame's edge
+// list, and flate-compresses large frames (CapCompress: the high bit
+// of the length header marks a compressed payload). A v1 peer
+// negotiates nothing and speaks the plain encoding; snapshot images
+// and the edlog record codec always use the plain encoding because
+// they outlive connections. The client (router) sends:
 //
 //	hello       protocol version, slot id, window, eviction cadence,
 //	            and the initial replica-filter mode
@@ -47,9 +56,31 @@ package dshard
 
 import "streamgraph/internal/stream"
 
-// ProtocolVersion is the wire protocol version carried by the hello
-// frame; a server refuses connections from any other version.
-const ProtocolVersion = 1
+// ProtocolVersion is the current wire protocol version carried by the
+// hello frame. A v2 client opens with version 2 plus its capability
+// bits and expects a hello-ack granting the intersection; the server
+// also accepts ProtocolVersionLegacy hellos (plain v1 encoding, no
+// ack) so old routers interoperate, and refuses anything else.
+const ProtocolVersion = 2
+
+// ProtocolVersionLegacy is the v1 protocol: plain string encoding,
+// absolute timestamps, no compression, no hello-ack. A v2 client that
+// fails the hello-ack handshake (an old server closes the connection
+// on an unknown version) falls back to it.
+const ProtocolVersionLegacy = 1
+
+// Capability bits negotiated in the v2 hello/hello-ack exchange. The
+// client offers a set, the server answers with the subset it grants,
+// and both sides apply exactly the granted set — to both directions of
+// the connection.
+const (
+	// CapDict enables the per-connection string dictionary and
+	// within-frame delta timestamps on edge/backfill/match frames.
+	CapDict uint64 = 1 << 0
+	// CapCompress enables per-frame flate compression of large frames
+	// (the high bit of the length header marks a compressed frame).
+	CapCompress uint64 = 1 << 1
+)
 
 // MaxFrame bounds a single frame's payload size (a corrupt or
 // malicious length prefix must not allocate unboundedly).
@@ -78,12 +109,19 @@ const (
 	FrameMatch byte = 0x81
 	// FrameDone acknowledges one client frame (server→client).
 	FrameDone byte = 0x82
+	// FrameHelloAck answers a v2 hello with the granted capability
+	// bits (server→client). A v1 hello is never acknowledged — a v1
+	// client's reader would treat the unknown frame type as a protocol
+	// violation.
+	FrameHelloAck byte = 0x84
 )
 
 // Hello is the connection-opening frame: the engine configuration the
 // remote worker builds its fresh core.MultiEngine from.
 type Hello struct {
-	// Version must equal ProtocolVersion.
+	// Version is ProtocolVersion (v2: the hello carries Caps and the
+	// server answers with a hello-ack) or ProtocolVersionLegacy (v1:
+	// plain encoding, no ack).
 	Version uint64
 	// Slot is the router-side slot index (diagnostics only).
 	Slot int
@@ -96,6 +134,22 @@ type Hello struct {
 	// false starts the engine as an empty filtered replica that each
 	// register frame widens.
 	UniversalFilter bool
+	// Caps is the capability set the client offers (Cap* bits); the
+	// server grants the intersection with its own in the hello-ack.
+	// Trailing field so a v1 hello (which simply omits it) decodes
+	// with Caps = 0.
+	Caps uint64
+}
+
+// HelloAck is the server's answer to a v2 hello: the capability set in
+// force, in both directions, for the rest of the connection. It is the
+// first and only frame a server sends before its normal
+// match/done traffic, and is never sent to a v1 client.
+type HelloAck struct {
+	// Version echoes the server's protocol version.
+	Version uint64
+	// Caps is the granted capability set (a subset of the hello's).
+	Caps uint64
 }
 
 // Edges is one admitted batch of stream edges.

@@ -27,6 +27,13 @@ type Server struct {
 	// (log.Printf signature).
 	Logf func(format string, args ...any)
 
+	// LegacyV1 makes the server behave exactly like a v1-only binary:
+	// it accepts only ProtocolVersionLegacy hellos and never sends a
+	// hello-ack, rejecting v2 clients by closing the connection. It
+	// exists so the client-side fallback path (a new router dialing an
+	// old sgshard) is testable without an old binary.
+	LegacyV1 bool
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -114,7 +121,7 @@ func (s *Server) handle(c net.Conn) {
 		c.Close()
 	}()
 	cn := NewConn(c)
-	if err := (&host{cn: cn}).run(); err != nil {
+	if err := (&host{cn: cn, legacy: s.LegacyV1}).run(); err != nil {
 		s.logf("dshard: %s: %v", c.RemoteAddr(), err)
 	}
 }
@@ -157,6 +164,10 @@ type host struct {
 	// streamed flips once any state-bearing frame has been handled; a
 	// restore frame is only legal before it (right after hello).
 	streamed bool
+
+	// legacy mirrors Server.LegacyV1: refuse v2 hellos like an old
+	// binary would.
+	legacy bool
 }
 
 func (h *host) run() error {
@@ -171,8 +182,24 @@ func (h *host) run() error {
 	if err != nil {
 		return err
 	}
-	if hello.Version != ProtocolVersion {
-		return fmt.Errorf("protocol version %d, want %d", hello.Version, ProtocolVersion)
+	switch hello.Version {
+	case ProtocolVersionLegacy:
+		// v1 peer: plain encoding, no ack. A v1 client's reader treats
+		// unknown server frames as protocol violations, so the server
+		// must stay silent here.
+	case ProtocolVersion:
+		if h.legacy {
+			// Simulating an old binary: reject like v1 code would.
+			return fmt.Errorf("protocol version %d, want %d", hello.Version, ProtocolVersionLegacy)
+		}
+		granted := hello.Caps & (CapDict | CapCompress)
+		if err := h.cn.WriteHelloAck(HelloAck{Version: ProtocolVersion, Caps: granted}); err != nil {
+			return err
+		}
+		h.cn.Negotiate(granted)
+	default:
+		return fmt.Errorf("protocol version %d, want %d or %d",
+			hello.Version, ProtocolVersion, ProtocolVersionLegacy)
 	}
 	h.eng = core.NewMulti(core.MultiConfig{Window: hello.Window, EvictEvery: hello.EvictEvery})
 	h.ranks = make(map[string]int)
@@ -190,7 +217,7 @@ func (h *host) run() error {
 		}
 		switch typ {
 		case FrameEdges:
-			m, err := DecodeEdges(body)
+			m, err := h.cn.DecodeEdges(body)
 			if err != nil {
 				return err
 			}
@@ -198,7 +225,7 @@ func (h *host) run() error {
 				return err
 			}
 		case FrameRegister:
-			m, err := DecodeRegister(body)
+			m, err := h.cn.DecodeRegister(body)
 			if err != nil {
 				return err
 			}
@@ -206,7 +233,7 @@ func (h *host) run() error {
 				return err
 			}
 		case FrameBackfill:
-			m, err := DecodeBackfill(body)
+			m, err := h.cn.DecodeBackfill(body)
 			if err != nil {
 				return err
 			}
@@ -220,7 +247,7 @@ func (h *host) run() error {
 				return err
 			}
 		case FrameUnregister:
-			m, err := DecodeUnregister(body)
+			m, err := h.cn.DecodeUnregister(body)
 			if err != nil {
 				return err
 			}

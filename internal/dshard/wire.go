@@ -10,6 +10,8 @@ package dshard
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -40,29 +42,91 @@ type Conn struct {
 	// Wire accounting, maintained by the frame layer itself so every
 	// protocol user gets it for free. Atomics: written by the
 	// single-writer/single-reader pair, read by metrics scrapes on
-	// arbitrary goroutines.
-	bytesIn, bytesOut   atomic.Int64
-	framesIn, framesOut atomic.Int64
+	// arbitrary goroutines. bytes* count what actually crossed the
+	// wire; rawBytes* count the logical (uncompressed) payloads, so
+	// rawBytes/bytes is the compression ratio.
+	bytesIn, bytesOut       atomic.Int64
+	rawBytesIn, rawBytesOut atomic.Int64
+	framesIn, framesOut     atomic.Int64
+
+	// Negotiated v2 state (Negotiate): the per-direction string
+	// dictionaries and the flate codec scratch. All nil/false on a v1
+	// connection. dict and the write-side flate state belong to the
+	// writer goroutine, tbl and the read-side state to the reader.
+	caps     uint64
+	dict     *strDict  // encode side (our outgoing frames)
+	tbl      *strTable // decode side (the peer's incoming frames)
+	compress bool
+	fw       *flate.Writer
+	cw       appendWriter // fw's sink: the compressed-frame scratch
+	cbuf     []byte       // read side: raw compressed payload scratch
+	fr       io.ReadCloser
+	frSrc    bytes.Reader
+}
+
+// appendWriter is a minimal io.Writer appending into a reusable byte
+// slice, the flate writer's sink (bytes.Buffer would re-allocate its
+// window on every Reset).
+type appendWriter struct{ b []byte }
+
+// Write appends p.
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
 }
 
 // ConnStats is a point-in-time snapshot of one connection's wire
 // accounting. Byte counts include the 4-byte frame headers.
 type ConnStats struct {
 	// BytesIn and FramesIn count received frames; BytesOut and
-	// FramesOut count sent frames.
+	// FramesOut count sent frames. Byte counts are post-compression —
+	// what actually crossed the wire.
 	BytesIn, BytesOut   int64
 	FramesIn, FramesOut int64
+	// RawBytesIn and RawBytesOut count the same frames before
+	// compression (identical to BytesIn/BytesOut on a connection
+	// without CapCompress); Bytes/RawBytes is the compression ratio.
+	RawBytesIn, RawBytesOut int64
+	// DictEntriesOut/DictBytesOut size the encode-side string
+	// dictionary (entries interned, string bytes held);
+	// DictEntriesIn/DictBytesIn the decode side. Zero without CapDict.
+	DictEntriesOut, DictBytesOut int64
+	DictEntriesIn, DictBytesIn   int64
 }
 
 // Stats snapshots the connection's cumulative wire counters. Safe to
 // call from any goroutine at any time.
 func (cn *Conn) Stats() ConnStats {
-	return ConnStats{
-		BytesIn:   cn.bytesIn.Load(),
-		BytesOut:  cn.bytesOut.Load(),
-		FramesIn:  cn.framesIn.Load(),
-		FramesOut: cn.framesOut.Load(),
+	st := ConnStats{
+		BytesIn:     cn.bytesIn.Load(),
+		BytesOut:    cn.bytesOut.Load(),
+		FramesIn:    cn.framesIn.Load(),
+		FramesOut:   cn.framesOut.Load(),
+		RawBytesIn:  cn.rawBytesIn.Load(),
+		RawBytesOut: cn.rawBytesOut.Load(),
 	}
+	if cn.dict != nil {
+		st.DictEntriesOut = cn.dict.entries.Load()
+		st.DictBytesOut = cn.dict.bytes.Load()
+	}
+	if cn.tbl != nil {
+		st.DictEntriesIn = cn.tbl.entries.Load()
+		st.DictBytesIn = cn.tbl.bytes.Load()
+	}
+	return st
+}
+
+// Negotiate applies a granted capability set to the connection, in
+// both directions. Call it exactly once, after the hello/hello-ack
+// exchange and before any other frame is written or read: the
+// handshake frames themselves always use the plain v1 encoding.
+func (cn *Conn) Negotiate(caps uint64) {
+	cn.caps = caps
+	if caps&CapDict != 0 {
+		cn.dict = newStrDict()
+		cn.tbl = &strTable{}
+	}
+	cn.compress = caps&CapCompress != 0
 }
 
 // NewConn wraps an established connection.
@@ -86,24 +150,67 @@ func Dial(addr string) (*Conn, error) {
 // Close closes the underlying connection.
 func (cn *Conn) Close() error { return cn.rwc.Close() }
 
-// writeFrame sends one framed payload and flushes.
+// frameCompressed marks a compressed frame in the 4-byte length
+// header. MaxFrame is far below 2^31, so the bit is always free; a v1
+// peer decoding a compressed header would see an over-MaxFrame length
+// and fail cleanly (compressed frames are only ever sent after
+// CapCompress is negotiated).
+const frameCompressed = 1 << 31
+
+// compressThreshold is the minimum payload size worth deflating; tiny
+// control and ack frames are sent as-is.
+const compressThreshold = 512
+
+// writeFrame sends one framed payload and flushes. On a CapCompress
+// connection, payloads at or above compressThreshold are flate-
+// compressed when that actually shrinks them.
 func (cn *Conn) writeFrame(payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("dshard: frame of %d bytes exceeds MaxFrame", len(payload))
 	}
-	binary.BigEndian.PutUint32(cn.whdr[:], uint32(len(payload)))
+	body, hdr := payload, uint32(len(payload))
+	if cn.compress && len(payload) >= compressThreshold {
+		if c, err := cn.deflate(payload); err == nil && len(c) < len(payload) {
+			body, hdr = c, uint32(len(c))|frameCompressed
+		}
+	}
+	binary.BigEndian.PutUint32(cn.whdr[:], hdr)
 	if _, err := cn.bw.Write(cn.whdr[:]); err != nil {
 		return err
 	}
-	if _, err := cn.bw.Write(payload); err != nil {
+	if _, err := cn.bw.Write(body); err != nil {
 		return err
 	}
 	if err := cn.bw.Flush(); err != nil {
 		return err
 	}
-	cn.bytesOut.Add(int64(len(payload)) + 4)
+	cn.bytesOut.Add(int64(len(body)) + 4)
+	cn.rawBytesOut.Add(int64(len(payload)) + 4)
 	cn.framesOut.Add(1)
 	return nil
+}
+
+// deflate compresses p into the connection's reusable scratch buffer.
+func (cn *Conn) deflate(p []byte) ([]byte, error) {
+	cn.cw.b = cn.cw.b[:0]
+	if cn.fw == nil {
+		// BestSpeed: the frames are short-lived loopback/LAN traffic;
+		// the dictionary already removed most redundancy.
+		fw, err := flate.NewWriter(&cn.cw, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		cn.fw = fw
+	} else {
+		cn.fw.Reset(&cn.cw)
+	}
+	if _, err := cn.fw.Write(p); err != nil {
+		return nil, err
+	}
+	if err := cn.fw.Close(); err != nil {
+		return nil, err
+	}
+	return cn.cw.b, nil
 }
 
 // ReadFrame reads one frame and returns its type byte and payload
@@ -114,19 +221,91 @@ func (cn *Conn) ReadFrame() (byte, []byte, error) {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(cn.rhdr[:])
+	compressed := n&frameCompressed != 0
+	n &^= frameCompressed
 	if n == 0 || n > MaxFrame {
 		return 0, nil, fmt.Errorf("dshard: bad frame length %d", n)
 	}
-	if cap(cn.rbuf) < int(n) {
-		cn.rbuf = make([]byte, n)
-	}
-	b := cn.rbuf[:n]
-	if _, err := io.ReadFull(cn.br, b); err != nil {
-		return 0, nil, err
+	var b []byte
+	if compressed {
+		if !cn.compress {
+			return 0, nil, fmt.Errorf("dshard: compressed frame without negotiated compression")
+		}
+		if cap(cn.cbuf) < int(n) {
+			cn.cbuf = make([]byte, n)
+		}
+		c := cn.cbuf[:n]
+		if _, err := io.ReadFull(cn.br, c); err != nil {
+			return 0, nil, err
+		}
+		var err error
+		if b, err = cn.inflate(c); err != nil {
+			return 0, nil, fmt.Errorf("dshard: corrupt compressed frame: %w", err)
+		}
+		if len(b) == 0 {
+			return 0, nil, fmt.Errorf("dshard: empty compressed frame")
+		}
+	} else {
+		if cap(cn.rbuf) < int(n) {
+			cn.rbuf = make([]byte, n)
+		}
+		b = cn.rbuf[:n]
+		if _, err := io.ReadFull(cn.br, b); err != nil {
+			return 0, nil, err
+		}
 	}
 	cn.bytesIn.Add(int64(n) + 4)
+	cn.rawBytesIn.Add(int64(len(b)) + 4)
 	cn.framesIn.Add(1)
 	return b[0], b[1:], nil
+}
+
+// inflate decompresses c into the connection's reusable read buffer,
+// hard-bounded at MaxFrame so a hostile compressed payload cannot
+// drive an unbounded allocation.
+func (cn *Conn) inflate(c []byte) ([]byte, error) {
+	cn.frSrc.Reset(c)
+	if cn.fr == nil {
+		cn.fr = flate.NewReader(&cn.frSrc)
+	} else if err := cn.fr.(flate.Resetter).Reset(&cn.frSrc, nil); err != nil {
+		return nil, err
+	}
+	if cap(cn.rbuf) < 4<<10 {
+		cn.rbuf = make([]byte, 4<<10)
+	}
+	total := 0
+	for {
+		if total == cap(cn.rbuf) {
+			if cap(cn.rbuf) >= MaxFrame {
+				// Full at the limit: legal only if the stream ends
+				// exactly here.
+				var probe [1]byte
+				for {
+					n, err := cn.fr.Read(probe[:])
+					if n > 0 {
+						return nil, fmt.Errorf("decompressed frame exceeds MaxFrame")
+					}
+					if err == io.EOF {
+						return cn.rbuf[:total], nil
+					}
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			grown := make([]byte, min(2*cap(cn.rbuf), MaxFrame))
+			copy(grown, cn.rbuf[:total])
+			cn.rbuf = grown
+		}
+		n, err := cn.fr.Read(cn.rbuf[total:cap(cn.rbuf)])
+		total += n
+		if err == io.EOF {
+			return cn.rbuf[:total], nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 }
 
 // ---- primitive append/decode helpers ----
@@ -153,10 +332,13 @@ func appendBool(b []byte, v bool) []byte {
 }
 
 // dec is a cursor over one payload; the first decode error sticks and
-// every subsequent read returns zero values.
+// every subsequent read returns zero values. A non-nil tbl switches
+// string decoding to the v2 dictionary form and edge lists to
+// within-frame delta timestamps (see dict.go).
 type dec struct {
 	b   []byte
 	err error
+	tbl *strTable
 }
 
 func (d *dec) fail(what string) {
@@ -234,9 +416,9 @@ const (
 
 func (d *dec) edge() stream.Edge {
 	return stream.Edge{
-		Src: d.string_(), SrcLabel: d.string_(),
-		Dst: d.string_(), DstLabel: d.string_(),
-		Type: d.string_(), TS: d.varint(),
+		Src: d.str(), SrcLabel: d.str(),
+		Dst: d.str(), DstLabel: d.str(),
+		Type: d.str(), TS: d.varint(),
 	}
 }
 
@@ -247,7 +429,7 @@ func (d *dec) strings() []string {
 	}
 	out := make([]string, n)
 	for i := range out {
-		out[i] = d.string_()
+		out[i] = d.str()
 	}
 	return out
 }
@@ -258,8 +440,15 @@ func (d *dec) edges() []stream.Edge {
 		return nil
 	}
 	out := make([]stream.Edge, n)
+	prev := int64(0)
 	for i := range out {
 		out[i] = d.edge()
+		if d.tbl != nil {
+			// v2: timestamps are deltas within the list (edges arrive
+			// near-monotone, so most deltas fit one byte).
+			out[i].TS += prev
+			prev = out[i].TS
+		}
 	}
 	return out
 }
@@ -280,9 +469,42 @@ func appendEdges(b []byte, es []stream.Edge) []byte {
 	return b
 }
 
+// appendStringsW is appendStrings under the connection's negotiated
+// encoding (dictionary references on a CapDict connection).
+func (cn *Conn) appendStringsW(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = cn.appendStr(b, s)
+	}
+	return b
+}
+
+// appendEdgesW is appendEdges under the connection's negotiated
+// encoding: dictionary references for the five strings and
+// within-list delta timestamps on a CapDict connection.
+func (cn *Conn) appendEdgesW(b []byte, es []stream.Edge) []byte {
+	if cn.dict == nil {
+		return appendEdges(b, es)
+	}
+	b = binary.AppendUvarint(b, uint64(len(es)))
+	prev := int64(0)
+	for _, e := range es {
+		b = cn.appendStr(b, e.Src)
+		b = cn.appendStr(b, e.SrcLabel)
+		b = cn.appendStr(b, e.Dst)
+		b = cn.appendStr(b, e.DstLabel)
+		b = cn.appendStr(b, e.Type)
+		b = binary.AppendVarint(b, e.TS-prev)
+		prev = e.TS
+	}
+	return b
+}
+
 // ---- message writers ----
 
-// WriteHello sends the connection-opening frame.
+// WriteHello sends the connection-opening frame. A v2 hello carries
+// the offered capability bits as a trailing field; a legacy hello is
+// byte-identical to what a v1 client sends.
 func (cn *Conn) WriteHello(h Hello) error {
 	b := append(cn.wbuf[:0], FrameHello)
 	b = binary.AppendUvarint(b, h.Version)
@@ -290,6 +512,19 @@ func (cn *Conn) WriteHello(h Hello) error {
 	b = binary.AppendVarint(b, h.Window)
 	b = binary.AppendUvarint(b, uint64(h.EvictEvery))
 	b = appendBool(b, h.UniversalFilter)
+	if h.Version >= 2 {
+		b = binary.AppendUvarint(b, h.Caps)
+	}
+	cn.wbuf = b
+	return cn.writeFrame(b)
+}
+
+// WriteHelloAck answers a v2 hello with the granted capability set
+// (server side).
+func (cn *Conn) WriteHelloAck(a HelloAck) error {
+	b := append(cn.wbuf[:0], FrameHelloAck)
+	b = binary.AppendUvarint(b, a.Version)
+	b = binary.AppendUvarint(b, a.Caps)
 	cn.wbuf = b
 	return cn.writeFrame(b)
 }
@@ -300,7 +535,7 @@ func (cn *Conn) WriteEdges(m Edges) error {
 	b = binary.AppendUvarint(b, m.Frame)
 	b = appendBool(b, m.Suppress)
 	b = binary.AppendUvarint(b, m.BaseSeq)
-	b = appendEdges(b, m.Edges)
+	b = cn.appendEdgesW(b, m.Edges)
 	cn.wbuf = b
 	return cn.writeFrame(b)
 }
@@ -310,9 +545,11 @@ func (cn *Conn) WriteRegister(m Register) error {
 	b := append(cn.wbuf[:0], FrameRegister)
 	b = binary.AppendUvarint(b, m.Frame)
 	b = appendBool(b, m.Suppress)
-	b = appendString(b, m.Name)
+	b = cn.appendStr(b, m.Name)
 	b = binary.AppendUvarint(b, m.Seq)
 	b = binary.AppendUvarint(b, uint64(m.Rank))
+	// The query text is one-off free text; it stays plain even on a
+	// dictionary connection.
 	b = appendString(b, m.Query)
 	b = binary.AppendUvarint(b, uint64(m.Strategy))
 	b = appendBool(b, m.HasLeaves)
@@ -328,8 +565,8 @@ func (cn *Conn) WriteRegister(m Register) error {
 	b = binary.AppendVarint(b, m.MaxSteps)
 	b = binary.AppendUvarint(b, uint64(m.Workers))
 	b = appendBool(b, m.FilterUniversal)
-	b = appendStrings(b, m.FilterTypes)
-	b = appendEdges(b, m.Backfill)
+	b = cn.appendStringsW(b, m.FilterTypes)
+	b = cn.appendEdgesW(b, m.Backfill)
 	cn.wbuf = b
 	return cn.writeFrame(b)
 }
@@ -338,8 +575,8 @@ func (cn *Conn) WriteRegister(m Register) error {
 func (cn *Conn) WriteBackfill(m BackfillChunk) error {
 	b := append(cn.wbuf[:0], FrameBackfill)
 	b = binary.AppendUvarint(b, m.Frame)
-	b = appendString(b, m.Name)
-	b = appendEdges(b, m.Edges)
+	b = cn.appendStr(b, m.Name)
+	b = cn.appendEdgesW(b, m.Edges)
 	cn.wbuf = b
 	return cn.writeFrame(b)
 }
@@ -349,10 +586,10 @@ func (cn *Conn) WriteUnregister(m Unregister) error {
 	b := append(cn.wbuf[:0], FrameUnregister)
 	b = binary.AppendUvarint(b, m.Frame)
 	b = appendBool(b, m.Suppress)
-	b = appendString(b, m.Name)
+	b = cn.appendStr(b, m.Name)
 	b = binary.AppendUvarint(b, m.Seq)
 	b = appendBool(b, m.FilterUniversal)
-	b = appendStrings(b, m.FilterTypes)
+	b = cn.appendStringsW(b, m.FilterTypes)
 	cn.wbuf = b
 	return cn.writeFrame(b)
 }
@@ -366,27 +603,35 @@ func (cn *Conn) WriteCloseStream(m CloseStream) error {
 	return cn.writeFrame(b)
 }
 
-// WriteMatch streams one completed match (server side).
+// WriteMatch streams one completed match (server side). On a CapDict
+// connection every name goes through the server→client dictionary and
+// the match-edge timestamps are within-list deltas.
 func (cn *Conn) WriteMatch(m Match) error {
 	b := append(cn.wbuf[:0], FrameMatch)
 	b = binary.AppendUvarint(b, m.Frame)
-	b = appendString(b, m.Query)
+	b = cn.appendStr(b, m.Query)
 	b = binary.AppendUvarint(b, uint64(m.Rank))
 	b = binary.AppendUvarint(b, m.Seq)
 	b = binary.AppendVarint(b, m.FirstTS)
 	b = binary.AppendVarint(b, m.LastTS)
 	b = binary.AppendUvarint(b, uint64(len(m.Bindings)))
 	for _, bd := range m.Bindings {
-		b = appendString(b, bd.QueryVertex)
-		b = appendString(b, bd.DataVertex)
+		b = cn.appendStr(b, bd.QueryVertex)
+		b = cn.appendStr(b, bd.DataVertex)
 	}
 	b = binary.AppendUvarint(b, uint64(len(m.Edges)))
+	prev := int64(0)
 	for _, e := range m.Edges {
 		b = binary.AppendUvarint(b, uint64(e.QueryEdge))
-		b = appendString(b, e.Src)
-		b = appendString(b, e.Dst)
-		b = appendString(b, e.Type)
-		b = binary.AppendVarint(b, e.TS)
+		b = cn.appendStr(b, e.Src)
+		b = cn.appendStr(b, e.Dst)
+		b = cn.appendStr(b, e.Type)
+		if cn.dict != nil {
+			b = binary.AppendVarint(b, e.TS-prev)
+			prev = e.TS
+		} else {
+			b = binary.AppendVarint(b, e.TS)
+		}
 	}
 	cn.wbuf = b
 	return cn.writeFrame(b)
@@ -406,7 +651,8 @@ func (cn *Conn) WriteDone(m Done) error {
 
 // ---- message decoders (payload body, i.e. frame minus type byte) ----
 
-// DecodeHello parses a FrameHello body.
+// DecodeHello parses a FrameHello body. The capability field is
+// trailing and optional: a v1 hello decodes with Caps = 0.
 func DecodeHello(body []byte) (Hello, error) {
 	d := dec{b: body}
 	h := Hello{
@@ -416,23 +662,45 @@ func DecodeHello(body []byte) (Hello, error) {
 		EvictEvery: int(d.uvarint()),
 	}
 	h.UniversalFilter = d.bool_()
+	if d.err == nil && len(d.b) > 0 {
+		h.Caps = d.uvarint()
+	}
 	return h, d.err
 }
 
-// DecodeEdges parses a FrameEdges body.
-func DecodeEdges(body []byte) (Edges, error) {
+// DecodeHelloAck parses a FrameHelloAck body.
+func DecodeHelloAck(body []byte) (HelloAck, error) {
 	d := dec{b: body}
+	a := HelloAck{Version: d.uvarint(), Caps: d.uvarint()}
+	return a, d.err
+}
+
+// DecodeEdges parses a FrameEdges body in the plain v1 encoding.
+func DecodeEdges(body []byte) (Edges, error) { return decodeEdges(body, nil) }
+
+// DecodeEdges parses a FrameEdges body under the connection's
+// negotiated encoding, updating the connection's decode dictionary.
+func (cn *Conn) DecodeEdges(body []byte) (Edges, error) { return decodeEdges(body, cn.tbl) }
+
+func decodeEdges(body []byte, tbl *strTable) (Edges, error) {
+	d := dec{b: body, tbl: tbl}
 	m := Edges{Frame: d.uvarint(), Suppress: d.bool_(), BaseSeq: d.uvarint()}
 	m.Edges = d.edges()
 	return m, d.err
 }
 
-// DecodeRegister parses a FrameRegister body.
-func DecodeRegister(body []byte) (Register, error) {
-	d := dec{b: body}
+// DecodeRegister parses a FrameRegister body in the plain v1 encoding.
+func DecodeRegister(body []byte) (Register, error) { return decodeRegister(body, nil) }
+
+// DecodeRegister parses a FrameRegister body under the connection's
+// negotiated encoding, updating the connection's decode dictionary.
+func (cn *Conn) DecodeRegister(body []byte) (Register, error) { return decodeRegister(body, cn.tbl) }
+
+func decodeRegister(body []byte, tbl *strTable) (Register, error) {
+	d := dec{b: body, tbl: tbl}
 	m := Register{
 		Frame: d.uvarint(), Suppress: d.bool_(),
-		Name: d.string_(), Seq: d.uvarint(), Rank: int(d.uvarint()),
+		Name: d.str(), Seq: d.uvarint(), Rank: int(d.uvarint()),
 		Query: d.string_(), Strategy: int(d.uvarint()),
 	}
 	m.HasLeaves = d.bool_()
@@ -460,20 +728,38 @@ func DecodeRegister(body []byte) (Register, error) {
 	return m, d.err
 }
 
-// DecodeBackfill parses a FrameBackfill body.
-func DecodeBackfill(body []byte) (BackfillChunk, error) {
-	d := dec{b: body}
-	m := BackfillChunk{Frame: d.uvarint(), Name: d.string_()}
+// DecodeBackfill parses a FrameBackfill body in the plain v1 encoding.
+func DecodeBackfill(body []byte) (BackfillChunk, error) { return decodeBackfill(body, nil) }
+
+// DecodeBackfill parses a FrameBackfill body under the connection's
+// negotiated encoding, updating the connection's decode dictionary.
+func (cn *Conn) DecodeBackfill(body []byte) (BackfillChunk, error) {
+	return decodeBackfill(body, cn.tbl)
+}
+
+func decodeBackfill(body []byte, tbl *strTable) (BackfillChunk, error) {
+	d := dec{b: body, tbl: tbl}
+	m := BackfillChunk{Frame: d.uvarint(), Name: d.str()}
 	m.Edges = d.edges()
 	return m, d.err
 }
 
-// DecodeUnregister parses a FrameUnregister body.
-func DecodeUnregister(body []byte) (Unregister, error) {
-	d := dec{b: body}
+// DecodeUnregister parses a FrameUnregister body in the plain v1
+// encoding.
+func DecodeUnregister(body []byte) (Unregister, error) { return decodeUnregister(body, nil) }
+
+// DecodeUnregister parses a FrameUnregister body under the
+// connection's negotiated encoding, updating the connection's decode
+// dictionary.
+func (cn *Conn) DecodeUnregister(body []byte) (Unregister, error) {
+	return decodeUnregister(body, cn.tbl)
+}
+
+func decodeUnregister(body []byte, tbl *strTable) (Unregister, error) {
+	d := dec{b: body, tbl: tbl}
 	m := Unregister{
 		Frame: d.uvarint(), Suppress: d.bool_(),
-		Name: d.string_(), Seq: d.uvarint(),
+		Name: d.str(), Seq: d.uvarint(),
 	}
 	m.FilterUniversal = d.bool_()
 	m.FilterTypes = d.strings()
@@ -487,28 +773,39 @@ func DecodeCloseStream(body []byte) (CloseStream, error) {
 	return m, d.err
 }
 
-// DecodeMatch parses a FrameMatch body.
-func DecodeMatch(body []byte) (Match, error) {
-	d := dec{b: body}
+// DecodeMatch parses a FrameMatch body in the plain v1 encoding.
+func DecodeMatch(body []byte) (Match, error) { return decodeMatch(body, nil) }
+
+// DecodeMatch parses a FrameMatch body under the connection's
+// negotiated encoding, updating the connection's decode dictionary.
+func (cn *Conn) DecodeMatch(body []byte) (Match, error) { return decodeMatch(body, cn.tbl) }
+
+func decodeMatch(body []byte, tbl *strTable) (Match, error) {
+	d := dec{b: body, tbl: tbl}
 	m := Match{
-		Frame: d.uvarint(), Query: d.string_(), Rank: int(d.uvarint()),
+		Frame: d.uvarint(), Query: d.str(), Rank: int(d.uvarint()),
 		Seq: d.uvarint(), FirstTS: d.varint(), LastTS: d.varint(),
 	}
 	nb := d.count("binding", minBindingSize)
 	if d.err == nil && nb > 0 {
 		m.Bindings = make([]Binding, nb)
 		for i := range m.Bindings {
-			m.Bindings[i] = Binding{QueryVertex: d.string_(), DataVertex: d.string_()}
+			m.Bindings[i] = Binding{QueryVertex: d.str(), DataVertex: d.str()}
 		}
 	}
 	ne := d.count("match edge", minMatchEdgeSize)
 	if d.err == nil && ne > 0 {
 		m.Edges = make([]MatchEdge, ne)
+		prev := int64(0)
 		for i := range m.Edges {
 			m.Edges[i] = MatchEdge{
 				QueryEdge: int(d.uvarint()),
-				Src:       d.string_(), Dst: d.string_(), Type: d.string_(),
+				Src:       d.str(), Dst: d.str(), Type: d.str(),
 				TS: d.varint(),
+			}
+			if tbl != nil {
+				m.Edges[i].TS += prev
+				prev = m.Edges[i].TS
 			}
 		}
 	}

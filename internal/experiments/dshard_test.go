@@ -4,22 +4,26 @@ import "testing"
 
 // TestDshardThroughputConsistency is the loopback differential the CI
 // test job runs: every topology — serial, in-process shards, all
-// slots remote over loopback TCP, and mixed local/remote — must report
-// byte-identical match counts on the same workload.
+// slots remote over loopback TCP (under both wire encodings), and
+// mixed local/remote (ditto) — must report byte-identical match counts
+// on the same workload, and the v2 encoding must spend materially
+// fewer wire bytes than its v1 twin.
 func TestDshardThroughputConsistency(t *testing.T) {
 	ds := NetflowDataset(ScaleSmall, 5)
 	rows, err := DshardThroughput(DshardConfig{Dataset: ds, MaxEdges: 3000, Slots: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantModes := []string{"serial", "inproc", "remote", "mixed"}
+	wantModes := []string{"serial", "inproc", "remote", "remote-v1", "mixed", "mixed-v1"}
 	if len(rows) != len(wantModes) {
 		t.Fatalf("got %d rows, want %d", len(rows), len(wantModes))
 	}
+	byMode := map[string]DshardRow{}
 	for i, r := range rows {
 		if r.Mode != wantModes[i] {
 			t.Fatalf("row %d mode %q, want %q", i, r.Mode, wantModes[i])
 		}
+		byMode[r.Mode] = r
 		if r.Matches != rows[0].Matches {
 			t.Errorf("%s: %d matches, serial found %d — the topologies diverge",
 				r.Mode, r.Matches, rows[0].Matches)
@@ -31,9 +35,28 @@ func TestDshardThroughputConsistency(t *testing.T) {
 	if rows[0].Matches == 0 {
 		t.Fatal("workload produced no matches; consistency check is vacuous")
 	}
-	for _, r := range rows[2:] {
-		if r.WireMB <= 0 {
-			t.Errorf("%s: no wire traffic recorded", r.Mode)
+	for _, mode := range wantModes[2:] {
+		r := byMode[mode]
+		if r.WireMB <= 0 || r.WireMBRaw <= 0 || r.WireMBSent <= 0 {
+			t.Errorf("%s: wire traffic not recorded: %+v", mode, r)
+		}
+		if r.WireMBSent > r.WireMBRaw {
+			t.Errorf("%s: sent %f MiB exceeds raw %f MiB", mode, r.WireMBSent, r.WireMBRaw)
+		}
+	}
+	// The whole point of the v2 encoding: same topology, same stream,
+	// same matches, materially fewer bytes. The CI bench step enforces
+	// the full ≥40% bar on the default workload; here a conservative
+	// floor keeps the small synthetic workload from flaking.
+	for _, pair := range [][2]string{{"remote", "remote-v1"}, {"mixed", "mixed-v1"}} {
+		v2, v1 := byMode[pair[0]], byMode[pair[1]]
+		if v2.WireProto != "v2" || v1.WireProto != "v1" {
+			t.Fatalf("wire protocols mislabeled: %q=%q %q=%q",
+				pair[0], v2.WireProto, pair[1], v1.WireProto)
+		}
+		if v2.WireMBSent >= v1.WireMBSent*0.75 {
+			t.Errorf("%s: v2 sent %.3f MiB, v1 sent %.3f MiB — expected at least a 25%% saving",
+				pair[0], v2.WireMBSent, v1.WireMBSent)
 		}
 	}
 }

@@ -38,6 +38,7 @@
 package shard
 
 import (
+	"fmt"
 	"math"
 	"net"
 	"strconv"
@@ -55,6 +56,26 @@ const (
 	remoteRedialMin   = 50 * time.Millisecond
 	remoteRedialMax   = time.Second
 	remoteRecvBuffer  = 256
+)
+
+// WireMode selects the dshard wire encoding a remote slot negotiates
+// (Config.Wire).
+type WireMode int
+
+const (
+	// WireAuto negotiates the full v2 encoding — per-connection string
+	// dictionary, within-frame delta timestamps, per-frame compression
+	// — and falls back per slot to the v1 encoding when the peer does
+	// not complete the v2 handshake (an old sgshard binary).
+	WireAuto WireMode = iota
+	// WireLegacy forces the plain v1 encoding: no handshake beyond
+	// the v1 hello, no dictionary, no compression. Interops with every
+	// server version; the both-encodings benchmarks and differential
+	// tests run under it.
+	WireLegacy
+	// WireDictOnly negotiates the dictionary and delta timestamps but
+	// not compression, isolating what interning alone saves.
+	WireDictOnly
 )
 
 // remoteChunkBytes bounds the estimated payload of one edge-carrying
@@ -169,6 +190,14 @@ type remoteSlot struct {
 	ackUniversal bool
 	ackTypes     []string
 
+	// peerV1 flips (sticky) when a v2 hello handshake fails after the
+	// dial succeeded — the signature of an old sgshard closing the
+	// connection on an unknown protocol version. Every later dial on
+	// this slot speaks v1. Correctness is identical either way; only
+	// wire compactness is lost, so a rare mis-diagnosed transient
+	// failure during the handshake window costs nothing but bytes.
+	peerV1 atomic.Bool
+
 	// Wire telemetry (registerMetrics). liveConn tracks the current
 	// connection so scrape-time wire totals can add its live counters
 	// to the closed-connection accumulators below.
@@ -177,6 +206,7 @@ type remoteSlot struct {
 	ackRTT   *metrics.AtomicHistogram
 	liveConn atomic.Pointer[dshard.Conn]
 	closedBytesIn, closedBytesOut,
+	closedRawBytesIn, closedRawBytesOut,
 	closedFramesIn, closedFramesOut atomic.Int64
 }
 
@@ -200,8 +230,25 @@ func (rs *remoteSlot) registerMetrics(t *telemetry) {
 	}
 	t.reg.CounterFunc("sg_dshard_bytes_in_total", wire(&rs.closedBytesIn, func(s dshard.ConnStats) int64 { return s.BytesIn }), "shard", sh)
 	t.reg.CounterFunc("sg_dshard_bytes_out_total", wire(&rs.closedBytesOut, func(s dshard.ConnStats) int64 { return s.BytesOut }), "shard", sh)
+	t.reg.CounterFunc("sg_dshard_raw_bytes_in_total", wire(&rs.closedRawBytesIn, func(s dshard.ConnStats) int64 { return s.RawBytesIn }), "shard", sh)
+	t.reg.CounterFunc("sg_dshard_raw_bytes_out_total", wire(&rs.closedRawBytesOut, func(s dshard.ConnStats) int64 { return s.RawBytesOut }), "shard", sh)
 	t.reg.CounterFunc("sg_dshard_frames_in_total", wire(&rs.closedFramesIn, func(s dshard.ConnStats) int64 { return s.FramesIn }), "shard", sh)
 	t.reg.CounterFunc("sg_dshard_frames_out_total", wire(&rs.closedFramesOut, func(s dshard.ConnStats) int64 { return s.FramesOut }), "shard", sh)
+	// Dictionary gauges describe the CURRENT connection (dictionaries
+	// are per connection by design — a reconnect starts empty), so
+	// they read the live conn only and report 0 while disconnected.
+	dict := func(live func(dshard.ConnStats) int64) func() int64 {
+		return func() int64 {
+			if c := rs.liveConn.Load(); c != nil {
+				return live(c.Stats())
+			}
+			return 0
+		}
+	}
+	t.reg.GaugeFunc("sg_dshard_dict_entries_out", dict(func(s dshard.ConnStats) int64 { return s.DictEntriesOut }), "shard", sh)
+	t.reg.GaugeFunc("sg_dshard_dict_bytes_out", dict(func(s dshard.ConnStats) int64 { return s.DictBytesOut }), "shard", sh)
+	t.reg.GaugeFunc("sg_dshard_dict_entries_in", dict(func(s dshard.ConnStats) int64 { return s.DictEntriesIn }), "shard", sh)
+	t.reg.GaugeFunc("sg_dshard_dict_bytes_in", dict(func(s dshard.ConnStats) int64 { return s.DictBytesIn }), "shard", sh)
 }
 
 // noteConnClosed folds a finished connection's wire counters into the
@@ -214,6 +261,8 @@ func (rs *remoteSlot) noteConnClosed(c *dshard.Conn) {
 	st := c.Stats()
 	rs.closedBytesIn.Add(st.BytesIn)
 	rs.closedBytesOut.Add(st.BytesOut)
+	rs.closedRawBytesIn.Add(st.RawBytesIn)
+	rs.closedRawBytesOut.Add(st.RawBytesOut)
 	rs.closedFramesIn.Add(st.FramesIn)
 	rs.closedFramesOut.Add(st.FramesOut)
 }
@@ -536,7 +585,11 @@ func (rs *remoteSlot) connLost() {
 	}
 }
 
-// connect dials and sends the hello frame.
+// connect dials and runs the hello handshake. A v2 hello offers the
+// configured capability set and waits for the server's hello-ack; an
+// ack failure after a successful dial marks the peer as v1 (sticky,
+// see remoteSlot.peerV1) so the redial loop's next attempt speaks the
+// legacy protocol. A v1 hello expects no ack.
 func (rs *remoteSlot) connect() (*dshard.Conn, error) {
 	c, err := net.DialTimeout("tcp", rs.addr, remoteDialTimeout)
 	if err != nil {
@@ -544,17 +597,57 @@ func (rs *remoteSlot) connect() (*dshard.Conn, error) {
 	}
 	cn := dshard.NewConn(c)
 	w := rs.w
+	legacy := rs.peerV1.Load() || w.r.cfg.Wire == WireLegacy
+	version := uint64(dshard.ProtocolVersion)
+	var want uint64
+	if legacy {
+		version = dshard.ProtocolVersionLegacy
+	} else {
+		want = dshard.CapDict | dshard.CapCompress
+		if w.r.cfg.Wire == WireDictOnly {
+			want = dshard.CapDict
+		}
+	}
 	err = cn.WriteHello(dshard.Hello{
-		Version:         dshard.ProtocolVersion,
+		Version:         version,
 		Slot:            w.id,
 		Window:          w.r.cfg.Window,
 		EvictEvery:      w.r.cfg.EvictEvery,
 		UniversalFilter: !w.r.filtering,
+		Caps:            want,
 	})
 	if err != nil {
 		cn.Close()
 		return nil, err
 	}
+	if legacy {
+		return cn, nil
+	}
+	// The ack must arrive before any stream traffic; bound the wait so
+	// a peer that silently ignores v2 hellos cannot wedge the slot.
+	c.SetReadDeadline(time.Now().Add(remoteDialTimeout))
+	typ, body, err := cn.ReadFrame()
+	if err != nil || typ != dshard.FrameHelloAck {
+		// The dial worked but the handshake did not: an old server
+		// either closed on the unknown version or answered with
+		// something else. Fall back to v1 permanently — worst case a
+		// mis-diagnosed transient costs wire compactness, never
+		// correctness.
+		rs.peerV1.Store(true)
+		cn.Close()
+		if err == nil {
+			err = fmt.Errorf("dshard handshake: unexpected frame 0x%02x", typ)
+		}
+		return nil, err
+	}
+	ack, err := dshard.DecodeHelloAck(body)
+	if err != nil {
+		rs.peerV1.Store(true)
+		cn.Close()
+		return nil, err
+	}
+	c.SetReadDeadline(time.Time{})
+	cn.Negotiate(ack.Caps & want)
 	return cn, nil
 }
 
@@ -568,7 +661,7 @@ func (rs *remoteSlot) reader(conn *dshard.Conn, recv chan recvMsg) {
 		}
 		switch typ {
 		case dshard.FrameMatch:
-			m, err := dshard.DecodeMatch(body)
+			m, err := conn.DecodeMatch(body)
 			if err != nil {
 				return
 			}

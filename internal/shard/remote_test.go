@@ -342,8 +342,22 @@ func TestRemoteDisconnectReconnectRandomized(t *testing.T) {
 // TestRemoteChunkedFrames forces the wire-chunking path (tiny chunk
 // bound, so every batch and every registration backfill splits into
 // many frames) through the full differential, disconnects included:
-// chunk boundaries must never affect match sets.
+// chunk boundaries must never affect match sets. It runs under both
+// wire encodings — the v2 dictionary connection (where a reconnect
+// also resets the dictionaries mid-differential) and the forced v1
+// fallback.
 func TestRemoteChunkedFrames(t *testing.T) {
+	for _, wire := range []struct {
+		name string
+		mode WireMode
+	}{{"v2-dict", WireAuto}, {"v1-legacy", WireLegacy}} {
+		t.Run(wire.name, func(t *testing.T) {
+			testRemoteChunkedFrames(t, wire.mode)
+		})
+	}
+}
+
+func testRemoteChunkedFrames(t *testing.T, wire WireMode) {
 	old := remoteChunkBytes
 	remoteChunkBytes = 512 // a few edges per frame
 	defer func() { remoteChunkBytes = old }()
@@ -357,7 +371,7 @@ func TestRemoteChunkedFrames(t *testing.T) {
 		t.Fatal("workload produced no matches; differential is vacuous")
 	}
 	addr, srv := startRemoteWorker(t)
-	r := New(Config{Shards: 1, Remotes: []string{addr}, Window: window, EvictEvery: 7})
+	r := New(Config{Shards: 1, Remotes: []string{addr}, Window: window, EvictEvery: 7, Wire: wire})
 	queries, strategies := testQueries(), testStrategies()
 	names := sortedNames(queries)
 	// Register all but one up front; the last one mid-stream, so its
@@ -467,5 +481,96 @@ func TestRemoteStatsGauges(t *testing.T) {
 	}
 	if st.MatchesEmitted == 0 || st.EdgesRouted == 0 {
 		t.Fatalf("counters not populated: %+v", st)
+	}
+}
+
+// TestRemoteLegacyServerFallback is the version-mismatch differential
+// in the new-router/old-worker direction: against a server that speaks
+// only v1 (Server.LegacyV1), a WireAuto router's first v2 handshake
+// fails, the sticky peerV1 flag flips, the redial speaks v1, and the
+// stream must still complete with the exact serial match multiset —
+// kicks included, so the fallback also holds across reconnects.
+func TestRemoteLegacyServerFallback(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := dshard.NewServer()
+	srv.LegacyV1 = true
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	edges := testStream(1200)
+	const window = 400
+	want := append([]string(nil), runSerial(t, edges, window)...)
+	sort.Strings(want)
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; differential is vacuous")
+	}
+	r := New(Config{Shards: 1, Remotes: []string{ln.Addr().String()}, Window: window, EvictEvery: 7})
+	queries, strategies := testQueries(), testStrategies()
+	for _, name := range sortedNames(queries) {
+		if err := r.Register(name, queries[name], core.Config{Strategy: strategies[name]}); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	var mu sync.Mutex
+	var got []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Drain(func(m Match) {
+			mu.Lock()
+			got = append(got, matchSig(m))
+			mu.Unlock()
+		})
+	}()
+	const batch = 97
+	for lo := 0; lo < len(edges); lo += batch {
+		hi := lo + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		r.IngestBatch(edges[lo:hi])
+		if lo/batch%4 == 3 {
+			srv.Kick()
+		}
+	}
+	r.Close()
+	<-done
+	sort.Strings(got)
+	if !equalStrings(got, want) {
+		t.Fatalf("legacy fallback: %d matches, want %d (multiset differs)", len(got), len(want))
+	}
+	// The fallback actually engaged: the slot is marked v1.
+	for _, w := range r.workers {
+		if w.remote != nil && !w.remote.peerV1.Load() {
+			t.Fatal("peerV1 never set against a legacy server")
+		}
+	}
+}
+
+// TestRemoteWireModes runs the cross-topology differential under every
+// client wire mode against a current server: match multisets must be
+// identical whichever encoding is negotiated.
+func TestRemoteWireModes(t *testing.T) {
+	edges := testStream(1000)
+	const window = 300
+	want := append([]string(nil), runSerial(t, edges, window)...)
+	sort.Strings(want)
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; differential is vacuous")
+	}
+	addr, _ := startRemoteWorker(t)
+	for _, wire := range []struct {
+		name string
+		mode WireMode
+	}{{"auto", WireAuto}, {"dict-only", WireDictOnly}, {"legacy", WireLegacy}} {
+		cfg := Config{Shards: 1, Remotes: []string{addr}, Window: window, EvictEvery: 7, Wire: wire.mode}
+		got := runSharded(t, edges, cfg, 64)
+		sort.Strings(got)
+		if !equalStrings(got, want) {
+			t.Fatalf("%s: %d matches, want %d (multiset differs)", wire.name, len(got), len(want))
+		}
 	}
 }

@@ -124,6 +124,12 @@ type Config struct {
 	// replay); beyond it the slot's queue backpressures ingestion,
 	// exactly like a slow local shard.
 	RemotePending int
+	// Wire selects the dshard wire encoding remote slots negotiate
+	// (default WireAuto: dictionary + delta timestamps + compression,
+	// with automatic per-slot fallback to the v1 encoding when the
+	// peer is an old sgshard). Match results are byte-identical under
+	// every mode; only wire compactness differs.
+	Wire WireMode
 
 	// DataDir, when set (via Open — New ignores it), makes the runtime
 	// durable: every admitted batch is appended to a segment-backed
