@@ -10,7 +10,7 @@
 //
 // Experiments: table1, fig6, fig7, fig9a, fig9b, fig9c, fig9d, fig10,
 // rule, alg5, ablation, planner, sketch, batch, shard, dshard,
-// persist, all.
+// persist, migrate, all.
 //
 // The batch, shard and dshard experiments go beyond the paper: batch
 // compares edge-at-a-time ingestion with the batch pipeline (amortized
@@ -27,12 +27,16 @@
 // persist compares the volatile sharded runtime with the durable one
 // (edge log + checkpoint rounds) and times a cold recovery of the
 // resulting data directory, reporting the checkpoint overhead and the
-// retained log footprint.
+// retained log footprint; migrate measures live query migration — the
+// same workload with and without a steady churn rotating queries
+// across slots (in-process and across a loopback-TCP worker),
+// reporting the throughput cost, the per-handoff drain latency and the
+// backfill volume, with match counts that must not diverge.
 //
 // With -json the throughput experiments (batch, shard, dshard,
-// persist) emit one machine-readable JSON document on stdout instead
-// of text tables — the format CI archives as BENCH_PR8.json to track
-// the perf trajectory across PRs.
+// persist, migrate) emit one machine-readable JSON document on stdout
+// instead of text tables — the format CI archives as BENCH_PR10.json
+// to track the perf trajectory across PRs.
 package main
 
 import (
@@ -67,7 +71,7 @@ type benchReport struct {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1, fig6, fig7, fig9a-d, fig10, rule, alg5, ablation, planner, sketch, batch, shard, dshard, persist, all)")
+		exp      = flag.String("exp", "all", "experiment id (table1, fig6, fig7, fig9a-d, fig10, rule, alg5, ablation, planner, sketch, batch, shard, dshard, persist, migrate, all)")
 		scale    = flag.String("scale", "small", "dataset scale: small | medium | large")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		batch    = flag.Int("batch", 1024, "largest batch size for the batch ingestion experiment")
@@ -159,8 +163,15 @@ func main() {
 			}
 			report.Experiments = append(report.Experiments, expReport{ID: "persist", Dataset: nf.Name, Rows: rows})
 		}
+		if want("migrate") {
+			rows, err := experiments.MigrateThroughput(experiments.MigrateConfig{Dataset: nf, MaxEdges: *maxEdges})
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Experiments = append(report.Experiments, expReport{ID: "migrate", Dataset: nf.Name, Rows: rows})
+		}
 		if len(report.Experiments) == 0 {
-			log.Fatalf("-json supports the throughput experiments (batch, shard, dshard, persist); got -exp %s", *exp)
+			log.Fatalf("-json supports the throughput experiments (batch, shard, dshard, persist, migrate); got -exp %s", *exp)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -301,6 +312,15 @@ func main() {
 			log.Fatal(err)
 		}
 		experiments.PrintPersist(out, nf.Name, rows)
+		fmt.Fprintln(out)
+	}
+	if want("migrate") {
+		nf := getNF()
+		rows, err := experiments.MigrateThroughput(experiments.MigrateConfig{Dataset: nf, MaxEdges: *maxEdges})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintMigrate(out, nf.Name, rows)
 		fmt.Fprintln(out)
 	}
 }

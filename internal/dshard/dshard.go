@@ -214,6 +214,13 @@ type Register struct {
 	// replayed from the router's EdgeLog; the worker admits them
 	// without searching (core.MultiEngine.Backfill semantics).
 	Backfill []stream.Edge
+	// State, when non-empty, carries a persist.SaveMulti image of a
+	// single-query engine being migrated onto this worker: after the
+	// normal register + backfill, the worker transplants the image's
+	// stored partial matches, lazy bitmap and queued retrospective work
+	// into the fresh registration (a live migration's source state).
+	// Encoded as a trailing field, absent on pre-migration frames.
+	State []byte
 }
 
 // BackfillChunk is a continuation of a register frame's backfill: the
@@ -242,6 +249,12 @@ type Unregister struct {
 	// removal narrows it; the worker trims edges outside it.
 	FilterUniversal bool
 	FilterTypes     []string
+	// Migrate marks a migration's source-side removal: the query's
+	// pending retrospective work was already transplanted to the target
+	// slot, so the worker must NOT run its flush barrier (flushing here
+	// would emit the same repairs twice). Encoded as a trailing field,
+	// absent on pre-migration frames.
+	Migrate bool
 }
 
 // CloseStream ends the stream: the worker runs its final flush barrier

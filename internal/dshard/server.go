@@ -81,6 +81,28 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// ServeConn hosts one already-established connection on the calling
+// goroutine's behalf (it spawns the handler itself and returns
+// immediately), with the same lifecycle accounting as accepted
+// connections. It exists for in-process transports: the router's
+// hospice failover engine speaks the protocol over a net.Pipe end.
+func (s *Server) ServeConn(c net.Conn) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return fmt.Errorf("dshard: server is closed")
+	}
+	s.conns[c] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		s.handle(c)
+	}()
+	return nil
+}
+
 // Kick severs every live connection without stopping the listener: the
 // routers on the other end observe a broken connection and rebuild
 // over a fresh one. It exists for failover drills and tests.
@@ -338,14 +360,36 @@ func (h *host) handleRegister(m Register) error {
 		h.ranks[m.Name] = m.Rank
 		h.setFilter(m.FilterUniversal, m.FilterTypes)
 		h.eng.Backfill(m.Backfill)
+		if len(m.State) > 0 {
+			// Live migration in: the frame carries the source slot's
+			// partial-match state for this query; transplant it into the
+			// fresh registration on top of the backfilled replica. A
+			// corrupt image must not half-apply: kill the connection like
+			// handleRestore does, so the router replays the registration
+			// (State and all) on a fresh engine instead of running a
+			// query that silently lost its spanning matches.
+			tmp, terr := persist.LoadMulti(bytes.NewReader(m.State))
+			if terr == nil {
+				_, terr = persist.TransplantState(h.eng, tmp, m.Name)
+			}
+			if terr != nil {
+				return fmt.Errorf("migrate state for %q: %w", m.Name, terr)
+			}
+		}
 	}
 	return h.done(m.Frame, err)
 }
 
 func (h *host) handleUnregister(m Unregister) error {
 	if _, ok := h.ranks[m.Name]; ok {
-		if err := h.flushRetro(m.Frame, m.Seq, m.Suppress); err != nil {
-			return err
+		// A migration's source-side removal skips the flush barrier:
+		// the pending retrospective work was transplanted to the target
+		// slot inside the migration's state image and will drain there —
+		// flushing here too would emit those repairs twice.
+		if !m.Migrate {
+			if err := h.flushRetro(m.Frame, m.Seq, m.Suppress); err != nil {
+				return err
+			}
 		}
 		h.eng.Unregister(m.Name)
 		delete(h.ranks, m.Name)
@@ -426,6 +470,49 @@ func (h *host) snapshotImage() ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// SnapshotImage is the decoded form of a worker snapshot: the
+// connection-scoped header plus the opaque persist.SaveMulti engine
+// image. The router's migration path decodes a retained snapshot to
+// extract a departing query's state and re-encodes it with the query
+// stripped, so a later reconnect restore cannot resurrect it.
+type SnapshotImage struct {
+	LastEnd   uint64
+	Universal bool
+	Types     []string
+	Ranks     map[string]int
+	Engine    []byte
+}
+
+// DecodeSnapshotImage parses a snapshot frame's payload.
+func DecodeSnapshotImage(data []byte) (SnapshotImage, error) {
+	lastEnd, universal, types, ranks, image, err := decodeSnapshotImage(data)
+	if err != nil {
+		return SnapshotImage{}, err
+	}
+	return SnapshotImage{LastEnd: lastEnd, Universal: universal, Types: types, Ranks: ranks, Engine: image}, nil
+}
+
+// Encode serializes the image back into the snapshot wire form
+// (snapshotImage's exact layout).
+func (si SnapshotImage) Encode() []byte {
+	b := binary.AppendUvarint(nil, si.LastEnd)
+	b = appendBool(b, si.Universal)
+	types := append([]string(nil), si.Types...)
+	sort.Strings(types)
+	b = appendStrings(b, types)
+	names := make([]string, 0, len(si.Ranks))
+	for name := range si.Ranks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		b = appendString(b, name)
+		b = binary.AppendUvarint(b, uint64(si.Ranks[name]))
+	}
+	return append(b, si.Engine...)
 }
 
 // decodeSnapshotImage splits a snapshot image back into the host

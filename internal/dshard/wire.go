@@ -567,6 +567,13 @@ func (cn *Conn) WriteRegister(m Register) error {
 	b = appendBool(b, m.FilterUniversal)
 	b = cn.appendStringsW(b, m.FilterTypes)
 	b = cn.appendEdgesW(b, m.Backfill)
+	if len(m.State) > 0 {
+		// Trailing migration-state field: old decoders stop at the
+		// backfill and never see it, new decoders read it only when
+		// bytes remain — the same one-way extension HelloAck.Caps uses.
+		b = binary.AppendUvarint(b, uint64(len(m.State)))
+		b = append(b, m.State...)
+	}
 	cn.wbuf = b
 	return cn.writeFrame(b)
 }
@@ -590,6 +597,11 @@ func (cn *Conn) WriteUnregister(m Unregister) error {
 	b = binary.AppendUvarint(b, m.Seq)
 	b = appendBool(b, m.FilterUniversal)
 	b = cn.appendStringsW(b, m.FilterTypes)
+	if m.Migrate {
+		// Trailing migration flag; absent (hence false) on frames from
+		// routers that predate live migration.
+		b = appendBool(b, true)
+	}
 	cn.wbuf = b
 	return cn.writeFrame(b)
 }
@@ -725,6 +737,19 @@ func decodeRegister(body []byte, tbl *strTable) (Register, error) {
 	m.FilterUniversal = d.bool_()
 	m.FilterTypes = d.strings()
 	m.Backfill = d.edges()
+	if d.err == nil && len(d.b) > 0 {
+		// Trailing migration-state field (see WriteRegister). Copied:
+		// the body aliases the connection read buffer, and the engine
+		// transplant may outlive the frame.
+		n := d.uvarint()
+		if d.err == nil && uint64(len(d.b)) < n {
+			d.fail("register state")
+		}
+		if d.err == nil {
+			m.State = append([]byte(nil), d.b[:n]...)
+			d.b = d.b[n:]
+		}
+	}
 	return m, d.err
 }
 
@@ -763,6 +788,9 @@ func decodeUnregister(body []byte, tbl *strTable) (Unregister, error) {
 	}
 	m.FilterUniversal = d.bool_()
 	m.FilterTypes = d.strings()
+	if d.err == nil && len(d.b) > 0 {
+		m.Migrate = d.bool_() // trailing migration flag (see WriteUnregister)
+	}
 	return m, d.err
 }
 

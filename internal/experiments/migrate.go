@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"streamgraph/internal/core"
+	"streamgraph/internal/dshard"
+	"streamgraph/internal/shard"
+)
+
+// MigrateRow is one cell of the live-migration experiment: the sharded
+// runtime driving the same queries over the same stream, with or
+// without a steady migration churn rotating queries across slots
+// mid-ingest. A Matches divergence across rows would falsify the
+// exactly-once handoff (exactness itself is enforced by the
+// differential tests in internal/shard).
+type MigrateRow struct {
+	// Mode is "baseline" (no churn), "churn-local" (rotation across
+	// in-process slots) or "churn-remote" (rotation between a local
+	// slot and a loopback-TCP dshard worker, so every migration pays
+	// the drain barrier and the wire snapshot).
+	Mode    string `json:"mode"`
+	Local   int    `json:"local"`
+	Remote  int    `json:"remote"`
+	Queries int    `json:"queries"`
+	Edges   int    `json:"edges"`
+	Matches int64  `json:"matches"`
+	// Migrations counts completed handoffs; Failed must stay 0.
+	Migrations int64 `json:"migrations"`
+	Failed     int64 `json:"failed"`
+	// BackfillEdges is the total edge volume replayed into migration
+	// targets to rebuild their replica windows.
+	BackfillEdges int64 `json:"backfill_edges"`
+	// DrainP50NS/DrainP99NS are the source-extraction latency
+	// quantiles (sg_migration_drain_ns): how long ingest was paused
+	// per handoff.
+	DrainP50NS int64 `json:"drain_p50_ns"`
+	DrainP99NS int64 `json:"drain_p99_ns"`
+	// Elapsed and EdgesPerSec measure ingest-to-drain throughput;
+	// Slowdown is EdgesPerSec relative to the baseline row (≤ 1 when
+	// churn costs throughput).
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	EdgesPerSec float64       `json:"edges_per_sec"`
+	Slowdown    float64       `json:"slowdown"`
+}
+
+// MigrateConfig parameterizes the live-migration experiment.
+type MigrateConfig struct {
+	Dataset Dataset
+	// NumQueries standing queries rotate through the dataset's edge
+	// types (default 6).
+	NumQueries int
+	// Shards is the slot count of every topology (default 2).
+	Shards int
+	// Batch is the ingest chunk size (default 512).
+	Batch int
+	// Window is tW (default 2000).
+	Window int64
+	// Every is the churn cadence: one migration per Every ingested
+	// batches (default 4).
+	Every int
+	// MaxEdges bounds the stream length (0 = whole dataset).
+	MaxEdges int
+}
+
+func (c *MigrateConfig) defaults() {
+	if c.NumQueries <= 0 {
+		c.NumQueries = 6
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Batch <= 0 {
+		c.Batch = 512
+	}
+	if c.Window <= 0 {
+		c.Window = 2000
+	}
+	if c.Every <= 0 {
+		c.Every = 4
+	}
+}
+
+// MigrateThroughput measures what live query migration costs: the
+// sharded runtime with no churn, then the same workload with a query
+// rotated to the next slot every few batches — once across in-process
+// slots, once across a process boundary (loopback-TCP dshard worker).
+// Match counts are reported so a divergence is visible; the migration
+// counters come from the runtime's own metrics registry, so the rows
+// double as a truthfulness check against the reported schedule.
+func MigrateThroughput(cfg MigrateConfig) ([]MigrateRow, error) {
+	cfg.defaults()
+	edges := cfg.Dataset.Edges
+	if cfg.MaxEdges > 0 && cfg.MaxEdges < len(edges) {
+		edges = edges[:cfg.MaxEdges]
+	}
+	queries := shardQueries(cfg.Dataset.Types, cfg.NumQueries)
+	names := shardQueryNames(queries)
+	qcfg := func() core.Config {
+		return core.Config{Strategy: core.StrategySingleLazy, MaxMatchesPerSearch: 20000}
+	}
+
+	var rows []MigrateRow
+	run := func(mode string, local int, remotes []string, churn bool) error {
+		r := shard.New(shard.Config{Shards: local, Remotes: remotes, Window: cfg.Window})
+		counted := make(chan int64, 1)
+		go func() { counted <- r.Drain(nil) }()
+		for _, name := range names {
+			if err := r.Register(name, queries[name], qcfg()); err != nil {
+				r.Close()
+				<-counted
+				return fmt.Errorf("register %s: %w", name, err)
+			}
+		}
+		slots := r.NumShards()
+		var migrations int
+		start := time.Now()
+		for lo, batch := 0, 0; lo < len(edges); lo, batch = lo+cfg.Batch, batch+1 {
+			hi := lo + cfg.Batch
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			r.IngestBatch(edges[lo:hi])
+			if churn && batch%cfg.Every == cfg.Every-1 {
+				name := names[migrations%len(names)]
+				if from, ok := r.Owner(name); ok {
+					if err := r.Migrate(name, from, (from+1)%slots); err != nil {
+						r.Close()
+						<-counted
+						return fmt.Errorf("%s: migrate %s: %w", mode, name, err)
+					}
+					migrations++
+				}
+			}
+		}
+		r.Close()
+		elapsed := time.Since(start)
+
+		row := MigrateRow{
+			Mode: mode, Local: local, Remote: len(remotes),
+			Queries: cfg.NumQueries, Edges: len(edges), Matches: <-counted,
+			Elapsed:     elapsed,
+			EdgesPerSec: float64(len(edges)) / elapsed.Seconds(),
+		}
+		for _, s := range r.Metrics().Snapshot() {
+			switch s.Name {
+			case "sg_migrations_completed_total":
+				row.Migrations = s.Value
+			case "sg_migrations_failed_total":
+				row.Failed = s.Value
+			case "sg_migration_backfill_edges_total":
+				row.BackfillEdges = s.Value
+			case "sg_migration_drain_ns":
+				if s.Hist.Count() > 0 {
+					row.DrainP50NS = s.Hist.Quantile(0.5)
+					row.DrainP99NS = s.Hist.Quantile(0.99)
+				}
+			}
+		}
+		if row.Migrations != int64(migrations) {
+			return fmt.Errorf("%s: drove %d migrations but the registry reports %d completed", mode, migrations, row.Migrations)
+		}
+		if len(rows) > 0 {
+			row.Slowdown = row.EdgesPerSec / rows[0].EdgesPerSec
+		} else {
+			row.Slowdown = 1
+		}
+		rows = append(rows, row)
+		return nil
+	}
+
+	if err := run("baseline", cfg.Shards, nil, false); err != nil {
+		return nil, err
+	}
+	if err := run("churn-local", cfg.Shards, nil, true); err != nil {
+		return nil, err
+	}
+
+	// One loopback worker stands in for the remote process; every
+	// migration onto it ships a state snapshot over the wire, every
+	// migration off it runs the checkpoint drain barrier.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := dshard.NewServer()
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		srv.Serve(ln)
+	}()
+	defer func() {
+		srv.Close()
+		<-serveDone
+	}()
+	if err := run("churn-remote", cfg.Shards-1, []string{ln.Addr().String()}, true); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// PrintMigrate renders the live-migration comparison as a table.
+func PrintMigrate(w io.Writer, dataset string, rows []MigrateRow) {
+	fmt.Fprintf(w, "== Live query migration: %s (GOMAXPROCS=%d) ==\n", dataset, runtime.GOMAXPROCS(0))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tlocal\tremote\tedges/s\tvs base\tmatches\tmigrations\tfailed\tbackfill\tdrain p50\tdrain p99\telapsed")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.2fx\t%d\t%d\t%d\t%d\t%s\t%s\t%v\n",
+			r.Mode, r.Local, r.Remote, r.EdgesPerSec, r.Slowdown, r.Matches,
+			r.Migrations, r.Failed, r.BackfillEdges,
+			lagCell(r.DrainP50NS), lagCell(r.DrainP99NS), r.Elapsed.Round(time.Millisecond))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestMigrateThroughputAgrees smoke-runs the live-migration experiment
+// on a tiny stream: every row must process the full stream, drive a
+// nonzero migration schedule in the churn rows, fail none, and report
+// the same match count as the unchurned baseline (exactness proper is
+// proven differentially in internal/shard; this guards the harness
+// wiring and the counter plumbing).
+func TestMigrateThroughputAgrees(t *testing.T) {
+	ds := NetflowDataset(tinyScale, 5)
+	rows, err := MigrateThroughput(MigrateConfig{
+		Dataset: ds, NumQueries: 4, Shards: 2, MaxEdges: 2000, Batch: 128, Every: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // baseline, churn-local, churn-remote
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Matches == 0 {
+		t.Fatal("workload produced no matches; comparison is vacuous")
+	}
+	for i, r := range rows {
+		if r.Edges != 2000 {
+			t.Fatalf("row %d (%s) processed %d edges, want 2000", i, r.Mode, r.Edges)
+		}
+		if r.Matches != rows[0].Matches {
+			t.Fatalf("row %d (%s) found %d matches, baseline found %d",
+				i, r.Mode, r.Matches, rows[0].Matches)
+		}
+		if r.Failed != 0 {
+			t.Fatalf("row %d (%s) reports %d failed migrations", i, r.Mode, r.Failed)
+		}
+		wantChurn := r.Mode != "baseline"
+		if gotChurn := r.Migrations > 0; gotChurn != wantChurn {
+			t.Fatalf("row %d (%s) reports %d migrations", i, r.Mode, r.Migrations)
+		}
+		if wantChurn && (r.DrainP50NS <= 0 || r.BackfillEdges <= 0) {
+			t.Fatalf("row %d (%s): drain p50 %d, backfill %d — counters not plumbed",
+				i, r.Mode, r.DrainP50NS, r.BackfillEdges)
+		}
+	}
+	if rows[2].Remote != 1 || rows[2].Local != 1 {
+		t.Fatalf("churn-remote topology is %d local / %d remote, want 1/1", rows[2].Local, rows[2].Remote)
+	}
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServerMigrateRebalanceWire drives the live-migration wire
+// commands end to end and pins that the migration counters they bump
+// are truthfully surfaced through both observability paths — the
+// "stats full" wire dump and the /metrics scrape.
+func TestServerMigrateRebalanceWire(t *testing.T) {
+	srv, addr := startServer(t, Config{Window: 100, Shards: 2})
+	c := dial(t, addr)
+	registerTwoHop(c, "lateral")
+	registerTwoHop(c, "exfil")
+
+	// The client does not know which slot the placement policy chose;
+	// one of the two directions is correct and must succeed.
+	c.send("migrate lateral 0 1")
+	reply := c.recv()
+	if strings.HasPrefix(reply, "err") {
+		c.send("migrate lateral 1 0")
+		c.expectPrefix("ok migrated lateral 1 0")
+	} else if !strings.HasPrefix(reply, "ok migrated lateral 0 1") {
+		t.Fatalf("migrate reply %q", reply)
+	}
+
+	c.send("rebalance")
+	var moved int
+	if _, err := fmt.Sscanf(c.expectPrefix("ok moved "), "ok moved %d", &moved); err != nil {
+		t.Fatalf("rebalance reply: %v", err)
+	}
+
+	// Bad arguments keep the connection alive.
+	c.send("migrate lateral 0 zero")
+	c.expectPrefix("err bad slot number")
+	c.send("migrate lateral")
+	c.expectPrefix("err usage: migrate <name> <from> <to>")
+	c.send("migrate ghost 0 1")
+	c.expectPrefix("err ")
+
+	// One migration succeeded above; rebalance may have moved more.
+	wantCompleted := int64(1 + moved)
+
+	// Path 1: the stats full wire dump.
+	c.send("stats full")
+	head := c.expectPrefix("ok ")
+	var n int
+	if _, err := fmt.Sscanf(head, "ok %d", &n); err != nil {
+		t.Fatalf("stats full header %q: %v", head, err)
+	}
+	series := make(map[string]string)
+	for i := 0; i < n; i++ {
+		f := strings.Fields(c.expectPrefix("metric "))
+		series[f[1]] = f[2]
+	}
+	for name, want := range map[string]string{
+		"sg_migrations_started_total":   fmt.Sprint(wantCompleted),
+		"sg_migrations_completed_total": fmt.Sprint(wantCompleted),
+		"sg_migrations_failed_total":    "0",
+		"sg_failovers_total":            "0",
+	} {
+		if got, ok := series[name]; !ok {
+			t.Errorf("stats full missing %s", name)
+		} else if got != want {
+			t.Errorf("stats full %s = %s, want %s", name, got, want)
+		}
+	}
+
+	// Path 2: the Prometheus scrape.
+	web := httptest.NewServer(srv.DebugHandler())
+	defer web.Close()
+	resp, err := http.Get(web.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("sg_migrations_started_total %d", wantCompleted),
+		fmt.Sprintf("sg_migrations_completed_total %d", wantCompleted),
+		"sg_migrations_failed_total 0",
+		"sg_failovers_total 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerMigrateRequiresShards pins the single-engine error reply.
+func TestServerMigrateRequiresShards(t *testing.T) {
+	_, addr := startServer(t, Config{Window: 100})
+	c := dial(t, addr)
+	c.send("migrate q 0 1")
+	c.expectPrefix("err migrate requires sharded mode")
+	c.send("rebalance")
+	c.expectPrefix("err rebalance requires sharded mode")
+}

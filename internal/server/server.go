@@ -436,6 +436,59 @@ func (s *Server) handle(conn net.Conn) {
 			if !reply("ok") {
 				return
 			}
+		case "migrate":
+			if s.router == nil {
+				if !reply("err migrate requires sharded mode (run with -shards)") {
+					return
+				}
+				continue
+			}
+			if len(fields) != 4 {
+				if !reply("err usage: migrate <name> <from> <to>") {
+					return
+				}
+				continue
+			}
+			from, err1 := strconv.Atoi(fields[2])
+			to, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil {
+				if !reply("err bad slot number") {
+					return
+				}
+				continue
+			}
+			if err := s.router.Migrate(fields[1], from, to); err != nil {
+				if !reply("err %v", err) {
+					return
+				}
+				continue
+			}
+			if !reply("ok migrated %s %d %d", fields[1], from, to) {
+				return
+			}
+		case "rebalance":
+			if s.router == nil {
+				if !reply("err rebalance requires sharded mode (run with -shards)") {
+					return
+				}
+				continue
+			}
+			if len(fields) != 1 {
+				if !reply("err usage: rebalance") {
+					return
+				}
+				continue
+			}
+			moved, err := s.router.Rebalance()
+			if err != nil {
+				if !reply("err %v", err) {
+					return
+				}
+				continue
+			}
+			if !reply("ok moved %d", moved) {
+				return
+			}
 		case "edge":
 			e, err := parseEdge(fields[1:])
 			if err != nil {

@@ -182,6 +182,12 @@ type remoteSlot struct {
 	snapSeq       uint64
 	snapUniversal bool
 	snapTypes     []string
+	// snapGen counts snapshot adoptions. A migration's drain barrier
+	// keys off it: requesting a checkpoint and waiting for the
+	// generation to advance (with everything acknowledged) proves the
+	// current snapshot serialized the engine at the barrier's stream
+	// position — the image the migration extracts the query from.
+	snapGen uint64
 	// ackUniversal/ackTypes track the replica filter as of the last
 	// acknowledged control event — exactly what a snapshot taken at the
 	// current pipeline position embeds. Recorded at checkpoint
@@ -189,6 +195,12 @@ type remoteSlot struct {
 	// snapshot engine's own filter.
 	ackUniversal bool
 	ackTypes     []string
+
+	// hospice, when non-nil, replaces the TCP dial with an in-process
+	// dshard.Server over a net.Pipe: the failover engine a dead slot's
+	// state is rebuilt into (see Config.RedialBudget). Touched only by
+	// the slot goroutine.
+	hospice *dshard.Server
 
 	// peerV1 flips (sticky) when a v2 hello handshake fails after the
 	// dial succeeded — the signature of an old sgshard closing the
@@ -428,6 +440,7 @@ func (rs *remoteSlot) run() {
 		sentEnd     uint64
 		inClosed    bool
 		closeSent   bool
+		dialFails   int // consecutive dial failures, vs Config.RedialBudget
 	)
 	drop := func() {
 		if conn != nil {
@@ -518,12 +531,27 @@ func (rs *remoteSlot) run() {
 			redial = nil
 			c, err := rs.connect()
 			if err != nil {
+				if budget := w.r.cfg.RedialBudget; budget > 0 && rs.hospice == nil {
+					if dialFails++; dialFails >= budget {
+						// The peer is declared dead: adopt an in-process
+						// hospice engine so the slot's snapshot and
+						// replay entitlement can be rebuilt (no match
+						// lost), and ask the router to evacuate its
+						// registrations to the surviving slots.
+						rs.hospice = dshard.NewServer()
+						w.r.tel.failovers.Inc()
+						go w.r.failoverEvacuate(w)
+						redial = time.After(0)
+						continue
+					}
+				}
 				redial = time.After(backoff)
 				if backoff *= 2; backoff > remoteRedialMax {
 					backoff = remoteRedialMax
 				}
 				continue
 			}
+			dialFails = 0
 			backoff = remoteRedialMin
 			conn = c
 			rs.connects.Inc()
@@ -537,6 +565,22 @@ func (rs *remoteSlot) run() {
 	}
 }
 
+// dial opens the slot's transport: TCP to the configured peer, or a
+// net.Pipe into the in-process hospice server after a failover. Each
+// connect gets a fresh pipe — a connection is an engine lifetime on
+// the server side, exactly as over TCP.
+func (rs *remoteSlot) dial() (net.Conn, error) {
+	if rs.hospice != nil {
+		client, server := net.Pipe()
+		if err := rs.hospice.ServeConn(server); err != nil {
+			client.Close()
+			return nil, err
+		}
+		return client, nil
+	}
+	return net.DialTimeout("tcp", rs.addr, remoteDialTimeout)
+}
+
 // finish closes the slot down after the close barrier (or when no
 // remote state exists): bundles close so an ordered merge completes.
 func (rs *remoteSlot) finish(conn *dshard.Conn) {
@@ -546,6 +590,9 @@ func (rs *remoteSlot) finish(conn *dshard.Conn) {
 	if conn != nil {
 		rs.noteConnClosed(conn)
 		conn.Close()
+	}
+	if rs.hospice != nil {
+		rs.hospice.Close()
 	}
 }
 
@@ -591,7 +638,7 @@ func (rs *remoteSlot) connLost() {
 // see remoteSlot.peerV1) so the redial loop's next attempt speaks the
 // legacy protocol. A v1 hello expects no ack.
 func (rs *remoteSlot) connect() (*dshard.Conn, error) {
-	c, err := net.DialTimeout("tcp", rs.addr, remoteDialTimeout)
+	c, err := rs.dial()
 	if err != nil {
 		return nil, err
 	}
@@ -780,6 +827,7 @@ func (rs *remoteSlot) sendEvent(conn *dshard.Conn, ev *remoteEvent, suppress boo
 	return conn.WriteUnregister(dshard.Unregister{
 		Frame: id, Suppress: suppress, Name: m.name, Seq: m.seq,
 		FilterUniversal: m.postUniversal, FilterTypes: m.postTypes,
+		Migrate: m.migrate,
 	}) == nil
 }
 
@@ -798,6 +846,10 @@ func (rs *remoteSlot) wireRegister(ev *remoteEvent, suppress bool) dshard.Regist
 		MaxMatches: m.cfg.MaxMatchesPerSearch, MaxWork: m.cfg.MaxWorkPerEdge,
 		MaxSteps: m.cfg.MaxStepsPerSearch, Workers: m.cfg.BatchWorkers,
 		FilterUniversal: m.postUniversal, FilterTypes: m.postTypes,
+		// A migration's state image rides every (re)send of the frame:
+		// a reconnect replay re-registers onto a fresh engine, which
+		// needs the transplant again.
+		State: m.state,
 	}
 	var need func(string) bool
 	switch {
@@ -821,6 +873,11 @@ func (rs *remoteSlot) wireRegister(ev *remoteEvent, suppress bool) dshard.Regist
 			}
 			return true
 		})
+	}
+	if m.migrate {
+		// Backfill edges shipped for a migration target, counted per
+		// send (a reconnect replay ships them again).
+		rs.w.r.tel.migBackfill.Add(int64(len(out.Backfill)))
 	}
 	return out
 }
@@ -1093,6 +1150,7 @@ func (rs *remoteSlot) adoptSnapshotLocked(data []byte) {
 	rs.snapSeq = rs.deliveredEnd
 	rs.snapUniversal = rs.ackUniversal
 	rs.snapTypes = append([]string(nil), rs.ackTypes...)
+	rs.snapGen++
 	rs.cover.Store(rs.snapSeq)
 	// Retire every acknowledged control event: acknowledged before the
 	// checkpoint means processed before the snapshot was taken, so the
@@ -1157,6 +1215,53 @@ func fromWire(shardID int, m dshard.Match) Match {
 		}
 	}
 	return out
+}
+
+// snapshotGen reports the snapshot adoption count (see snapGen).
+func (rs *remoteSlot) snapshotGen() uint64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.snapGen
+}
+
+// snapshotCut returns the current snapshot image (nil when none).
+// The slice is the adopted copy and must not be mutated.
+func (rs *remoteSlot) snapshotCut() []byte {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.snap
+}
+
+// replaceSnapshot swaps the retained snapshot image in place (same
+// stream position, new contents and embedded filter). The migration
+// path uses it to strip an extracted query from the slot's restore
+// state BEFORE the migrate-unregister is sent: if the connection dies
+// mid-unregister, the reconnect restores the stripped image and
+// replays the unregister as a harmless no-op — the query can never be
+// resurrected on the source after its state left for the target.
+func (rs *remoteSlot) replaceSnapshot(data []byte, universal bool, types []string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.snap == nil {
+		return
+	}
+	rs.snap = data
+	rs.snapUniversal = universal
+	rs.snapTypes = append([]string(nil), types...)
+}
+
+// retire clears every log pin the slot holds, permanently: a retired
+// slot owns no registrations (the caller migrated them away) and will
+// never be re-backfilled, so nothing entitles it to retained log
+// segments. Without this a retired slot's last snapshot position
+// would pin the EdgeLog by seq forever. Called under the router's
+// ingestMu, after the slot's queue is closed.
+func (rs *remoteSlot) retire() {
+	rs.mu.Lock()
+	rs.snap = nil
+	rs.pin.Store(math.MaxInt64)
+	rs.cover.Store(math.MaxUint64)
+	rs.mu.Unlock()
 }
 
 // remoteRegisterError wraps an engine error string reported by the

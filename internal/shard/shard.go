@@ -70,6 +70,7 @@ import (
 	"streamgraph/internal/edlog"
 	"streamgraph/internal/graph"
 	"streamgraph/internal/metrics"
+	"streamgraph/internal/persist"
 	"streamgraph/internal/query"
 	"streamgraph/internal/selectivity"
 	"streamgraph/internal/stream"
@@ -149,6 +150,18 @@ type Config struct {
 	// edlog.DefaultSegmentBytes). Tests use small segments to force
 	// rotation and trimming on small workloads.
 	SegmentBytes int64
+
+	// RedialBudget bounds a remote slot's consecutive failed dial
+	// attempts. 0 (the default) keeps the legacy behavior: redial
+	// forever, pinning the EdgeLog and eventually backpressuring ingest
+	// on the dead slot's pending budget. A positive budget makes the
+	// slot fail over instead: after that many consecutive dial
+	// failures it adopts an in-process hospice engine (restoring the
+	// slot's last snapshot and replaying its entitlement, so no match
+	// is lost) and the router live-migrates its registrations to the
+	// surviving slots, then retires the slot — unpinning the log with
+	// no operator action. See Router.Migrate and docs/DISTRIBUTED.md.
+	RedialBudget int
 }
 
 // Binding is one resolved vertex of a match: query vertex name to data
@@ -250,6 +263,12 @@ const (
 	// msgRestore never rides the queues; it tags a remote slot's
 	// in-flight state-restore frame on a reconnect.
 	msgRestore
+	// msgMigrateOut asks a local worker to hand over one query: flush
+	// the retro barrier, clone the query's live state into a detached
+	// engine (persist.CloneQuery), unregister it and narrow the
+	// replica, then reply the clone on msg.xout. The clone is the
+	// migration package Router.Migrate transplants into the target.
+	msgMigrateOut
 )
 
 // message is one entry of a shard's ingest queue: a broadcast edge
@@ -282,6 +301,24 @@ type message struct {
 	postUniversal bool         // control: replica filter after this point
 	postTypes     []string     // control: replica filter after this point
 	revent        *remoteEvent // the proxy's retained event record
+
+	// Migration fields (migrate.go). A register carrying xfer (local
+	// target) or state (remote target) is the second half of a
+	// Router.Migrate handoff; an unregister with migrate set is the
+	// first half on a remote source, whose pending retro work was
+	// already captured in the snapshot — the worker must not flush it.
+	xfer    *core.MultiEngine // msgRegister: clone to transplant (local target)
+	state   []byte            // msgRegister: SaveMulti image (remote target)
+	migrate bool              // register/unregister: part of a migration
+	xout    chan migrateOut   // msgMigrateOut: handoff reply
+}
+
+// migrateOut is a local worker's reply to msgMigrateOut: the detached
+// single-query clone and the query's registration rank.
+type migrateOut struct {
+	eng  *core.MultiEngine
+	rank int
+	err  error
 }
 
 // bundle is one edge's worth of matches from one shard (ordered mode
@@ -387,6 +424,13 @@ type worker struct {
 	// remote, when non-nil, makes this slot a proxy to a remote shard
 	// worker; the engine-side fields (eng, rset, lastEnd) are unused.
 	remote *remoteSlot
+
+	// retired marks a slot removed from the topology (RemoveSlot, or a
+	// failover evacuation): its queue is closed, it receives no further
+	// edges or control messages, and its remote pins are cleared so it
+	// can never hold back the EdgeLog. Guarded by ingestMu; slot ids
+	// are stable, so a retired slot stays in r.workers as a tombstone.
+	retired bool
 
 	// gate is the router-side ingest filter: the edge types this shard
 	// has any interest in. Read and written under r.ingestMu only; the
@@ -539,8 +583,13 @@ func (r *Router) start() {
 // isRemote reports whether the slot proxies a remote shard worker.
 func (w *worker) isRemote() bool { return w.remote != nil }
 
-// NumShards returns the worker count.
-func (r *Router) NumShards() int { return len(r.workers) }
+// NumShards returns the worker count, including retired tombstone
+// slots (slot ids are stable for the life of the router).
+func (r *Router) NumShards() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.workers)
+}
 
 // Matches returns the collection channel. It is closed by Close after
 // every queued edge has been fully processed — read until closed and
@@ -565,6 +614,13 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 	if cfg.BatchWorkers == 0 {
 		cfg.BatchWorkers = 1
 	}
+	fpTypes, fpExact := q.TypeFootprint()
+	r.ingestMu.Lock()
+	if r.closed {
+		r.ingestMu.Unlock()
+		return fmt.Errorf("shard: router is closed")
+	}
+	// Checked under ingestMu: AddSlot can flip hasRemote at runtime.
 	if cfg.Adaptive != nil && (r.filtering || r.hasRemote) {
 		// An adaptive engine re-decomposes from statistics it collects
 		// itself, at a cadence of edges it processes — on a filtered
@@ -573,6 +629,7 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 		// runtime is pinned to; a remote slot additionally resets those
 		// counters on every reconnect replay. Require full replication
 		// on a local-only topology for it.
+		r.ingestMu.Unlock()
 		return fmt.Errorf("shard: adaptive queries require Config.FullReplicas on a local-only topology (a filtered or remote replica would re-decompose from divergent statistics)")
 	}
 	if r.hasRemote {
@@ -583,15 +640,10 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 		// chosen by load, so any registration in a remote topology must
 		// be wire-safe — using the parser's own print/parse fixed point
 		// as the test.
-		if rt, err := query.Parse(q.String()); err != nil || rt.String() != q.String() {
-			return fmt.Errorf("shard: query %q is not wire-safe: vertex names, labels and edge types must be whitespace-free tokens in a remote topology", name)
+		if err := wireSafe(q); err != nil {
+			r.ingestMu.Unlock()
+			return fmt.Errorf("shard: query %q %w", name, err)
 		}
-	}
-	fpTypes, fpExact := q.TypeFootprint()
-	r.ingestMu.Lock()
-	if r.closed {
-		r.ingestMu.Unlock()
-		return fmt.Errorf("shard: router is closed")
 	}
 	if (r.filtering || r.hasRemote) && cfg.Leaves == nil {
 		// Pin the decomposition here, against full-stream statistics,
@@ -631,11 +683,19 @@ func (r *Router) Register(name string, q *query.Graph, cfg core.Config) error {
 		r.ingestMu.Unlock()
 		return fmt.Errorf("shard: query %q already registered", name)
 	}
-	w := r.workers[0]
-	for _, cand := range r.workers[1:] {
-		if r.owned[cand] < r.owned[w] {
+	var w *worker
+	for _, cand := range r.workers {
+		if cand.retired {
+			continue
+		}
+		if w == nil || r.owned[cand] < r.owned[w] {
 			w = cand
 		}
+	}
+	if w == nil {
+		r.mu.Unlock()
+		r.ingestMu.Unlock()
+		return fmt.Errorf("shard: no live shard slot (all retired)")
 	}
 	rank := r.rank
 	r.rank++
@@ -897,7 +957,7 @@ func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
 				}
 			}
 			for _, w := range r.workers {
-				if w.remote == nil {
+				if w.remote == nil || w.retired {
 					continue
 				}
 				if floor := w.remote.pinFloor(); floor < cutoff {
@@ -929,6 +989,9 @@ func (r *Router) IngestBatch(ses []stream.Edge) uint64 {
 	}
 	msg := message{kind: msgEdges, edges: ses, baseSeq: base, enq: r.tel.now()}
 	for _, w := range r.workers {
+		if w.retired {
+			continue
+		}
 		if r.filtering && !r.gateAdmits(w) {
 			w.edgesGated.Add(int64(len(ses)))
 			continue
@@ -978,9 +1041,12 @@ func (r *Router) Stats() []Stats {
 	for w, n := range r.owned {
 		owned[w] = n
 	}
+	// Snapshot the slice header too: AddSlot may append concurrently
+	// (it holds both locks; slot ids are stable).
+	workers := r.workers
 	r.mu.Unlock()
-	out := make([]Stats, len(r.workers))
-	for i, w := range r.workers {
+	out := make([]Stats, len(workers))
+	for i, w := range workers {
 		out[i] = Stats{
 			Shard:          i,
 			Queries:        owned[w],
@@ -1018,6 +1084,9 @@ func (r *Router) Close() {
 	}
 	r.closed = true
 	for _, w := range r.workers {
+		if w.retired {
+			continue // its queue was closed when it was retired
+		}
 		close(w.in)
 	}
 	r.ingestMu.Unlock()
@@ -1104,6 +1173,20 @@ func (w *worker) run() {
 				if w.r.filtering {
 					w.widenReplica(msg)
 				}
+				if msg.xfer != nil {
+					// Migration target: graft the source's live state
+					// onto the freshly registered (and backfilled)
+					// engine. On failure roll the registration back so
+					// the query never half-exists here.
+					if _, terr := persist.TransplantState(w.eng, msg.xfer, msg.name); terr != nil {
+						w.eng.Unregister(msg.name)
+						delete(w.ranks, msg.name)
+						if w.r.filtering {
+							w.narrowReplica(msg.fpTypes, msg.fpExact)
+						}
+						err = terr
+					}
+				}
 			}
 			w.publishReplicaStats()
 			msg.reply <- err
@@ -1120,6 +1203,31 @@ func (w *worker) run() {
 			if msg.reply != nil {
 				msg.reply <- nil
 			}
+		case msgMigrateOut:
+			// First half of a local-source migration: flush the retro
+			// barrier (standard unregister discipline — the clone must
+			// not carry repairs the serial schedule already drained),
+			// detach the query's state, and remove it here. The handoff
+			// happens at this exact queue position: every edge enqueued
+			// before it is in the clone, every one after it belongs to
+			// the target.
+			var out migrateOut
+			if _, ok := w.ranks[msg.name]; !ok {
+				out.err = fmt.Errorf("shard: slot %d does not hold query %q", w.id, msg.name)
+			} else {
+				w.flushRetro(msg.seq)
+				out.rank = w.ranks[msg.name]
+				out.eng, out.err = persist.CloneQuery(w.eng, msg.name)
+				if out.err == nil {
+					w.eng.Unregister(msg.name)
+					delete(w.ranks, msg.name)
+					if w.r.filtering {
+						w.narrowReplica(msg.fpTypes, msg.fpExact)
+					}
+				}
+			}
+			w.publishReplicaStats()
+			msg.xout <- out
 		case msgCheckpoint:
 			// Serialize the engine at this queue position — a message
 			// boundary, so no batch is mid-flight — and persist it as
@@ -1198,6 +1306,9 @@ func (w *worker) widenReplica(msg message) {
 	})
 	w.eng.Backfill(missed)
 	w.edgesBackfilled.Add(int64(len(missed)))
+	if msg.migrate {
+		w.r.tel.migBackfill.Add(int64(len(missed)))
+	}
 }
 
 // narrowReplica applies an unregistration's footprint release: narrow

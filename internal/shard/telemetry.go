@@ -50,6 +50,16 @@ type telemetry struct {
 	ckptRound  *metrics.AtomicHistogram
 	ckptRounds *metrics.Counter
 
+	// Migration/failover series (migrate.go), also eager: a topology
+	// that never migrates scrapes them at zero, which is what the
+	// metric-truthfulness tests pin.
+	migStarted   *metrics.Counter
+	migCompleted *metrics.Counter
+	migFailed    *metrics.Counter
+	migBackfill  *metrics.Counter
+	migDrain     *metrics.AtomicHistogram
+	failovers    *metrics.Counter
+
 	// Per-query series, created on a query's first match.
 	lagMu  sync.RWMutex
 	lagByQ map[string]*metrics.AtomicHistogram
@@ -68,6 +78,12 @@ func newTelemetry() *telemetry {
 	t.fsync = t.reg.Histogram("sg_edlog_fsync_ns")
 	t.ckptRound = t.reg.Histogram("sg_checkpoint_round_ns")
 	t.ckptRounds = t.reg.Counter("sg_checkpoint_rounds_total")
+	t.migStarted = t.reg.Counter("sg_migrations_started_total")
+	t.migCompleted = t.reg.Counter("sg_migrations_completed_total")
+	t.migFailed = t.reg.Counter("sg_migrations_failed_total")
+	t.migBackfill = t.reg.Counter("sg_migration_backfill_edges_total")
+	t.migDrain = t.reg.Histogram("sg_migration_drain_ns")
+	t.failovers = t.reg.Counter("sg_failovers_total")
 	return t
 }
 
